@@ -1,0 +1,40 @@
+"""Shared benchmark fixtures.
+
+The benchmarks operate on the *paper-scale* cohort (261 patients) and
+regenerate every table/figure of the evaluation section.  Each bench
+renders its artefact into ``results/<exp>.txt`` so a bench run leaves a
+complete paper-vs-measured record behind (consumed by EXPERIMENTS.md).
+
+Heavy experiment benches use ``benchmark.pedantic(..., rounds=1)``:
+the quantity of interest is the artefact and a single wall-clock
+measurement, not statistical timing of a 30-second training grid.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentContext
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    """Paper-scale experiment context shared by all benches."""
+    return ExperimentContext(seed=7, n_folds=3)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def record(results_dir: Path, name: str, text: str) -> None:
+    """Persist a rendered artefact (and echo it for -s runs)."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n[saved to {path}]")

@@ -1,0 +1,75 @@
+"""PERF bench — micro-benchmarks of the from-scratch engines.
+
+Statistical timing (multiple rounds) of the substrates the experiment
+harness leans on: cohort generation, sample building, GBM fit/predict,
+TreeSHAP attribution throughput.
+"""
+
+import numpy as np
+import pytest
+
+from repro.boosting import GBRegressor
+from repro.cohort import generate_cohort
+from repro.explain import TreeShapExplainer
+from repro.pipeline import build_dd_samples
+
+from tests.conftest import small_config
+
+
+@pytest.fixture(scope="module")
+def train_data():
+    rng = np.random.default_rng(0)
+    n, d = 2250, 60  # the paper's dataset scale
+    X = rng.normal(size=(n, d))
+    X[rng.random(X.shape) < 0.1] = np.nan
+    y = 2 * np.nan_to_num(X[:, 0]) + np.sin(3 * np.nan_to_num(X[:, 1]))
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def fitted(train_data):
+    X, y = train_data
+    model = GBRegressor(
+        n_estimators=100, max_depth=4, subsample=1.0, colsample_bytree=1.0
+    )
+    return model.fit(X, y), X
+
+
+def test_bench_cohort_generation_small(benchmark):
+    cohort = benchmark(lambda: generate_cohort(small_config()))
+    assert cohort.patients.num_rows == 30
+
+
+def test_bench_sample_building_small(benchmark):
+    cohort = generate_cohort(small_config())
+    samples = benchmark(lambda: build_dd_samples(cohort, "qol", with_fi=True))
+    assert samples.n_features == 60
+
+
+def test_bench_gbm_fit_paper_scale(benchmark, train_data):
+    X, y = train_data
+    model = benchmark.pedantic(
+        lambda: GBRegressor(n_estimators=100, max_depth=4).fit(X, y),
+        rounds=2,
+        iterations=1,
+    )
+    assert model.ensemble_.n_trees == 100
+
+
+def test_bench_gbm_predict(benchmark, fitted):
+    model, X = fitted
+    preds = benchmark(lambda: model.predict(X))
+    assert np.isfinite(preds).all()
+
+
+def test_bench_treeshap_throughput(benchmark, fitted):
+    model, X = fitted
+    explainer = TreeShapExplainer(model)
+    batch = X[:50]
+
+    shap = benchmark.pedantic(
+        lambda: explainer.shap_values(batch), rounds=2, iterations=1
+    )
+    # Efficiency axiom as the correctness anchor of the timing run.
+    preds = model.predict(batch)
+    assert np.allclose(shap.sum(axis=1) + explainer.expected_value, preds, atol=1e-8)

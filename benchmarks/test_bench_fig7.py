@@ -1,0 +1,25 @@
+"""FIG7 bench — global SV dependence of one PRO item (paper Fig. 7).
+
+Expected shape vs the paper: the population SHAP values of a PRO item
+flip sign at a mid-scale answer value (the paper reports >= 3 on a
+5-level item), i.e. the DD model rediscovers a KD-style cutoff.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import record
+from repro.experiments import run_fig7
+from repro.experiments.fig7_global_dependence import render_fig7
+
+
+def test_fig7_global_dependence(benchmark, ctx, results_dir):
+    curve = benchmark.pedantic(run_fig7, args=(ctx,), rounds=1, iterations=1)
+    record(results_dir, "fig7_global_dependence", render_fig7(curve))
+
+    assert curve.feature.startswith("pro_")
+    # A data-driven threshold emerged.
+    assert curve.threshold is not None
+    assert curve.values.min() < curve.threshold <= curve.values.max()
+    # The dependence is monotone in the mean over the answer range ends
+    # (low answers on one side of zero, high answers on the other).
+    assert np.sign(curve.mean_shap[0]) != np.sign(curve.mean_shap[-1])

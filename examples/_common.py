@@ -1,0 +1,19 @@
+"""Shared helpers for the example scripts."""
+
+from __future__ import annotations
+
+from repro import ClinicConfig, CohortConfig
+
+
+def demo_config(full: bool) -> CohortConfig:
+    """A fast 50-patient demo cohort, or the paper-scale 261 patients."""
+    if full:
+        return CohortConfig(seed=7)
+    return CohortConfig(
+        seed=7,
+        clinics=(
+            ClinicConfig("modena", 24),
+            ClinicConfig("sydney", 18),
+            ClinicConfig("hong_kong", 8, health_spread=0.07, protocol_noise=0.18),
+        ),
+    )

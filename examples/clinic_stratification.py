@@ -1,0 +1,57 @@
+"""Per-clinic model stratification (the paper's Table 1 scenario).
+
+The MySAwH study pools three clinics with different collection
+protocols; the paper asks whether stratifying models per clinic is
+worthwhile and observes that the small Hong Kong sub-cohort produces
+anomalous metrics.  This example trains pooled and per-clinic models
+and prints the comparison.
+
+    python examples/clinic_stratification.py [--outcome sppb] [--full]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import build_dd_samples, generate_cohort, run_protocol
+from repro.learning import per_clinic_results
+
+from _common import demo_config
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--outcome", default="sppb", choices=("qol", "sppb", "falls"))
+    parser.add_argument("--full", action="store_true", help="paper-scale cohort")
+    args = parser.parse_args()
+
+    cohort = generate_cohort(demo_config(args.full))
+    samples = build_dd_samples(cohort, args.outcome, with_fi=True)
+
+    pooled = run_protocol(samples, n_folds=3)
+    metric = "accuracy" if args.outcome == "falls" else "1-MAPE"
+    print(f"pooled model ({samples.n_samples} samples): "
+          f"{metric} = {100 * pooled.headline:.1f}%")
+
+    print("per-clinic models:")
+    for clinic, result in per_clinic_results(samples, n_folds=3).items():
+        n = result.samples.n_samples
+        print(
+            f"  {clinic:10s} ({n:4d} samples): "
+            f"{metric} = {100 * result.headline:.1f}%"
+        )
+        if args.outcome == "falls":
+            report = result.test_report
+            print(
+                f"             minority recall = {100 * report.recall_true:.0f}% "
+                "(small clinics often collapse here, cf. Table 1)"
+            )
+
+    print(
+        "\nNote: the smallest clinic's metrics are unstable across seeds —"
+        "\nthe effect the paper attributes to its 33-patient cohort."
+    )
+
+
+if __name__ == "__main__":
+    main()

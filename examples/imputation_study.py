@@ -1,0 +1,48 @@
+"""Imputation-aggressiveness study (the paper's QA model-selection step).
+
+The PRO questionnaire series contain bursty gaps.  The paper
+interpolates gaps of up to five consecutive missing observations after
+"assessing the predictive performance of each of the models resulting
+from training sets obtained from more or less aggressive interpolation".
+This example reruns that experiment: gap statistics, retention per
+interpolation bound, and held-out QoL performance per bound.
+
+    python examples/imputation_study.py [--full]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import ExperimentContext, run_imputation_ablation, run_qa
+from repro.experiments.ablation_imputation import render_imputation_ablation
+from repro.experiments.qa_gaps import render_qa
+
+from _common import demo_config
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="paper-scale cohort")
+    args = parser.parse_args()
+
+    ctx = ExperimentContext(
+        seed=7, n_folds=2, cohort_config=None if args.full else demo_config(False)
+    )
+
+    print("gap statistics of the synthetic cohort:")
+    print(render_qa(run_qa(ctx)))
+
+    print("\nheld-out QoL performance per interpolation bound:")
+    sweep = run_imputation_ablation(ctx, max_gaps=(0, 1, 3, 5, 9, 17))
+    print(render_imputation_ablation(sweep))
+
+    print(
+        "\nReading: retention grows with the bound while performance "
+        "plateaus around the paper's chosen bound of 5 — interpolating "
+        "longer gaps only manufactures spurious training points."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""repro — reproduction of Ferrari et al., "Data-driven vs knowledge-driven
+inference of health outcomes in the ageing population: a case study"
+(EDBT/ICDT 2020 joint conference workshops).
+
+The package rebuilds the paper's entire stack from scratch on top of
+NumPy (no sklearn/xgboost/shap/pandas):
+
+``repro.tabular``
+    Typed column-store tables (the relational substrate).
+``repro.synth``
+    Seeded stochastic processes for the synthetic cohort.
+``repro.cohort``
+    The MySAwH-like synthetic cohort generator (the paper's private
+    clinical dataset cannot be redistributed; see DESIGN.md section 2).
+``repro.frailty``
+    37-deficit Frailty Index (Searle's standard procedure).
+``repro.knowledge``
+    The knowledge-driven arm: IC ontology, expert cutoffs, the ICI.
+``repro.pipeline``
+    ETL: monthly aggregation, bounded gap interpolation, sample sets.
+``repro.boosting``
+    Histogram gradient-boosted trees (the paper's XGBoost).
+``repro.explain``
+    Exact TreeSHAP + local/global attribution reports (the paper's
+    SHAP).
+``repro.learning``
+    Metrics, CV splitting, the Fig. 3 evaluation protocol.
+``repro.baselines``
+    GA2M-style EBM, linear and dummy baselines.
+``repro.experiments``
+    Runners regenerating every table and figure of the paper.
+
+Quickstart
+----------
+>>> from repro import CohortConfig, generate_cohort
+>>> from repro.pipeline import build_dd_samples
+>>> from repro.learning import run_protocol
+>>> cohort = generate_cohort(CohortConfig(seed=7))
+>>> result = run_protocol(build_dd_samples(cohort, "qol"))
+>>> 0.85 < result.headline < 1.0
+True
+"""
+
+from repro.cohort import ClinicConfig, CohortConfig, CohortDataset, generate_cohort
+from repro.boosting import GBClassifier, GBConfig, GBRegressor
+from repro.explain import TreeShapExplainer
+from repro.frailty import FrailtyIndexCalculator
+from repro.knowledge import ICICalculator
+from repro.learning import run_protocol
+from repro.pipeline import SampleSet, build_dd_samples, build_kd_samples
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClinicConfig",
+    "CohortConfig",
+    "CohortDataset",
+    "generate_cohort",
+    "GBClassifier",
+    "GBConfig",
+    "GBRegressor",
+    "TreeShapExplainer",
+    "FrailtyIndexCalculator",
+    "ICICalculator",
+    "run_protocol",
+    "SampleSet",
+    "build_dd_samples",
+    "build_kd_samples",
+    "__version__",
+]

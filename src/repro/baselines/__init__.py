@@ -1,0 +1,28 @@
+"""Baseline learners for the model ablation (paper section 5, GA2M [15]).
+
+The paper states that gradient boosting "proved to offer better
+predictive performance than other popular intelligible learning
+frameworks such as GA2M".  This package provides those comparison
+points, implemented from scratch:
+
+``EBMRegressor`` / ``EBMClassifier``
+    GA2M-style additive models fitted by cyclic one-feature gradient
+    boosting (Explainable Boosting Machine lite).
+``RidgeRegressor`` / ``LogisticRegressor``
+    Linear baselines (closed-form ridge; Newton-IRLS logistic).
+``MeanRegressor`` / ``MajorityClassifier``
+    Dummy floors every real model must beat.
+"""
+
+from repro.baselines.dummy import MajorityClassifier, MeanRegressor
+from repro.baselines.ebm import EBMClassifier, EBMRegressor
+from repro.baselines.linear import LogisticRegressor, RidgeRegressor
+
+__all__ = [
+    "MajorityClassifier",
+    "MeanRegressor",
+    "EBMClassifier",
+    "EBMRegressor",
+    "LogisticRegressor",
+    "RidgeRegressor",
+]

@@ -1,0 +1,57 @@
+"""Dummy baselines: the floor any real model must clear."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MeanRegressor", "MajorityClassifier"]
+
+
+class MeanRegressor:
+    """Predicts the training mean for every sample."""
+
+    def __init__(self):
+        self.mean_: float | None = None
+
+    def fit(self, X, y, eval_set=None) -> "MeanRegressor":
+        """Record the training mean (``X``/``eval_set`` are ignored)."""
+        y = np.asarray(y, dtype=np.float64)
+        if y.size == 0:
+            raise ValueError("cannot fit on an empty target vector")
+        self.mean_ = float(np.mean(y))
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Constant predictions."""
+        if self.mean_ is None:
+            raise RuntimeError("estimator is not fitted; call fit() first")
+        return np.full(np.asarray(X).shape[0], self.mean_)
+
+
+class MajorityClassifier:
+    """Predicts the majority training class for every sample."""
+
+    def __init__(self):
+        self.majority_: bool | None = None
+        self.rate_: float | None = None
+
+    def fit(self, X, y, eval_set=None) -> "MajorityClassifier":
+        """Record the majority class (``X``/``eval_set`` are ignored)."""
+        y = np.asarray(y, dtype=bool)
+        if y.size == 0:
+            raise ValueError("cannot fit on an empty target vector")
+        self.rate_ = float(np.mean(y))
+        self.majority_ = bool(self.rate_ >= 0.5)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Constant class predictions."""
+        if self.majority_ is None:
+            raise RuntimeError("estimator is not fitted; call fit() first")
+        return np.full(np.asarray(X).shape[0], self.majority_, dtype=bool)
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Constant probability = training positive rate."""
+        if self.rate_ is None:
+            raise RuntimeError("estimator is not fitted; call fit() first")
+        return np.full(np.asarray(X).shape[0], self.rate_)

@@ -1,0 +1,141 @@
+"""Linear baselines: ridge regression and Newton-IRLS logistic regression.
+
+Both handle missing values by mean imputation (means learned on the
+training set) and standardise features internally, so they accept the
+same NaN-bearing matrices the boosting models do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RidgeRegressor", "LogisticRegressor"]
+
+
+class _LinearBase:
+    """Shared preprocessing: mean-impute NaN, standardise, add bias."""
+
+    def __init__(self):
+        self.feature_means_: np.ndarray | None = None
+        self.feature_scales_: np.ndarray | None = None
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float | None = None
+
+    def _fit_preprocess(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        with np.errstate(invalid="ignore"):
+            means = np.nanmean(X, axis=0)
+        means = np.nan_to_num(means, nan=0.0)  # all-NaN columns
+        filled = np.where(np.isnan(X), means, X)
+        scales = filled.std(axis=0)
+        scales[scales == 0] = 1.0
+        self.feature_means_ = means
+        self.feature_scales_ = scales
+        return (filled - means) / scales
+
+    def _transform(self, X: np.ndarray) -> np.ndarray:
+        if self.feature_means_ is None:
+            raise RuntimeError("estimator is not fitted; call fit() first")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != len(self.feature_means_):
+            raise ValueError(
+                f"expected shape (n, {len(self.feature_means_)}), got {X.shape}"
+            )
+        filled = np.where(np.isnan(X), self.feature_means_, X)
+        return (filled - self.feature_means_) / self.feature_scales_
+
+    def _linear(self, X: np.ndarray) -> np.ndarray:
+        return self._transform(X) @ self.coef_ + self.intercept_
+
+
+class RidgeRegressor(_LinearBase):
+    """Closed-form L2-regularised least squares.
+
+    Parameters
+    ----------
+    alpha:
+        L2 penalty on the (standardised) coefficients; the intercept is
+        not penalised.
+    """
+
+    def __init__(self, alpha: float = 1.0):
+        super().__init__()
+        if alpha < 0:
+            raise ValueError("alpha must be >= 0")
+        self.alpha = alpha
+
+    def fit(self, X, y, eval_set=None) -> "RidgeRegressor":
+        """Solve ``(Z'Z + alpha I) w = Z'(y - mean)`` on standardised Z."""
+        Z = self._fit_preprocess(X)
+        y = np.asarray(y, dtype=np.float64)
+        if len(y) != Z.shape[0]:
+            raise ValueError("X and y lengths differ")
+        y_mean = float(np.mean(y))
+        gram = Z.T @ Z + self.alpha * np.eye(Z.shape[1])
+        self.coef_ = np.linalg.solve(gram, Z.T @ (y - y_mean))
+        self.intercept_ = y_mean
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Point predictions."""
+        return self._linear(X)
+
+
+class LogisticRegressor(_LinearBase):
+    """Binary logistic regression fitted by Newton-IRLS.
+
+    Parameters
+    ----------
+    alpha:
+        L2 penalty (intercept unpenalised).
+    max_iter / tol:
+        IRLS stopping controls.
+    """
+
+    def __init__(self, alpha: float = 1.0, max_iter: int = 100, tol: float = 1e-8):
+        super().__init__()
+        if alpha < 0:
+            raise ValueError("alpha must be >= 0")
+        if max_iter < 1:
+            raise ValueError("max_iter must be >= 1")
+        self.alpha = alpha
+        self.max_iter = max_iter
+        self.tol = tol
+
+    def fit(self, X, y, eval_set=None) -> "LogisticRegressor":
+        """Iteratively reweighted least squares on the logit."""
+        Z = self._fit_preprocess(X)
+        y = np.asarray(y, dtype=np.float64)
+        if y.dtype == bool:
+            y = y.astype(np.float64)
+        if not np.isin(y, (0.0, 1.0)).all():
+            raise ValueError("targets must be binary {0, 1}")
+        n, d = Z.shape
+        Zb = np.column_stack([Z, np.ones(n)])
+        w = np.zeros(d + 1)
+        penalty = np.diag([self.alpha] * d + [0.0])
+        for _ in range(self.max_iter):
+            logits = Zb @ w
+            p = 1.0 / (1.0 + np.exp(-np.clip(logits, -35, 35)))
+            grad = Zb.T @ (p - y) + penalty @ w
+            weights = np.maximum(p * (1 - p), 1e-10)
+            hess = (Zb * weights[:, None]).T @ Zb + penalty
+            step = np.linalg.solve(hess, grad)
+            w -= step
+            if np.max(np.abs(step)) < self.tol:
+                break
+        self.coef_ = w[:-1]
+        self.intercept_ = float(w[-1])
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        """P(class = 1)."""
+        return 1.0 / (1.0 + np.exp(-np.clip(self._linear(X), -35, 35)))
+
+    def predict(self, X, threshold: float = 0.5) -> np.ndarray:
+        """Class labels at the given probability threshold."""
+        if not 0.0 < threshold < 1.0:
+            raise ValueError("threshold must be in (0, 1)")
+        return self.predict_proba(X) >= threshold

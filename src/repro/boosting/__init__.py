@@ -1,0 +1,45 @@
+"""From-scratch gradient-boosted decision trees (the paper's XGBoost [4]).
+
+The build environment has no xgboost/sklearn, so this package implements
+the algorithm family the paper relies on: second-order (Newton) gradient
+boosting over regression trees with histogram-based split finding,
+shrinkage, L2 leaf regularisation, row/column subsampling, native missing
+-value routing and early stopping.
+
+Public API
+----------
+``GBRegressor`` / ``GBClassifier``
+    Scikit-style estimators (``fit`` / ``predict`` /
+    ``predict_proba``).
+``GBConfig``
+    Hyper-parameters shared by both estimators.
+``Tree`` / ``TreeEnsemble``
+    The fitted tree structures (array-of-nodes layout, consumed directly
+    by :mod:`repro.explain`'s TreeSHAP).
+``BinMapper``
+    Quantile histogram binning of raw feature matrices.
+``SquaredErrorLoss`` / ``LogisticLoss``
+    Loss objects (gradient/hessian providers).
+"""
+
+from repro.boosting.binning import BinMapper
+from repro.boosting.config import GBConfig
+from repro.boosting.gbm import GBClassifier, GBRegressor
+from repro.boosting.losses import LogisticLoss, SquaredErrorLoss
+from repro.boosting.serialize import load_model, model_from_dict, model_to_dict, save_model
+from repro.boosting.tree import Tree, TreeEnsemble
+
+__all__ = [
+    "BinMapper",
+    "GBConfig",
+    "GBClassifier",
+    "GBRegressor",
+    "LogisticLoss",
+    "SquaredErrorLoss",
+    "Tree",
+    "TreeEnsemble",
+    "model_to_dict",
+    "model_from_dict",
+    "save_model",
+    "load_model",
+]

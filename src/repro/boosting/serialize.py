@@ -1,0 +1,130 @@
+"""JSON (de)serialisation of fitted boosting models.
+
+Clinical deployments need to train once and score later (the paper's
+vision of model-assisted visits), so fitted estimators round-trip
+through a explicit, versioned JSON document: hyper-parameters, the flat
+node arrays of every tree, and the estimator kind.  No pickle — the
+format is portable and diffable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.boosting.config import GBConfig
+from repro.boosting.gbm import GBClassifier, GBRegressor
+from repro.boosting.tree import Tree, TreeEnsemble
+
+__all__ = ["model_to_dict", "model_from_dict", "save_model", "load_model"]
+
+#: Format version written into every document.
+FORMAT_VERSION = 1
+
+_KINDS = {"regressor": GBRegressor, "classifier": GBClassifier}
+
+
+def _tree_to_dict(tree: Tree) -> dict:
+    return {
+        "children_left": tree.children_left.tolist(),
+        "children_right": tree.children_right.tolist(),
+        "feature": tree.feature.tolist(),
+        # NaN/inf are not valid JSON scalars; encode via strings.
+        "threshold": [_encode_float(v) for v in tree.threshold],
+        "missing_left": tree.missing_left.tolist(),
+        "value": tree.value.tolist(),
+        "cover": tree.cover.tolist(),
+    }
+
+
+def _tree_from_dict(doc: dict) -> Tree:
+    return Tree(
+        children_left=np.asarray(doc["children_left"], dtype=np.int64),
+        children_right=np.asarray(doc["children_right"], dtype=np.int64),
+        feature=np.asarray(doc["feature"], dtype=np.int64),
+        threshold=np.asarray(
+            [_decode_float(v) for v in doc["threshold"]], dtype=np.float64
+        ),
+        missing_left=np.asarray(doc["missing_left"], dtype=bool),
+        value=np.asarray(doc["value"], dtype=np.float64),
+        cover=np.asarray(doc["cover"], dtype=np.float64),
+    )
+
+
+def _encode_float(v: float) -> float | str:
+    v = float(v)
+    if np.isnan(v):
+        return "nan"
+    if np.isinf(v):
+        return "inf" if v > 0 else "-inf"
+    return v
+
+
+def _decode_float(v) -> float:
+    if isinstance(v, str):
+        return float(v)
+    return float(v)
+
+
+def model_to_dict(model) -> dict:
+    """Serialise a fitted ``GBRegressor``/``GBClassifier`` to a dict."""
+    if isinstance(model, GBRegressor):
+        kind = "regressor"
+    elif isinstance(model, GBClassifier):
+        kind = "classifier"
+    else:
+        raise TypeError(f"cannot serialise {type(model).__name__}")
+    if model.ensemble_ is None:
+        raise ValueError("model is not fitted; nothing to serialise")
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": kind,
+        "config": dataclasses.asdict(model.config),
+        "n_features": model.n_features_,
+        "best_iteration": model.best_iteration_,
+        "base_score": model.ensemble_.base_score,
+        "trees": [_tree_to_dict(t) for t in model.ensemble_.trees],
+    }
+
+
+def model_from_dict(doc: dict):
+    """Rebuild a fitted estimator from :func:`model_to_dict` output."""
+    version = doc.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported model format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    kind = doc.get("kind")
+    if kind not in _KINDS:
+        raise ValueError(f"unknown estimator kind {kind!r}")
+    config_doc = dict(doc["config"])
+    if config_doc.get("monotone_constraints") is not None:
+        config_doc["monotone_constraints"] = tuple(
+            config_doc["monotone_constraints"]
+        )
+    model = _KINDS[kind](GBConfig(**config_doc))
+    model.n_features_ = int(doc["n_features"])
+    model.best_iteration_ = (
+        None if doc["best_iteration"] is None else int(doc["best_iteration"])
+    )
+    model.ensemble_ = TreeEnsemble(
+        base_score=float(doc["base_score"]),
+        trees=[_tree_from_dict(t) for t in doc["trees"]],
+    )
+    return model
+
+
+def save_model(model, path: str | Path) -> None:
+    """Write a fitted estimator to a JSON file."""
+    path = Path(path)
+    path.write_text(json.dumps(model_to_dict(model)), encoding="utf-8")
+
+
+def load_model(path: str | Path):
+    """Read a fitted estimator back from :func:`save_model` output."""
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    return model_from_dict(doc)

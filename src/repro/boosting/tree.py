@@ -1,0 +1,144 @@
+"""Array-of-nodes regression trees and ensembles.
+
+A fitted tree is a flat set of parallel arrays (the layout XGBoost and
+sklearn use), which makes prediction vectorisable and gives
+:mod:`repro.explain` TreeSHAP direct access to structure and covers.
+
+Node ``i`` is a leaf iff ``children_left[i] == -1``; then ``value[i]``
+holds its (already shrunken) leaf weight.  Internal nodes split on
+``feature[i]`` with the rule ``x <= threshold[i] -> left``; NaN goes to
+``children_left`` when ``missing_left[i]`` else to ``children_right``.
+``cover[i]`` is the sum of training hessians that reached the node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Tree", "TreeEnsemble"]
+
+#: Sentinel child index marking a leaf.
+LEAF = -1
+
+
+@dataclass
+class Tree:
+    """One fitted regression tree (see module docstring for layout)."""
+
+    children_left: np.ndarray
+    children_right: np.ndarray
+    feature: np.ndarray
+    threshold: np.ndarray
+    missing_left: np.ndarray
+    value: np.ndarray
+    cover: np.ndarray
+
+    def __post_init__(self):
+        n = len(self.children_left)
+        for name in ("children_right", "feature", "threshold", "missing_left", "value", "cover"):
+            if len(getattr(self, name)) != n:
+                raise ValueError(f"node array {name!r} length mismatch")
+        if n == 0:
+            raise ValueError("a tree needs at least one node")
+
+    @property
+    def n_nodes(self) -> int:
+        """Total number of nodes."""
+        return len(self.children_left)
+
+    @property
+    def n_leaves(self) -> int:
+        """Number of leaf nodes."""
+        return int(np.sum(self.children_left == LEAF))
+
+    def is_leaf(self, node: int) -> bool:
+        """Whether ``node`` is a leaf."""
+        return self.children_left[node] == LEAF
+
+    def max_depth(self) -> int:
+        """Depth of the deepest leaf (root = 0)."""
+        depth = np.zeros(self.n_nodes, dtype=np.int64)
+        best = 0
+        for i in range(self.n_nodes):
+            if self.children_left[i] != LEAF:
+                for child in (self.children_left[i], self.children_right[i]):
+                    depth[child] = depth[i] + 1
+                    best = max(best, int(depth[child]))
+        return best
+
+    def decision_path(self, x: np.ndarray) -> list[int]:
+        """Node indices visited by a single sample (root to leaf)."""
+        x = np.asarray(x, dtype=np.float64)
+        node = 0
+        path = [0]
+        while self.children_left[node] != LEAF:
+            v = x[self.feature[node]]
+            if np.isnan(v):
+                go_left = bool(self.missing_left[node])
+            else:
+                go_left = bool(v <= self.threshold[node])
+            node = int(
+                self.children_left[node] if go_left else self.children_right[node]
+            )
+            path.append(node)
+        return path
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Leaf values for every row of ``X`` (raw floats, NaN allowed)."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"expected 2-D input, got shape {X.shape}")
+        n = X.shape[0]
+        node = np.zeros(n, dtype=np.int64)
+        active = self.children_left[node] != LEAF
+        while active.any():
+            idx = np.flatnonzero(active)
+            nd = node[idx]
+            xv = X[idx, self.feature[nd]]
+            go_left = np.where(
+                np.isnan(xv), self.missing_left[nd], xv <= self.threshold[nd]
+            )
+            node[idx] = np.where(
+                go_left, self.children_left[nd], self.children_right[nd]
+            )
+            active[idx] = self.children_left[node[idx]] != LEAF
+        return self.value[node]
+
+    def used_features(self) -> np.ndarray:
+        """Sorted unique feature indices used by internal nodes."""
+        internal = self.children_left != LEAF
+        return np.unique(self.feature[internal])
+
+
+@dataclass
+class TreeEnsemble:
+    """An additive ensemble: ``raw(x) = base_score + sum_t tree_t(x)``."""
+
+    base_score: float
+    trees: list[Tree] = field(default_factory=list)
+
+    def predict_raw(self, X: np.ndarray, n_trees: int | None = None) -> np.ndarray:
+        """Raw (margin) predictions using the first ``n_trees`` trees."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"expected 2-D input, got shape {X.shape}")
+        out = np.full(X.shape[0], self.base_score, dtype=np.float64)
+        use = self.trees if n_trees is None else self.trees[:n_trees]
+        for tree in use:
+            out += tree.predict(X)
+        return out
+
+    @property
+    def n_trees(self) -> int:
+        """Number of trees in the ensemble."""
+        return len(self.trees)
+
+    def total_cover_by_feature(self, n_features: int) -> np.ndarray:
+        """Sum of split covers per feature (a cheap global importance)."""
+        importance = np.zeros(n_features, dtype=np.float64)
+        for tree in self.trees:
+            internal = tree.children_left != LEAF
+            np.add.at(importance, tree.feature[internal], tree.cover[internal])
+        return importance

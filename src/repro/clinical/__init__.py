@@ -1,0 +1,37 @@
+"""Clinical decision support on top of SHAP explanations.
+
+The paper's conclusion argues that interpretable predictions "make them
+actionable, i.e., in the form of recommendations to patients" and that
+per-patient SHAP rankings "may lead to different interventions for
+these two patients" (Fig. 6).  This package closes that loop: it maps a
+patient's negative SHAP contributions through the Intrinsic Capacity
+ontology onto IC domains, ranks the impaired domains, and attaches
+intervention templates per domain.
+
+Public API
+----------
+``DomainImpact`` / ``aggregate_by_domain``
+    Per-domain aggregation of SHAP contributions.
+``Recommendation`` / ``DecisionSupportReport`` / ``recommend``
+    Ranked, rendered intervention guidance for one patient.
+``DEFAULT_INTERVENTIONS``
+    The per-domain intervention templates.
+"""
+
+from repro.clinical.recommendations import (
+    DEFAULT_INTERVENTIONS,
+    DecisionSupportReport,
+    DomainImpact,
+    Recommendation,
+    aggregate_by_domain,
+    recommend,
+)
+
+__all__ = [
+    "DEFAULT_INTERVENTIONS",
+    "DecisionSupportReport",
+    "DomainImpact",
+    "Recommendation",
+    "aggregate_by_domain",
+    "recommend",
+]

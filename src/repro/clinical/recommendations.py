@@ -1,0 +1,204 @@
+"""From SHAP attributions to domain-level intervention guidance.
+
+The mapping chain is: feature -> IC domain (via the ontology; the FI
+feature maps to a dedicated ``clinical_baseline`` bucket) -> summed
+negative contribution per domain -> ranked domains -> intervention
+templates.  Everything is deterministic and auditable: each
+recommendation lists the features (and their SHAP values) that
+triggered it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.knowledge import IntrinsicCapacityOntology
+
+__all__ = [
+    "DomainImpact",
+    "aggregate_by_domain",
+    "Recommendation",
+    "DecisionSupportReport",
+    "recommend",
+    "DEFAULT_INTERVENTIONS",
+]
+
+#: Bucket for features outside the IC ontology (the Frailty Index).
+CLINICAL_BASELINE = "clinical_baseline"
+
+#: Per-domain intervention templates (ICOPE-style guidance [16]).
+DEFAULT_INTERVENTIONS: dict[str, str] = {
+    "locomotion": (
+        "structured physical-activity programme (gait, balance and "
+        "resistance training); review fall hazards"
+    ),
+    "cognition": (
+        "cognitive screening and stimulation; review medications with "
+        "anticholinergic burden"
+    ),
+    "psychological": (
+        "mood assessment; consider psychological support or social "
+        "prescribing"
+    ),
+    "vitality": (
+        "nutritional review and sleep-hygiene counselling; screen for "
+        "fatigue causes"
+    ),
+    "sensory": "vision and hearing assessment; assistive-device check",
+    CLINICAL_BASELINE: (
+        "comprehensive geriatric re-assessment: the clinical frailty "
+        "baseline is depressing the predicted outcome"
+    ),
+}
+
+
+@dataclass(frozen=True)
+class DomainImpact:
+    """Aggregated SHAP mass of one domain for one patient.
+
+    ``negative`` sums contributions pushing the outcome down (the
+    actionable part); ``positive`` sums protective contributions;
+    ``features`` lists the (name, shap) pairs behind ``negative``,
+    worst first.
+    """
+
+    domain: str
+    negative: float
+    positive: float
+    features: tuple[tuple[str, float], ...]
+
+
+def aggregate_by_domain(
+    shap_row: np.ndarray,
+    feature_names: list[str],
+    ontology: IntrinsicCapacityOntology | None = None,
+) -> dict[str, DomainImpact]:
+    """Fold a SHAP vector into per-IC-domain impact summaries.
+
+    Features unknown to the ontology (e.g. ``fi``) land in the
+    ``clinical_baseline`` bucket.
+    """
+    shap_row = np.asarray(shap_row, dtype=np.float64)
+    if len(shap_row) != len(feature_names):
+        raise ValueError("shap_row and feature_names lengths differ")
+    onto = ontology or IntrinsicCapacityOntology.default()
+
+    negatives: dict[str, list[tuple[str, float]]] = {}
+    positives: dict[str, float] = {}
+    for name, value in zip(feature_names, shap_row):
+        try:
+            domain = onto.domain_of(name)
+        except KeyError:
+            domain = CLINICAL_BASELINE
+        if value < 0:
+            negatives.setdefault(domain, []).append((name, float(value)))
+            positives.setdefault(domain, 0.0)
+        else:
+            positives[domain] = positives.get(domain, 0.0) + float(value)
+            negatives.setdefault(domain, [])
+
+    out: dict[str, DomainImpact] = {}
+    for domain in set(negatives) | set(positives):
+        neg_features = sorted(negatives.get(domain, []), key=lambda kv: kv[1])
+        out[domain] = DomainImpact(
+            domain=domain,
+            negative=float(sum(v for _, v in neg_features)),
+            positive=float(positives.get(domain, 0.0)),
+            features=tuple(neg_features),
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One ranked intervention suggestion."""
+
+    domain: str
+    impact: float
+    action: str
+    evidence: tuple[tuple[str, float], ...]
+
+    def render(self) -> str:
+        """One-paragraph rendering with its evidence trail."""
+        lines = [f"[{self.domain}] impact {self.impact:+.4f}: {self.action}"]
+        for name, value in self.evidence[:3]:
+            lines.append(f"    evidence: {name} ({value:+.4f})")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class DecisionSupportReport:
+    """Ranked recommendations for one patient."""
+
+    patient_id: str
+    prediction: float
+    recommendations: tuple[Recommendation, ...]
+
+    def render(self) -> str:
+        """Plain-text report for the clinician."""
+        lines = [
+            f"decision support for {self.patient_id} "
+            f"(predicted outcome {self.prediction:+.3f})"
+        ]
+        if not self.recommendations:
+            lines.append("  no impaired domains detected")
+        for rec in self.recommendations:
+            lines.extend("  " + line for line in rec.render().splitlines())
+        return "\n".join(lines)
+
+
+def recommend(
+    patient_id: str,
+    prediction: float,
+    shap_row: np.ndarray,
+    feature_names: list[str],
+    ontology: IntrinsicCapacityOntology | None = None,
+    interventions: dict[str, str] | None = None,
+    min_impact: float = 0.0,
+    max_recommendations: int = 3,
+) -> DecisionSupportReport:
+    """Build the ranked decision-support report for one patient.
+
+    Parameters
+    ----------
+    shap_row / feature_names:
+        The patient's SHAP vector and its column names.
+    min_impact:
+        Only domains whose summed negative contribution is more
+        negative than ``-min_impact`` trigger a recommendation.
+    max_recommendations:
+        Cap on the number of returned recommendations (worst domains
+        first).
+    """
+    if min_impact < 0:
+        raise ValueError("min_impact must be >= 0")
+    if max_recommendations < 1:
+        raise ValueError("max_recommendations must be >= 1")
+    catalogue = interventions or DEFAULT_INTERVENTIONS
+
+    impacts = aggregate_by_domain(shap_row, feature_names, ontology)
+    harmed = [
+        impact
+        for impact in impacts.values()
+        if impact.negative < -min_impact and impact.features
+    ]
+    harmed.sort(key=lambda im: im.negative)
+
+    recommendations = tuple(
+        Recommendation(
+            domain=impact.domain,
+            impact=impact.negative,
+            action=catalogue.get(
+                impact.domain, "review this domain with the care team"
+            ),
+            evidence=impact.features,
+        )
+        for impact in harmed[:max_recommendations]
+    )
+    return DecisionSupportReport(
+        patient_id=patient_id,
+        prediction=float(prediction),
+        recommendations=recommendations,
+    )

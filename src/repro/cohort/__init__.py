@@ -1,0 +1,53 @@
+"""Synthetic MySAwH-like cohort generation.
+
+The paper's experimental data (the My Smart Age with HIV study: 261
+patients across Modena, Sydney and Hong Kong; daily wearable traces;
+56 monthly PRO questionnaire items; clinical visits at months 0, 9 and 18)
+is private clinical data.  This package generates a synthetic cohort with
+the same schema, acquisition schedule and statistical character, driven by
+a per-patient latent intrinsic-health process (DESIGN.md section 5).
+
+The generator is a pure function of a :class:`CohortConfig`:
+
+>>> from repro.cohort import CohortConfig, generate_cohort
+>>> cohort = generate_cohort(CohortConfig(seed=7))
+>>> cohort.pro.num_rows > 0
+True
+
+Emitted tables (all :class:`repro.tabular.Table`):
+
+``cohort.patients``   one row per patient (id, clinic, age, years with HIV)
+``cohort.daily``      wearable trace: one row per patient-day
+``cohort.pro``        one row per patient-month with 56 item columns
+                      (NaN where the answer is missing)
+``cohort.visits``     clinical visits at months 0/9/18: 37 deficit columns
+                      and the outcomes measured at months 9/18
+``cohort.latent``     ground-truth latent health (for validation only;
+                      never fed to models)
+"""
+
+from repro.cohort.config import ClinicConfig, CohortConfig
+from repro.cohort.dataset import CohortDataset
+from repro.cohort.generator import generate_cohort
+from repro.cohort.persist import load_cohort, save_cohort
+from repro.cohort.schema import (
+    ACTIVITY_VARIABLES,
+    IC_DOMAINS,
+    PRO_ITEMS,
+    ProItem,
+    pro_item_names,
+)
+
+__all__ = [
+    "ClinicConfig",
+    "CohortConfig",
+    "CohortDataset",
+    "generate_cohort",
+    "save_cohort",
+    "load_cohort",
+    "ACTIVITY_VARIABLES",
+    "IC_DOMAINS",
+    "PRO_ITEMS",
+    "ProItem",
+    "pro_item_names",
+]

@@ -1,0 +1,86 @@
+"""The bundled synthetic cohort: tables + config + provenance."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cohort.config import CohortConfig
+from repro.tabular import Table
+
+__all__ = ["CohortDataset"]
+
+
+@dataclass(frozen=True)
+class CohortDataset:
+    """All tables of a generated cohort.
+
+    Attributes
+    ----------
+    config:
+        The configuration the cohort was generated from (the cohort is a
+        pure function of it).
+    patients:
+        One row per patient: ``patient_id``, ``clinic``, ``age``,
+        ``years_with_hiv``.
+    daily:
+        Wearable trace: ``patient_id``, ``day``, ``month``, ``steps``,
+        ``calories``, ``sleep_hours``.
+    pro:
+        Monthly questionnaire: ``patient_id``, ``month`` and one float
+        column per PRO item (NaN = missing answer).
+    visits:
+        Clinical visits: ``patient_id``, ``visit_month``, 37 deficit
+        columns, and (at window-closing visits) the outcomes ``qol``,
+        ``sppb``, ``falls`` (NaN / -1 / False placeholders at month 0 are
+        avoided by using NaN-typed float columns; see notes).
+    latent:
+        Ground truth: ``patient_id``, ``month``, ``health`` and one
+        column per IC domain.  For validation only — must never be used
+        as model input.
+    """
+
+    config: CohortConfig
+    patients: Table
+    daily: Table
+    pro: Table
+    visits: Table
+    latent: Table
+
+    def clinic_of(self) -> dict[str, str]:
+        """Map ``patient_id`` to clinic name."""
+        return dict(
+            zip(self.patients["patient_id"].tolist(), self.patients["clinic"].tolist())
+        )
+
+    def patient_ids(self, clinic: str | None = None) -> list[str]:
+        """All patient ids, optionally restricted to one clinic."""
+        table = self.patients
+        if clinic is not None:
+            known = set(table["clinic"].tolist())
+            if clinic not in known:
+                raise KeyError(f"unknown clinic {clinic!r}; have {sorted(known)}")
+            table = table.filter(np.asarray(table["clinic"] == clinic))
+        return table["patient_id"].tolist()
+
+    def outcome_visits(self) -> Table:
+        """Visit rows that carry outcome labels (window-closing visits)."""
+        months = self.visits["visit_month"]
+        return self.visits.filter(np.asarray(months % 9 == 0) & np.asarray(months > 0))
+
+    def summary(self) -> dict[str, object]:
+        """Human-readable size/shape summary used by examples and QA."""
+        return {
+            "patients": self.patients.num_rows,
+            "clinics": {
+                c: self.patients.filter(
+                    np.asarray(self.patients["clinic"] == c)
+                ).num_rows
+                for c in sorted(set(self.patients["clinic"].tolist()))
+            },
+            "daily_rows": self.daily.num_rows,
+            "pro_rows": self.pro.num_rows,
+            "visit_rows": self.visits.num_rows,
+            "months": self.config.n_months,
+        }

@@ -1,0 +1,167 @@
+"""Top-level cohort generation: compose all per-patient streams."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cohort.clinical import generate_visit_deficits
+from repro.cohort.config import CohortConfig
+from repro.cohort.dataset import CohortDataset
+from repro.cohort.missingness import apply_missingness
+from repro.cohort.outcomes import generate_outcomes
+from repro.cohort.patients import PatientLatent, generate_patients
+from repro.cohort.pro import generate_pro_answers
+from repro.cohort.schema import IC_DOMAINS, pro_item_names
+from repro.cohort.wearable import generate_daily_trace
+from repro.frailty.deficits import deficit_names
+from repro.synth import SeedSequenceFactory
+from repro.tabular import Column, ColumnType, Table
+
+__all__ = ["generate_cohort"]
+
+
+def generate_cohort(config: CohortConfig | None = None) -> CohortDataset:
+    """Generate the full synthetic cohort for ``config``.
+
+    The result is a pure function of ``config`` (including its seed):
+    regenerating with the same configuration yields identical tables.
+
+    Examples
+    --------
+    >>> cohort = generate_cohort(CohortConfig(seed=1))
+    >>> cohort.patients.num_rows
+    261
+    """
+    cfg = config or CohortConfig()
+    seeds = SeedSequenceFactory(cfg.seed).child("cohort")
+    clinics = {c.name: c for c in cfg.clinics}
+    patients = generate_patients(cfg, seeds)
+
+    patient_rows = _patients_table(patients)
+    daily = _daily_table(cfg, patients, clinics, seeds)
+    pro = _pro_table(cfg, patients, clinics, seeds)
+    visits = _visits_table(cfg, patients, seeds)
+    latent = _latent_table(cfg, patients)
+
+    return CohortDataset(
+        config=cfg,
+        patients=patient_rows,
+        daily=daily,
+        pro=pro,
+        visits=visits,
+        latent=latent,
+    )
+
+
+def _patients_table(patients: list[PatientLatent]) -> Table:
+    return Table(
+        [
+            Column("patient_id", [p.patient_id for p in patients], ColumnType.STRING),
+            Column("clinic", [p.clinic for p in patients], ColumnType.STRING),
+            Column("age", [p.age for p in patients], ColumnType.INT),
+            Column(
+                "years_with_hiv",
+                [p.years_with_hiv for p in patients],
+                ColumnType.INT,
+            ),
+        ]
+    )
+
+
+def _daily_table(cfg, patients, clinics, seeds) -> Table:
+    ids: list[np.ndarray] = []
+    parts: dict[str, list[np.ndarray]] = {}
+    for p in patients:
+        trace = generate_daily_trace(cfg, clinics[p.clinic], p, seeds)
+        n = len(trace["day"])
+        ids.append(np.array([p.patient_id] * n, dtype=object))
+        for key, arr in trace.items():
+            parts.setdefault(key, []).append(arr)
+    cols = [Column("patient_id", np.concatenate(ids), ColumnType.STRING)]
+    for key in ("day", "month"):
+        cols.append(Column(key, np.concatenate(parts[key]), ColumnType.INT))
+    for key in ("steps", "calories", "sleep_hours"):
+        cols.append(Column(key, np.concatenate(parts[key]), ColumnType.FLOAT))
+    return Table(cols)
+
+
+def _pro_table(cfg, patients, clinics, seeds) -> Table:
+    ids: list[np.ndarray] = []
+    parts: dict[str, list[np.ndarray]] = {}
+    for p in patients:
+        answers = generate_pro_answers(cfg, clinics[p.clinic], p, seeds)
+        answers = apply_missingness(cfg, clinics[p.clinic], p.patient_id, answers, seeds)
+        n = len(answers["month"])
+        ids.append(np.array([p.patient_id] * n, dtype=object))
+        for key, arr in answers.items():
+            parts.setdefault(key, []).append(arr)
+    cols = [
+        Column("patient_id", np.concatenate(ids), ColumnType.STRING),
+        Column("month", np.concatenate(parts["month"]), ColumnType.INT),
+    ]
+    for name in pro_item_names():
+        cols.append(Column(name, np.concatenate(parts[name]), ColumnType.FLOAT))
+    return Table(cols)
+
+
+def _visits_table(cfg, patients, seeds) -> Table:
+    ids: list[np.ndarray] = []
+    parts: dict[str, list[np.ndarray]] = {}
+    outcome_parts: dict[str, list[np.ndarray]] = {}
+    for p in patients:
+        deficits = generate_visit_deficits(cfg, p, seeds)
+        outcomes = generate_outcomes(cfg, p, seeds)
+        n_visits = len(deficits["visit_month"])
+        ids.append(np.array([p.patient_id] * n_visits, dtype=object))
+        for key, arr in deficits.items():
+            parts.setdefault(key, []).append(arr)
+
+        # Align outcomes to visit months: month 0 has no outcome (NaN).
+        qol = np.full(n_visits, np.nan)
+        sppb = np.full(n_visits, np.nan)
+        falls = np.full(n_visits, np.nan)
+        visit_months = deficits["visit_month"]
+        for w_idx, vm in enumerate(outcomes["visit_month"]):
+            pos = int(np.flatnonzero(visit_months == vm)[0])
+            qol[pos] = outcomes["qol"][w_idx]
+            sppb[pos] = float(outcomes["sppb"][w_idx])
+            falls[pos] = float(outcomes["falls"][w_idx])
+        outcome_parts.setdefault("qol", []).append(qol)
+        outcome_parts.setdefault("sppb", []).append(sppb)
+        outcome_parts.setdefault("falls", []).append(falls)
+
+    cols = [
+        Column("patient_id", np.concatenate(ids), ColumnType.STRING),
+        Column("visit_month", np.concatenate(parts["visit_month"]), ColumnType.INT),
+    ]
+    for name in deficit_names():
+        cols.append(Column(name, np.concatenate(parts[name]), ColumnType.FLOAT))
+    for name in ("qol", "sppb", "falls"):
+        cols.append(Column(name, np.concatenate(outcome_parts[name]), ColumnType.FLOAT))
+    return Table(cols)
+
+
+def _latent_table(cfg, patients) -> Table:
+    n_points = cfg.n_months + 1
+    months = np.tile(np.arange(n_points, dtype=np.int64), len(patients))
+    ids = np.concatenate(
+        [np.array([p.patient_id] * n_points, dtype=object) for p in patients]
+    )
+    cols = [
+        Column("patient_id", ids, ColumnType.STRING),
+        Column("month", months, ColumnType.INT),
+        Column(
+            "health",
+            np.concatenate([p.health for p in patients]),
+            ColumnType.FLOAT,
+        ),
+    ]
+    for domain in IC_DOMAINS:
+        cols.append(
+            Column(
+                domain,
+                np.concatenate([p.domain_scores[domain] for p in patients]),
+                ColumnType.FLOAT,
+            )
+        )
+    return Table(cols)

@@ -1,0 +1,75 @@
+"""Missing-data injection for the PRO series.
+
+Section 3 of the paper reports the QA statistics of the PRO streams:
+bursts of consecutive missing observations (mean length ~5, max 17) and
+~108 gaps per patient on average across all series (max 284).
+
+The dominant mechanism is *patient-level*: a participant stops answering
+the app for a stretch, blanking every item simultaneously — that is what
+makes the per-patient gap count scale with the number of items (56 items
+x ~2 bursts ~ 108 gaps).  A small item-level dropout is layered on top
+(single questions skipped within an otherwise completed month).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cohort.config import ClinicConfig, CohortConfig
+from repro.cohort.schema import pro_item_names
+from repro.synth import SeedSequenceFactory, burst_gap_mask
+
+__all__ = ["apply_missingness"]
+
+#: Stationary rate / mean burst length of item-level (question skipped)
+#: dropout, on top of the patient-level app-abandonment bursts.
+_ITEM_DROPOUT_RATE = 0.05
+_ITEM_DROPOUT_MEAN_LEN = 1.3
+
+
+def apply_missingness(
+    cfg: CohortConfig,
+    clinic: ClinicConfig,
+    patient_id: str,
+    pro_columns: dict[str, np.ndarray],
+    seeds: SeedSequenceFactory,
+) -> dict[str, np.ndarray]:
+    """Blank PRO answers with the two-layer burst process.
+
+    Parameters
+    ----------
+    pro_columns:
+        Output of :func:`repro.cohort.pro.generate_pro_answers`; the
+        ``month`` column is untouched, item columns get NaN holes.
+
+    Returns
+    -------
+    dict
+        Same keys, with missing answers replaced by NaN.  Input arrays
+        are not mutated.
+    """
+    rng = seeds.child(patient_id).generator("missingness")
+    n = len(pro_columns["month"])
+
+    patient_mask = burst_gap_mask(
+        rng,
+        n_steps=n,
+        missing_rate=clinic.missing_rate,
+        mean_gap_length=cfg.mean_gap_length,
+        max_gap_length=cfg.max_gap_length,
+    )
+
+    out: dict[str, np.ndarray] = {"month": pro_columns["month"]}
+    for name in pro_item_names():
+        item_mask = burst_gap_mask(
+            rng,
+            n_steps=n,
+            missing_rate=_ITEM_DROPOUT_RATE,
+            mean_gap_length=_ITEM_DROPOUT_MEAN_LEN,
+            max_gap_length=cfg.max_gap_length,
+        )
+        mask = patient_mask | item_mask
+        values = pro_columns[name].astype(np.float64).copy()
+        values[mask] = np.nan
+        out[name] = values
+    return out

@@ -1,0 +1,60 @@
+"""Monthly PRO questionnaire answers.
+
+Each of the 56 items discretises the patient's latent domain score of the
+month through its item-specific :class:`~repro.synth.OrdinalLink`
+(reversed scales, skewed thresholds and noise tiers are declared in the
+item bank, :mod:`repro.cohort.schema`).  Clinic protocol noise widens the
+latent noise — one of the reasons the Hong Kong sub-models behave
+anomalously in Table 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cohort.config import ClinicConfig, CohortConfig
+from repro.cohort.patients import PatientLatent
+from repro.cohort.schema import PRO_ITEMS
+from repro.synth import OrdinalLink, SeedSequenceFactory
+
+__all__ = ["generate_pro_answers", "build_item_links"]
+
+
+def build_item_links(extra_noise: float = 0.0) -> dict[str, OrdinalLink]:
+    """Instantiate the ordinal link of every PRO item.
+
+    ``extra_noise`` is added to each item's latent noise SD (clinic
+    protocol effect).
+    """
+    return {
+        item.name: OrdinalLink.equispaced(
+            n_levels=item.n_levels,
+            reversed_scale=item.reversed_scale,
+            noise_sd=item.noise_sd + extra_noise,
+            skew=item.skew,
+        )
+        for item in PRO_ITEMS
+    }
+
+
+def generate_pro_answers(
+    cfg: CohortConfig,
+    clinic: ClinicConfig,
+    patient: PatientLatent,
+    seeds: SeedSequenceFactory,
+) -> dict[str, np.ndarray]:
+    """Answers for months ``1..n_months`` for one patient.
+
+    Returns ``{"month": int64[n_months]} | {item_name: float64[n_months]}``
+    with answers as floats (so missingness can later be marked with NaN).
+    """
+    rng = seeds.child(patient.patient_id).generator("pro")
+    months = np.arange(1, cfg.n_months + 1, dtype=np.int64)
+    links = build_item_links(extra_noise=0.05 * clinic.protocol_noise)
+
+    out: dict[str, np.ndarray] = {"month": months}
+    for item in PRO_ITEMS:
+        latent = patient.domain_scores[item.domain][months]
+        answers = links[item.name].sample(latent, rng)
+        out[item.name] = answers.astype(np.float64)
+    return out

@@ -1,0 +1,148 @@
+"""Variable schema: IC domains, the 56-item PRO bank, activity variables.
+
+The paper's feature space has 59 variables per monthly observation:
+
+* 56 categorical PRO questionnaire answers, each probing one of the five
+  WHO Intrinsic Capacity domains (locomotion, cognition, psychological,
+  vitality, sensory capacity);
+* 3 wearable aggregates (mean daily step count, calories, sleep hours).
+
+The real questionnaire text is proprietary (EQ-5D-5L et al.), so the item
+bank below reproduces its *structure*: per-domain item counts, answer
+scales (1-5 and 1-10), reversed items, and a spread of informativeness
+(``noise_sd``) so that items differ in predictive value — the property
+that drives the heterogeneous per-patient Shapley rankings in Fig. 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "IC_DOMAINS",
+    "ProItem",
+    "PRO_ITEMS",
+    "ACTIVITY_VARIABLES",
+    "pro_item_names",
+    "items_by_domain",
+]
+
+#: The five WHO Intrinsic Capacity domains [16].
+IC_DOMAINS: tuple[str, ...] = (
+    "locomotion",
+    "cognition",
+    "psychological",
+    "vitality",
+    "sensory",
+)
+
+#: Wearable aggregates appended to every monthly feature vector.
+ACTIVITY_VARIABLES: tuple[str, ...] = ("steps", "calories", "sleep_hours")
+
+
+@dataclass(frozen=True)
+class ProItem:
+    """One PRO questionnaire item.
+
+    Attributes
+    ----------
+    name:
+        Column name, e.g. ``"pro_loc_03"``.
+    domain:
+        The IC domain the item loads on.
+    n_levels:
+        Number of ordinal answer categories.
+    reversed_scale:
+        True when a *high* answer indicates *worse* health (e.g. pain or
+        stress scales); False when high = better (e.g. mobility scores).
+    noise_sd:
+        Latent noise before discretisation; higher = less informative.
+    skew:
+        Threshold skew in (-1, 1); nonzero values bunch answers at one
+        end of the scale (ceiling/floor effects common in QoL items).
+    """
+
+    name: str
+    domain: str
+    n_levels: int
+    reversed_scale: bool
+    noise_sd: float
+    skew: float
+
+    def __post_init__(self):
+        if self.domain not in IC_DOMAINS:
+            raise ValueError(f"unknown IC domain {self.domain!r}")
+        if self.n_levels < 2:
+            raise ValueError("n_levels must be >= 2")
+        if self.noise_sd < 0:
+            raise ValueError("noise_sd must be non-negative")
+        if not -1.0 < self.skew < 1.0:
+            raise ValueError("skew must be in (-1, 1)")
+
+
+def _build_item_bank() -> tuple[ProItem, ...]:
+    """Construct the 56-item bank with the paper's domain coverage.
+
+    Item counts per domain (56 total): locomotion 13, cognition 10,
+    psychological 12, vitality 12, sensory 9 — physical function and
+    mood dominate the MySAwH app's questionnaires, sensory items are
+    fewer, matching the instrument mix described in [9].
+
+    Informativeness tiers cycle within each domain: strong items
+    (noise 0.06), medium (0.12), weak (0.25), near-noise (0.45).  Scales
+    alternate between 5-level EQ-5D-style and 10-level visual-analogue
+    style; roughly a third of the items are reversed.
+    """
+    counts = {
+        "locomotion": 13,
+        "cognition": 10,
+        "psychological": 12,
+        "vitality": 12,
+        "sensory": 9,
+    }
+    prefixes = {
+        "locomotion": "loc",
+        "cognition": "cog",
+        "psychological": "psy",
+        "vitality": "vit",
+        "sensory": "sen",
+    }
+    noise_tiers = (0.06, 0.12, 0.12, 0.25, 0.45)
+    skews = (0.0, 0.25, -0.25, 0.4, 0.0)
+    items: list[ProItem] = []
+    for domain in IC_DOMAINS:
+        for k in range(counts[domain]):
+            items.append(
+                ProItem(
+                    name=f"pro_{prefixes[domain]}_{k + 1:02d}",
+                    domain=domain,
+                    n_levels=10 if k % 4 == 3 else 5,
+                    reversed_scale=(k % 3 == 1),
+                    noise_sd=noise_tiers[k % len(noise_tiers)],
+                    skew=skews[k % len(skews)],
+                )
+            )
+    assert len(items) == 56, f"item bank has {len(items)} items, expected 56"
+    return tuple(items)
+
+
+#: The canonical 56-item PRO bank used throughout the reproduction.
+PRO_ITEMS: tuple[ProItem, ...] = _build_item_bank()
+
+
+def pro_item_names() -> list[str]:
+    """Names of all 56 PRO items, in canonical order."""
+    return [item.name for item in PRO_ITEMS]
+
+
+def items_by_domain(domain: str) -> list[ProItem]:
+    """All items loading on ``domain``.
+
+    Raises
+    ------
+    ValueError
+        If ``domain`` is not one of the five IC domains.
+    """
+    if domain not in IC_DOMAINS:
+        raise ValueError(f"unknown IC domain {domain!r}")
+    return [item for item in PRO_ITEMS if item.domain == domain]

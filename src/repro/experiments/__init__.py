@@ -1,0 +1,48 @@
+"""Experiment runners: one module per paper table/figure.
+
+Every runner regenerates the rows/series of one artefact of the paper's
+evaluation section from a synthetic cohort (see DESIGN.md section 4 for
+the experiment index).  Runners share a cached
+:class:`~repro.experiments.context.ExperimentContext` so the cohort is
+generated and the models are trained once per process.
+
+=========  =======================================================
+FIG1       outcome distributions            ``fig1_distributions``
+FIG4       DD vs KD performance grid        ``fig4_performance``
+TAB1       per-clinic models                ``table1_clinics``
+FIG5       per-patient MAE by clinic        ``fig5_mae_by_clinic``
+FIG6       local SHAP explanations          ``fig6_local_explanations``
+FIG7       global SV dependence             ``fig7_global_dependence``
+QA         gap statistics / retention       ``qa_gaps``
+ABL1       model-family ablation            ``ablation_models``
+ABL2       imputation-bound ablation        ``ablation_imputation``
+ABL3       Falls class-weighting ablation   ``ablation_imbalance``
+=========  =======================================================
+"""
+
+from repro.experiments.context import ExperimentContext, default_context
+from repro.experiments.fig1_distributions import run_fig1
+from repro.experiments.fig4_performance import run_fig4
+from repro.experiments.table1_clinics import run_table1
+from repro.experiments.fig5_mae_by_clinic import run_fig5
+from repro.experiments.fig6_local_explanations import run_fig6
+from repro.experiments.fig7_global_dependence import run_fig7
+from repro.experiments.qa_gaps import run_qa
+from repro.experiments.ablation_models import run_model_ablation
+from repro.experiments.ablation_imputation import run_imputation_ablation
+from repro.experiments.ablation_imbalance import run_imbalance_ablation
+
+__all__ = [
+    "ExperimentContext",
+    "default_context",
+    "run_fig1",
+    "run_fig4",
+    "run_table1",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_qa",
+    "run_model_ablation",
+    "run_imputation_ablation",
+    "run_imbalance_ablation",
+]

@@ -1,0 +1,48 @@
+"""ABL2 — interpolation-aggressiveness ablation (paper section 3).
+
+The paper: "We experimentally determined the max size of gaps that could
+be safely interpolated (five missing steps), by assessing the predictive
+performance of each of the models resulting from training sets obtained
+from more or less aggressive interpolation."  This ablation reruns the
+QoL protocol across interpolation bounds and reports sample counts and
+held-out performance per bound — reproducing that model-selection
+experiment.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.context import ExperimentContext, default_context
+
+__all__ = ["run_imputation_ablation", "render_imputation_ablation"]
+
+
+def run_imputation_ablation(
+    context: ExperimentContext | None = None,
+    outcome: str = "qol",
+    max_gaps: tuple[int, ...] = (0, 1, 3, 5, 9, 17),
+) -> dict[int, dict[str, float]]:
+    """Return ``{max_gap: {n_samples, one_minus_mape or accuracy}}``."""
+    ctx = context or default_context()
+    out: dict[int, dict[str, float]] = {}
+    for max_gap in max_gaps:
+        result = ctx.result(outcome, "dd", with_fi=False, max_gap=max_gap)
+        metrics = result.test_report.as_dict()
+        key = "accuracy" if outcome == "falls" else "one_minus_mape"
+        out[max_gap] = {
+            "n_samples": float(result.samples.n_samples),
+            key: metrics[key],
+        }
+    return out
+
+
+def render_imputation_ablation(result: dict[int, dict[str, float]]) -> str:
+    """Plain-text rendering of the sweep."""
+    lines = ["ABL2: interpolation bound vs performance"]
+    for max_gap, row in result.items():
+        metric = {k: v for k, v in row.items() if k != "n_samples"}
+        (name, value), = metric.items()
+        lines.append(
+            f"  max_gap={max_gap:2d}: n={int(row['n_samples'])} "
+            f"{name}={100 * value:.2f}%"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""FIG1 — outcome distributions (paper Fig. 1).
+
+The paper plots (log-scale) histograms of QoL in 0.1-wide bins, SPPB
+counts per index value, and the Falls False/True bar chart.  The runner
+returns the same series for the synthetic cohort.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.context import ExperimentContext, default_context
+
+__all__ = ["run_fig1", "render_fig1"]
+
+
+def run_fig1(context: ExperimentContext | None = None) -> dict[str, object]:
+    """Return the three distribution series of Fig. 1.
+
+    Returns
+    -------
+    dict
+        ``qol_bins`` / ``qol_counts`` — 0.1-wide histogram of QoL;
+        ``sppb_values`` / ``sppb_counts`` — counts per SPPB index;
+        ``falls_false`` / ``falls_true`` — class counts.
+        Counts are over *labelled visits* (one per patient-window).
+    """
+    ctx = context or default_context()
+    visits = ctx.cohort.outcome_visits()
+    qol = visits["qol"]
+    sppb = visits["sppb"]
+    falls = visits["falls"]
+
+    qol = qol[~np.isnan(qol)]
+    qol_edges = np.round(np.arange(0.0, 1.01, 0.1), 10)
+    qol_counts, _ = np.histogram(qol, bins=qol_edges)
+
+    sppb = sppb[~np.isnan(sppb)].astype(np.int64)
+    sppb_values = np.arange(0, 13)
+    sppb_counts = np.bincount(sppb, minlength=13)[:13]
+
+    falls = falls[~np.isnan(falls)].astype(bool)
+    return {
+        "qol_bin_edges": qol_edges,
+        "qol_counts": qol_counts,
+        "sppb_values": sppb_values,
+        "sppb_counts": sppb_counts,
+        "falls_false": int(np.sum(~falls)),
+        "falls_true": int(np.sum(falls)),
+    }
+
+
+def render_fig1(result: dict[str, object]) -> str:
+    """Plain-text rendering of the three panels."""
+    lines = ["FIG1(a) QoL distribution (bin: count)"]
+    edges = result["qol_bin_edges"]
+    for i, count in enumerate(result["qol_counts"]):
+        lines.append(f"  {edges[i]:.1f}-{edges[i + 1]:.1f}: {count}")
+    lines.append("FIG1(b) SPPB distribution (index: count)")
+    for value, count in zip(result["sppb_values"], result["sppb_counts"]):
+        lines.append(f"  {value:2d}: {count}")
+    lines.append("FIG1(c) Falls distribution")
+    lines.append(f"  False: {result['falls_false']}")
+    lines.append(f"  True:  {result['falls_true']}")
+    return "\n".join(lines)

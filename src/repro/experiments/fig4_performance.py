@@ -1,0 +1,77 @@
+"""FIG4 — DD vs KD predictive performance (paper Fig. 4).
+
+Left block: 1-MAPE for QoL and SPPB, for KD/DD x with/without FI.
+Right block: accuracy and per-class precision/recall/F1 for Falls.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.context import ExperimentContext, default_context
+from repro.learning.metrics import ClassificationReport, RegressionReport
+
+__all__ = ["run_fig4", "render_fig4"]
+
+
+def run_fig4(context: ExperimentContext | None = None) -> dict[str, dict]:
+    """Return the Fig. 4 performance grid.
+
+    Returns
+    -------
+    dict
+        ``{outcome: {(kind, with_fi): metrics_dict}}`` with metrics as
+        produced by the report ``as_dict`` methods.
+    """
+    ctx = context or default_context()
+    grid: dict[str, dict] = {}
+    for outcome in ("qol", "sppb", "falls"):
+        cell: dict[tuple[str, bool], dict] = {}
+        for kind in ("kd", "dd"):
+            for with_fi in (False, True):
+                result = ctx.result(outcome, kind, with_fi)
+                cell[(kind, with_fi)] = result.test_report.as_dict()
+        grid[outcome] = cell
+    return grid
+
+
+def render_fig4(grid: dict[str, dict]) -> str:
+    """Plain-text rendering in the paper's layout."""
+    lines = ["FIG4 left: 1-MAPE (regression outcomes)"]
+    header = f"  {'':10s}" + "".join(
+        f"{label:>10s}" for label in ("KD", "DD", "KD+FI", "DD+FI")
+    )
+    lines.append(header)
+    for outcome in ("qol", "sppb"):
+        cells = grid[outcome]
+        row = [
+            cells[("kd", False)]["one_minus_mape"],
+            cells[("dd", False)]["one_minus_mape"],
+            cells[("kd", True)]["one_minus_mape"],
+            cells[("dd", True)]["one_minus_mape"],
+        ]
+        lines.append(
+            f"  {outcome:10s}" + "".join(f"{100 * v:9.1f}%" for v in row)
+        )
+
+    lines.append("FIG4 right: Falls classification")
+    metrics = (
+        ("accuracy", "Acc"),
+        ("precision_true", "Prec-T"),
+        ("precision_false", "Prec-F"),
+        ("recall_true", "Rec-T"),
+        ("recall_false", "Rec-F"),
+        ("f1_true", "F1-T"),
+        ("f1_false", "F1-F"),
+    )
+    lines.append(header)
+    for key, label in metrics:
+        cells = grid["falls"]
+        row = [
+            cells[("kd", False)][key],
+            cells[("dd", False)][key],
+            cells[("kd", True)][key],
+            cells[("dd", True)][key],
+        ]
+        lines.append(
+            f"  {label:10s}" + "".join(f"{100 * v:9.1f}%" for v in row)
+        )
+    return "\n".join(lines)

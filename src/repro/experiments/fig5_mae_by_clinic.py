@@ -1,0 +1,107 @@
+"""FIG5 — per-patient regression MAE grouped by clinic (paper Fig. 5).
+
+The paper box-plots the distribution of per-patient MAE for the pooled
+QoL and SPPB models, grouped by clinical centre, and observes that Hong
+Kong "exhibits a higher number of outliers compared to Modena and
+Sydney".  The runner reproduces the boxplot statistics (five-number
+summary + Tukey outlier count) per clinic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.context import ExperimentContext, default_context
+
+__all__ = ["BoxStats", "run_fig5", "render_fig5"]
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Tukey boxplot statistics of one group.
+
+    ``outliers`` counts points beyond 1.5 IQR whiskers; ``n`` is the
+    group size (number of patients).
+    """
+
+    q1: float
+    median: float
+    q3: float
+    whisker_low: float
+    whisker_high: float
+    outliers: int
+    n: int
+
+    @classmethod
+    def from_values(cls, values: np.ndarray) -> "BoxStats":
+        """Compute the statistics for a 1-D sample."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            raise ValueError("cannot build box stats from an empty sample")
+        q1, median, q3 = np.percentile(values, (25, 50, 75))
+        iqr = q3 - q1
+        lo_fence = q1 - 1.5 * iqr
+        hi_fence = q3 + 1.5 * iqr
+        inside = values[(values >= lo_fence) & (values <= hi_fence)]
+        return cls(
+            q1=float(q1),
+            median=float(median),
+            q3=float(q3),
+            whisker_low=float(inside.min()),
+            whisker_high=float(inside.max()),
+            outliers=int(np.sum((values < lo_fence) | (values > hi_fence))),
+            n=int(values.size),
+        )
+
+
+def run_fig5(
+    context: ExperimentContext | None = None,
+    with_fi: bool = True,
+) -> dict[str, dict[str, BoxStats]]:
+    """Per-clinic boxplot stats of per-patient MAE for QoL and SPPB.
+
+    Per-patient MAE is computed over each patient's *held-out* samples
+    of the pooled DD model (patients without test samples are skipped).
+    """
+    ctx = context or default_context()
+    out: dict[str, dict[str, BoxStats]] = {}
+    for outcome in ("qol", "sppb"):
+        result = ctx.result(outcome, "dd", with_fi)
+        samples = result.samples
+        test_idx = result.test_idx
+        pred = result.test_predictions()
+        truth = samples.y[test_idx]
+        pids = samples.patient_ids[test_idx]
+        clinics = samples.clinics[test_idx]
+
+        per_patient: dict[str, list[float]] = {}
+        clinic_of: dict[str, str] = {}
+        for i in range(len(test_idx)):
+            per_patient.setdefault(pids[i], []).append(abs(pred[i] - truth[i]))
+            clinic_of[pids[i]] = clinics[i]
+
+        groups: dict[str, list[float]] = {}
+        for pid, errors in per_patient.items():
+            groups.setdefault(clinic_of[pid], []).append(float(np.mean(errors)))
+        out[outcome] = {
+            clinic: BoxStats.from_values(np.asarray(values))
+            for clinic, values in sorted(groups.items())
+        }
+    return out
+
+
+def render_fig5(result: dict[str, dict[str, BoxStats]]) -> str:
+    """Plain-text rendering of the per-clinic box statistics."""
+    lines = ["FIG5: per-patient MAE by clinic (DD models)"]
+    for outcome, groups in result.items():
+        lines.append(f"  outcome {outcome}")
+        for clinic, stats in groups.items():
+            lines.append(
+                f"    {clinic:10s} n={stats.n:3d} "
+                f"median={stats.median:.4f} IQR=[{stats.q1:.4f}, {stats.q3:.4f}] "
+                f"whiskers=[{stats.whisker_low:.4f}, {stats.whisker_high:.4f}] "
+                f"outliers={stats.outliers}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""QA — missingness statistics and retention (paper section 3).
+
+Reproduces the paper's Quality Assurance numbers: gap length statistics
+(mean ~5, max 17), gaps per patient (mean ~108, max 284), and the
+retained sample count after bounded interpolation (2,250 of 4,176).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.context import ExperimentContext, default_context
+from repro.pipeline.qa import GapReport, gap_report, retention_sweep
+
+__all__ = ["run_qa", "render_qa"]
+
+
+def run_qa(
+    context: ExperimentContext | None = None,
+    max_gaps: tuple[int, ...] = (0, 1, 3, 5, 9, 17),
+) -> dict[str, object]:
+    """Return the QA bundle: gap report + retention sweep."""
+    ctx = context or default_context()
+    report = gap_report(ctx.cohort)
+    sweep = retention_sweep(ctx.cohort, max_gaps=max_gaps)
+    return {"gap_report": report, "retention": sweep}
+
+
+def render_qa(result: dict[str, object]) -> str:
+    """Plain-text rendering of the QA bundle."""
+    report: GapReport = result["gap_report"]  # type: ignore[assignment]
+    lines = ["QA: " + report.render(), "QA: retention by interpolation bound"]
+    for max_gap, row in result["retention"].items():  # type: ignore[union-attr]
+        lines.append(
+            f"  max_gap={max_gap:2d}: retained {int(row['retained'])} "
+            f"of {int(row['possible'])} ({100 * row['fraction']:.1f}%)"
+        )
+    return "\n".join(lines)

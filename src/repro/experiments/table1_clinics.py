@@ -1,0 +1,66 @@
+"""TAB1 — single-clinic models (paper Table 1).
+
+One model per clinic per (outcome, with/without FI) configuration, DD
+arm and KD arm, mirroring the pooled Fig. 4 grid.  Expected shape: the
+Hong Kong sub-cohort (n = 33) produces unstable, sometimes anomalous
+metrics, which the paper attributes to its size.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.context import ExperimentContext, default_context
+from repro.learning.stratify import per_clinic_results
+
+__all__ = ["run_table1", "render_table1"]
+
+
+def run_table1(
+    context: ExperimentContext | None = None,
+    kinds: tuple[str, ...] = ("kd", "dd"),
+) -> dict[str, dict]:
+    """Return the Table 1 grid.
+
+    Returns
+    -------
+    dict
+        ``{clinic: {(outcome, kind, with_fi): metrics_dict}}``.
+    """
+    ctx = context or default_context()
+    grid: dict[str, dict] = {}
+    for outcome in ("qol", "sppb", "falls"):
+        for kind in kinds:
+            for with_fi in (False, True):
+                samples = ctx.samples(outcome, kind, with_fi)
+                per_clinic = per_clinic_results(
+                    samples, n_folds=ctx.n_folds, seed=ctx.seed
+                )
+                for clinic, result in per_clinic.items():
+                    grid.setdefault(clinic, {})[(outcome, kind, with_fi)] = (
+                        result.test_report.as_dict()
+                    )
+    return grid
+
+
+def render_table1(grid: dict[str, dict]) -> str:
+    """Plain-text rendering (clinic blocks, rows w/o / w/ FI)."""
+    lines = ["TABLE1: single-clinic models"]
+    for clinic in sorted(grid):
+        lines.append(f"  clinic {clinic}")
+        block = grid[clinic]
+        for with_fi in (False, True):
+            tag = "w/ FI " if with_fi else "w/o FI"
+            parts = []
+            for outcome in ("qol", "sppb"):
+                for kind in ("kd", "dd"):
+                    m = block[(outcome, kind, with_fi)]
+                    parts.append(
+                        f"{outcome}/{kind}={100 * m['one_minus_mape']:.0f}%"
+                    )
+            for kind in ("kd", "dd"):
+                m = block[("falls", kind, with_fi)]
+                parts.append(
+                    f"falls/{kind}: acc={100 * m['accuracy']:.0f}% "
+                    f"recT={100 * m['recall_true']:.0f}%"
+                )
+            lines.append(f"    {tag}  " + "  ".join(parts))
+    return "\n".join(lines)

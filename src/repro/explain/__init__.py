@@ -1,0 +1,47 @@
+"""Shapley-value model interpretation (the paper's SHAP [11]).
+
+The paper couples XGBoost with the SHAP TreeExplainer to produce local
+(per-patient) and global (population) feature attributions.  This package
+re-implements that machinery:
+
+``TreeShapExplainer``
+    Exact polynomial-time *path-dependent* TreeSHAP (Lundberg et al.,
+    Algorithm 2) over :class:`repro.boosting.TreeEnsemble`.
+``brute_force_shap``
+    Exponential-time reference implementation of the same value function
+    (subset enumeration), used to property-test the fast algorithm.
+``LocalExplanation`` / ``top_k_features``
+    Per-patient attribution reports (paper Fig. 6).
+``GlobalDependence`` / ``dependence_curve`` / ``detect_threshold``
+    Population-level value-vs-SV curves and the automatic cutoff
+    extraction the paper highlights in Fig. 7.
+"""
+
+from repro.explain.treeshap import TreeShapExplainer
+from repro.explain.exact import brute_force_shap, tree_value_function
+from repro.explain.sampling import PermutationShapEstimator
+from repro.explain.interactions import TreeShapInteractionExplainer
+from repro.explain.reports import (
+    GlobalDependence,
+    GlobalImportance,
+    LocalExplanation,
+    dependence_curve,
+    detect_threshold,
+    global_importance,
+    top_k_features,
+)
+
+__all__ = [
+    "TreeShapExplainer",
+    "brute_force_shap",
+    "tree_value_function",
+    "PermutationShapEstimator",
+    "TreeShapInteractionExplainer",
+    "LocalExplanation",
+    "GlobalDependence",
+    "GlobalImportance",
+    "dependence_curve",
+    "detect_threshold",
+    "global_importance",
+    "top_k_features",
+]

@@ -1,0 +1,105 @@
+"""Brute-force Shapley reference for trees (subset enumeration).
+
+Path-dependent TreeSHAP attributes the value function
+
+    v(S) = E[f(x') | x'_S = x_S]   (expectation following tree covers)
+
+computed by descending the tree: at a split on a feature in ``S`` follow
+the sample's branch, otherwise average the children weighted by their
+training covers.  This module evaluates that value function directly and
+assembles exact Shapley values by enumerating all subsets of the
+features the tree actually uses — exponential, but exact, and therefore
+the ground truth for property-testing the fast algorithm.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import factorial
+
+import numpy as np
+
+from repro.boosting.tree import LEAF, Tree, TreeEnsemble
+
+__all__ = ["tree_value_function", "brute_force_shap"]
+
+
+def tree_value_function(tree: Tree, x: np.ndarray, subset: frozenset[int]) -> float:
+    """Evaluate ``v(S)`` for one tree, one sample and one feature subset."""
+    x = np.asarray(x, dtype=np.float64)
+
+    def descend(node: int) -> float:
+        if tree.children_left[node] == LEAF:
+            return float(tree.value[node])
+        f = int(tree.feature[node])
+        left = int(tree.children_left[node])
+        right = int(tree.children_right[node])
+        if f in subset:
+            v = x[f]
+            if np.isnan(v):
+                go_left = bool(tree.missing_left[node])
+            else:
+                go_left = bool(v <= tree.threshold[node])
+            return descend(left if go_left else right)
+        cov = tree.cover[node]
+        return (
+            tree.cover[left] * descend(left)
+            + tree.cover[right] * descend(right)
+        ) / cov
+
+    return descend(0)
+
+
+def _shapley_weights(n: int) -> dict[int, float]:
+    """Map subset size |S| to the Shapley kernel weight |S|!(n-|S|-1)!/n!."""
+    return {
+        s: factorial(s) * factorial(n - s - 1) / factorial(n)
+        for s in range(n)
+    }
+
+
+def brute_force_shap(model, x: np.ndarray, n_features: int) -> np.ndarray:
+    """Exact Shapley values by subset enumeration.
+
+    Parameters
+    ----------
+    model:
+        A :class:`Tree` or :class:`TreeEnsemble`.
+    x:
+        One sample, shape ``(n_features,)``.
+    n_features:
+        Length of the returned attribution vector.
+
+    Notes
+    -----
+    Enumeration is restricted per tree to the features the tree uses
+    (others have zero attribution), so the cost is ``O(2^k)`` with ``k``
+    the number of distinct split features of the tree — fine for the
+    shallow trees used in tests.
+    """
+    trees = model.trees if isinstance(model, TreeEnsemble) else [model]
+    phi = np.zeros(n_features, dtype=np.float64)
+    x = np.asarray(x, dtype=np.float64)
+    for tree in trees:
+        used = [int(f) for f in tree.used_features()]
+        k = len(used)
+        if k == 0:
+            continue
+        weights = _shapley_weights(k)
+        values: dict[frozenset[int], float] = {}
+
+        def v(subset: frozenset[int]) -> float:
+            if subset not in values:
+                values[subset] = tree_value_function(tree, x, subset)
+            return values[subset]
+
+        for target in used:
+            others = [f for f in used if f != target]
+            total = 0.0
+            for size in range(len(others) + 1):
+                for combo in combinations(others, size):
+                    s = frozenset(combo)
+                    marginal = v(s | {target}) - v(s)
+                    total += weights[size] * marginal
+            phi[target] += total
+    return phi

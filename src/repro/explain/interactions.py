@@ -1,0 +1,163 @@
+"""SHAP interaction values for tree ensembles.
+
+Extension beyond the paper: the Shapley *interaction* index splits each
+feature's attribution into a main effect (diagonal) and pairwise
+synergies (off-diagonal), exposing e.g. "low step count only matters
+for patients with poor locomotion answers" — one level deeper than the
+Fig. 6 per-patient rankings.
+
+Following Lundberg et al. (2018, §4.4), interaction values come from
+*conditioned* TreeSHAP runs::
+
+    phi_ij(x) = ( phi_j(x | i -> hot) - phi_j(x | i -> cold) ) / 2
+    phi_ii(x) = phi_i(x) - sum_{j != i} phi_ij(x)
+
+where "i -> hot/cold" forces every split on feature i down the branch x
+does/does not take (without crediting i on the path).  The matrix is
+symmetric and rows sum to the ordinary SHAP values — both properties
+are asserted in the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.boosting.tree import LEAF, Tree, TreeEnsemble
+from repro.explain.treeshap import _Path
+
+__all__ = ["TreeShapInteractionExplainer"]
+
+
+def _conditioned_tree_shap(
+    tree: Tree,
+    x: np.ndarray,
+    phi: np.ndarray,
+    condition: int,
+    condition_feature: int,
+) -> None:
+    """TreeSHAP with one feature forced hot (+1) / cold (-1).
+
+    ``condition = 0`` reduces to the unconditioned algorithm.
+    """
+    max_depth = tree.max_depth() + 2
+
+    def hot_cold(node: int) -> tuple[int, int]:
+        v = x[tree.feature[node]]
+        if np.isnan(v):
+            go_left = bool(tree.missing_left[node])
+        else:
+            go_left = bool(v <= tree.threshold[node])
+        left = int(tree.children_left[node])
+        right = int(tree.children_right[node])
+        return (left, right) if go_left else (right, left)
+
+    def recurse(
+        node: int,
+        path: _Path,
+        zero_fraction: float,
+        one_fraction: float,
+        feature: int,
+        condition_fraction: float,
+    ) -> None:
+        if condition_fraction == 0.0:
+            return
+        path = path.copy()
+        # Skip crediting the conditioned feature on the path.
+        if condition == 0 or condition_feature != feature:
+            path.extend(zero_fraction, one_fraction, feature)
+        if tree.children_left[node] == LEAF:
+            value = tree.value[node]
+            for i in range(1, path.length):
+                w = path.unwound_sum(i)
+                phi[path.feature[i]] += (
+                    w * (path.one[i] - path.zero[i]) * value * condition_fraction
+                )
+            return
+
+        hot, cold = hot_cold(node)
+        split_feature = int(tree.feature[node])
+        cover = tree.cover[node]
+        hot_zero = tree.cover[hot] / cover
+        cold_zero = tree.cover[cold] / cover
+
+        hot_condition = condition_fraction
+        cold_condition = condition_fraction
+        if condition > 0 and split_feature == condition_feature:
+            cold_condition = 0.0
+        elif condition < 0 and split_feature == condition_feature:
+            hot_condition *= hot_zero
+            cold_condition *= cold_zero
+
+        incoming_zero, incoming_one = 1.0, 1.0
+        for i in range(1, path.length):
+            if path.feature[i] == split_feature:
+                incoming_zero = path.zero[i]
+                incoming_one = path.one[i]
+                path.unwind(i)
+                break
+        recurse(
+            hot,
+            path,
+            incoming_zero * hot_zero,
+            incoming_one,
+            split_feature,
+            hot_condition,
+        )
+        recurse(
+            cold,
+            path,
+            incoming_zero * cold_zero,
+            0.0,
+            split_feature,
+            cold_condition,
+        )
+
+    recurse(0, _Path(max_depth + 1), 1.0, 1.0, -1, 1.0)
+
+
+class TreeShapInteractionExplainer:
+    """Exact SHAP interaction matrices over a fitted ensemble.
+
+    Cost is ``O(D)`` conditioned TreeSHAP passes per sample per tree
+    (``D`` = number of features the tree uses), so explain modest
+    batches (tens of samples), not whole cohorts.
+    """
+
+    def __init__(self, model):
+        ensemble = getattr(model, "ensemble_", model)
+        if not isinstance(ensemble, TreeEnsemble):
+            raise TypeError("model must be a TreeEnsemble or fitted estimator")
+        if ensemble.n_trees == 0:
+            raise ValueError("cannot explain an empty ensemble")
+        self.ensemble = ensemble
+
+    def shap_interaction_values(self, x: np.ndarray, n_features: int) -> np.ndarray:
+        """The ``(n_features, n_features)`` interaction matrix for ``x``.
+
+        Rows sum to the sample's ordinary SHAP values; the matrix is
+        symmetric; the diagonal holds main effects.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 1:
+            raise ValueError(f"expected a single sample, got shape {x.shape}")
+
+        out = np.zeros((n_features, n_features), dtype=np.float64)
+        plain = np.zeros(n_features, dtype=np.float64)
+        for tree in self.ensemble.trees:
+            _conditioned_tree_shap(tree, x, plain, 0, -1)
+            for i in [int(f) for f in tree.used_features()]:
+                phi_on = np.zeros(n_features, dtype=np.float64)
+                phi_off = np.zeros(n_features, dtype=np.float64)
+                _conditioned_tree_shap(tree, x, phi_on, 1, i)
+                _conditioned_tree_shap(tree, x, phi_off, -1, i)
+                delta = (phi_on - phi_off) / 2.0
+                delta[i] = 0.0
+                out[i] += delta
+
+        # Symmetrise is unnecessary (the construction is symmetric up to
+        # float error) but cheap insurance; then set main effects so each
+        # row sums to the plain SHAP value.
+        out = (out + out.T) / 2.0
+        np.fill_diagonal(out, 0.0)
+        np.fill_diagonal(out, plain - out.sum(axis=1))
+        return out

@@ -1,0 +1,30 @@
+"""Frailty Index (FI) substrate.
+
+The paper computes a 37-variable Frailty Index following the standard
+procedure of Searle et al. [22] as instantiated for HIV cohorts by
+Franconi et al. [6]: each clinical variable is mapped to a *deficit* value
+in [0, 1] (0 = deficit absent, 1 = fully expressed) and the FI is the mean
+deficit.  The catalogue mirrors the paper's composition: 27 blood-test
+deficits, 3 body-composition deficits and 7 HIV-related / patient-reported
+deficits.
+
+Public API
+----------
+``DEFICIT_CATALOGUE`` / ``Deficit``
+    The 37-deficit catalogue.
+``FrailtyIndexCalculator``
+    Validated Searle-procedure FI computation over a deficit table.
+``frailty_category``
+    Conventional FI banding (fit / pre-frail / frail / most frail).
+"""
+
+from repro.frailty.deficits import DEFICIT_CATALOGUE, Deficit, deficit_names
+from repro.frailty.index import FrailtyIndexCalculator, frailty_category
+
+__all__ = [
+    "DEFICIT_CATALOGUE",
+    "Deficit",
+    "deficit_names",
+    "FrailtyIndexCalculator",
+    "frailty_category",
+]

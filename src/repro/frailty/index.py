@@ -1,0 +1,111 @@
+"""Frailty Index computation (Searle et al.'s standard procedure [22]).
+
+The FI of a subject is the mean of their deficit values.  The standard
+procedure additionally prescribes validity rules which this implementation
+enforces:
+
+* every deficit value must lie in [0, 1];
+* an FI is only defined when enough deficits are non-missing (Searle
+  recommends >= 30 observed deficits; we expose the threshold).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.frailty.deficits import DEFICIT_CATALOGUE, deficit_names
+from repro.tabular import Table
+
+__all__ = ["FrailtyIndexCalculator", "frailty_category"]
+
+#: Conventional FI bands used in the HIV-frailty literature [6].
+_CATEGORY_EDGES = ((0.25, "fit"), (0.4, "pre_frail"), (0.6, "frail"))
+
+
+def frailty_category(fi: float) -> str:
+    """Band an FI value: fit (< 0.25), pre-frail, frail, most_frail (>= 0.6).
+
+    Raises
+    ------
+    ValueError
+        If ``fi`` is outside [0, 1] or NaN.
+    """
+    if not np.isfinite(fi) or not 0.0 <= fi <= 1.0:
+        raise ValueError(f"FI must be in [0, 1], got {fi!r}")
+    for edge, label in _CATEGORY_EDGES:
+        if fi < edge:
+            return label
+    return "most_frail"
+
+
+class FrailtyIndexCalculator:
+    """Compute Frailty Indices from deficit columns of a visits table.
+
+    Parameters
+    ----------
+    deficit_columns:
+        Names of the deficit columns to use.  Defaults to the canonical
+        37-deficit catalogue.
+    min_observed:
+        Minimum number of non-missing deficits required for a valid FI;
+        rows below the threshold yield NaN.  Searle et al. recommend at
+        least 30 deficits for a stable index.
+    """
+
+    def __init__(
+        self,
+        deficit_columns: Sequence[str] | None = None,
+        min_observed: int = 30,
+    ):
+        self.deficit_columns = (
+            list(deficit_columns) if deficit_columns is not None else deficit_names()
+        )
+        if not self.deficit_columns:
+            raise ValueError("at least one deficit column is required")
+        if min_observed < 1:
+            raise ValueError("min_observed must be >= 1")
+        if min_observed > len(self.deficit_columns):
+            raise ValueError(
+                f"min_observed={min_observed} exceeds the number of deficit "
+                f"columns ({len(self.deficit_columns)})"
+            )
+        self.min_observed = min_observed
+
+    def compute_from_matrix(self, deficits: np.ndarray) -> np.ndarray:
+        """FI per row of a ``(n, d)`` deficit matrix (NaN = missing).
+
+        Raises
+        ------
+        ValueError
+            If any non-missing value is outside [0, 1].
+        """
+        deficits = np.asarray(deficits, dtype=np.float64)
+        if deficits.ndim != 2 or deficits.shape[1] != len(self.deficit_columns):
+            raise ValueError(
+                f"expected shape (n, {len(self.deficit_columns)}), "
+                f"got {deficits.shape}"
+            )
+        observed = ~np.isnan(deficits)
+        valid_values = deficits[observed]
+        if valid_values.size and (
+            valid_values.min() < 0.0 or valid_values.max() > 1.0
+        ):
+            raise ValueError("deficit values must be in [0, 1]")
+        counts = observed.sum(axis=1)
+        with np.errstate(invalid="ignore"):
+            fi = np.nansum(deficits, axis=1) / np.maximum(counts, 1)
+        fi[counts < self.min_observed] = np.nan
+        return fi
+
+    def compute(self, visits: Table) -> np.ndarray:
+        """FI per row of a visits table containing the deficit columns."""
+        matrix = np.column_stack(
+            [visits[c].astype(np.float64) for c in self.deficit_columns]
+        )
+        return self.compute_from_matrix(matrix)
+
+    def with_fi_column(self, visits: Table, name: str = "fi") -> Table:
+        """Return ``visits`` with an FI column appended."""
+        return visits.with_column(name, self.compute(visits))

@@ -1,0 +1,35 @@
+"""Knowledge-driven (KD) substrate: IC ontology, expert cutoffs, the ICI.
+
+The paper's KD baseline is the Intrinsic Capacity Index (ICI) of Guaraldi
+et al. [9]: clinical experts select a subset of the PRO/activity variables
+covering the five WHO Intrinsic Capacity domains, define a scoring
+function per variable (usually a binary cutoff, occasionally a graded
+[0, 1] map), and average the scores.
+
+This package models that expert knowledge explicitly:
+
+``IntrinsicCapacityOntology``
+    A small concept hierarchy (intrinsic capacity -> domains ->
+    variables) on a ``networkx`` DiGraph, with provenance on every edge.
+``CutoffRule`` / ``ThresholdScore`` / ``LinearBandScore``
+    Scoring functions ``s_i(x)`` mapping a variable value to [0, 1].
+``ICICalculator``
+    The normalised-sum ICI of section 4 of the paper.
+``default_ici_specification``
+    The expert rule set used by the reproduction's KD arm.
+"""
+
+from repro.knowledge.ontology import IntrinsicCapacityOntology
+from repro.knowledge.scoring import CutoffRule, LinearBandScore, ScoreFunction, ThresholdScore
+from repro.knowledge.ici import ICICalculator, ICISpecification, default_ici_specification
+
+__all__ = [
+    "IntrinsicCapacityOntology",
+    "CutoffRule",
+    "LinearBandScore",
+    "ScoreFunction",
+    "ThresholdScore",
+    "ICICalculator",
+    "ICISpecification",
+    "default_ici_specification",
+]

@@ -1,0 +1,110 @@
+"""Expert scoring functions ``s_i(x)`` for the ICI.
+
+The paper (section 4): "For most of the variables V_i, a binary score is
+defined, i.e. s_i(x) in {0, 1}, based on a single threshold, for instance
+when V_i = stress level (from 1 to 10) the score is mapped to 1 if the
+value is lower than 3 and 0 otherwise.  Other variables are mapped to a
+score in the [0, 1] range, for instance the number of steps per day."
+
+Two scoring families cover this:
+
+``ThresholdScore``
+    Binary cutoff (1 on the healthy side of a threshold, else 0).
+``LinearBandScore``
+    Piecewise-linear ramp to [0, 1] between two anchor values.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ScoreFunction", "ThresholdScore", "LinearBandScore", "CutoffRule"]
+
+
+class ScoreFunction(abc.ABC):
+    """A map from raw variable values to scores in [0, 1]."""
+
+    @abc.abstractmethod
+    def score(self, values: np.ndarray) -> np.ndarray:
+        """Vectorised scoring; NaN inputs yield NaN scores."""
+
+    def __call__(self, values) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        out = self.score(values)
+        finite = ~np.isnan(out)
+        if finite.any() and (out[finite].min() < 0 or out[finite].max() > 1):
+            raise AssertionError(
+                f"{type(self).__name__} produced scores outside [0, 1]"
+            )  # pragma: no cover - guards subclass bugs
+        return out
+
+
+@dataclass(frozen=True)
+class ThresholdScore(ScoreFunction):
+    """Binary cutoff score.
+
+    ``healthy_if_low=True`` scores 1 when ``value < threshold`` (e.g.
+    stress level < 3); otherwise 1 when ``value >= threshold`` (e.g.
+    mobility answer >= 4).
+    """
+
+    threshold: float
+    healthy_if_low: bool = False
+
+    def score(self, values: np.ndarray) -> np.ndarray:
+        if self.healthy_if_low:
+            healthy = values < self.threshold
+        else:
+            healthy = values >= self.threshold
+        out = healthy.astype(np.float64)
+        out[np.isnan(values)] = np.nan
+        return out
+
+
+@dataclass(frozen=True)
+class LinearBandScore(ScoreFunction):
+    """Piecewise-linear ramp: 0 at/below ``low``, 1 at/above ``high``.
+
+    Used for continuous variables such as daily step count, where the
+    experts grade rather than binarise (e.g. 0 below 2 000 steps/day,
+    1 above 8 000, linear in between).  ``inverted=True`` flips the ramp
+    for variables where lower is healthier.
+    """
+
+    low: float
+    high: float
+    inverted: bool = False
+
+    def __post_init__(self):
+        if not self.low < self.high:
+            raise ValueError("low must be strictly less than high")
+
+    def score(self, values: np.ndarray) -> np.ndarray:
+        ramp = (values - self.low) / (self.high - self.low)
+        ramp = np.clip(ramp, 0.0, 1.0)
+        if self.inverted:
+            ramp = 1.0 - ramp
+        ramp = np.where(np.isnan(values), np.nan, ramp)
+        return ramp
+
+
+@dataclass(frozen=True)
+class CutoffRule:
+    """An expert rule: variable name + scoring function + rationale.
+
+    ``rationale`` records why the expert chose this cutoff; it is carried
+    into reports so the KD arm stays auditable (the paper stresses that
+    the KD approach "relies on easy-to-interpret metrics ... defined
+    manually by clinical experts").
+    """
+
+    variable: str
+    scorer: ScoreFunction
+    rationale: str = ""
+
+    def score(self, values) -> np.ndarray:
+        """Apply the rule's scorer to raw values."""
+        return self.scorer(values)

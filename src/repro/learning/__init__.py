@@ -1,0 +1,59 @@
+"""Model training, evaluation protocol and metrics (paper Fig. 3 / 4).
+
+``repro.learning.metrics``
+    Regression (MAE, MAPE/1-MAPE) and classification (accuracy,
+    per-class precision/recall/F1, confusion counts) metrics.
+``repro.learning.split``
+    Reproducible train/test splitting and (stratified) K-fold CV.
+``repro.learning.framework``
+    The paper's protocol: 80/20 split, K-fold CV on the training side,
+    final fit with early stopping, held-out evaluation; runs a model
+    over any :class:`repro.pipeline.SampleSet`.
+``repro.learning.stratify``
+    Per-clinic model training (Table 1).
+"""
+
+from repro.learning.metrics import (
+    ClassificationReport,
+    brier_score,
+    roc_auc,
+    RegressionReport,
+    accuracy,
+    classification_report,
+    confusion_counts,
+    mae,
+    mape,
+    one_minus_mape,
+    precision_recall_f1,
+    regression_report,
+)
+from repro.learning.split import KFoldSplitter, train_test_split
+from repro.learning.framework import (
+    EvaluationResult,
+    ModelFactory,
+    default_model_factory,
+    run_protocol,
+)
+from repro.learning.stratify import per_clinic_results
+
+__all__ = [
+    "ClassificationReport",
+    "RegressionReport",
+    "accuracy",
+    "brier_score",
+    "roc_auc",
+    "classification_report",
+    "confusion_counts",
+    "mae",
+    "mape",
+    "one_minus_mape",
+    "precision_recall_f1",
+    "regression_report",
+    "KFoldSplitter",
+    "train_test_split",
+    "EvaluationResult",
+    "ModelFactory",
+    "default_model_factory",
+    "run_protocol",
+    "per_clinic_results",
+]

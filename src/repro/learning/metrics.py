@@ -1,0 +1,231 @@
+"""Evaluation metrics.
+
+The paper reports 1-MAPE (Mean Average Percentage Error) for the two
+regression outcomes (QoL, SPPB) and accuracy plus per-class precision /
+recall / F1 for the Falls classifier (Fig. 4, Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "mae",
+    "mape",
+    "one_minus_mape",
+    "accuracy",
+    "confusion_counts",
+    "precision_recall_f1",
+    "roc_auc",
+    "brier_score",
+    "RegressionReport",
+    "ClassificationReport",
+    "regression_report",
+    "classification_report",
+]
+
+#: Relative errors are computed against max(|y|, _MAPE_FLOOR) so that
+#: near-zero targets do not blow the percentage up (QoL lives in [0, 1],
+#: SPPB in 0..12; zero targets are rare but legal).
+_MAPE_FLOOR = 1e-9
+
+
+def _check_pair(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("metrics need at least one sample")
+    return y_true, y_pred
+
+
+def mae(y_true, y_pred) -> float:
+    """Mean absolute error."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def mape(y_true, y_pred) -> float:
+    """Mean absolute percentage error, as a fraction (0.07 = 7 %)."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    denom = np.maximum(np.abs(y_true), _MAPE_FLOOR)
+    return float(np.mean(np.abs(y_true - y_pred) / denom))
+
+
+def one_minus_mape(y_true, y_pred) -> float:
+    """The paper's headline regression score, ``1 - MAPE``."""
+    return 1.0 - mape(y_true, y_pred)
+
+
+def accuracy(y_true, y_pred) -> float:
+    """Fraction of exact label matches."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("metrics need at least one sample")
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_counts(y_true, y_pred) -> dict[str, int]:
+    """Binary confusion counts: tp / fp / tn / fn (positive = True/1)."""
+    y_true = np.asarray(y_true, dtype=bool)
+    y_pred = np.asarray(y_pred, dtype=bool)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    return {
+        "tp": int(np.sum(y_true & y_pred)),
+        "fp": int(np.sum(~y_true & y_pred)),
+        "tn": int(np.sum(~y_true & ~y_pred)),
+        "fn": int(np.sum(y_true & ~y_pred)),
+    }
+
+
+def precision_recall_f1(y_true, y_pred, positive: bool = True) -> dict[str, float]:
+    """Precision / recall / F1 for one class of a binary problem.
+
+    ``positive=False`` evaluates the negative ("False") class, which
+    the paper reports separately because of the strong Falls imbalance.
+    Degenerate denominators yield 0.0 (the convention sklearn uses with
+    ``zero_division=0``).
+    """
+    counts = confusion_counts(y_true, y_pred)
+    if positive:
+        tp, fp, fn = counts["tp"], counts["fp"], counts["fn"]
+    else:
+        tp, fp, fn = counts["tn"], counts["fn"], counts["fp"]
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall
+        else 0.0
+    )
+    return {"precision": precision, "recall": recall, "f1": f1}
+
+
+def roc_auc(y_true, scores) -> float:
+    """Area under the ROC curve for binary labels and continuous scores.
+
+    Threshold-free ranking quality — the right headline for imbalanced
+    problems like the paper's Falls outcome, where accuracy is
+    dominated by the majority class.  Computed via the rank-sum
+    (Mann-Whitney) identity with midrank tie handling.
+
+    Raises
+    ------
+    ValueError
+        If only one class is present (AUC undefined).
+    """
+    y_true = np.asarray(y_true, dtype=bool)
+    scores = np.asarray(scores, dtype=np.float64)
+    if y_true.shape != scores.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {scores.shape}")
+    n_pos = int(y_true.sum())
+    n_neg = len(y_true) - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("roc_auc needs both classes present")
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(len(scores), dtype=np.float64)
+    sorted_scores = scores[order]
+    i = 0
+    while i < len(scores):
+        j = i
+        while j + 1 < len(scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i : j + 1]] = (i + j) / 2.0 + 1.0  # midranks, 1-based
+        i = j + 1
+    rank_sum_pos = float(ranks[y_true].sum())
+    u = rank_sum_pos - n_pos * (n_pos + 1) / 2.0
+    return u / (n_pos * n_neg)
+
+
+def brier_score(y_true, probabilities) -> float:
+    """Mean squared error of predicted probabilities (lower is better)."""
+    y_true = np.asarray(y_true, dtype=np.float64)
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    if y_true.shape != probabilities.shape:
+        raise ValueError(
+            f"shape mismatch: {y_true.shape} vs {probabilities.shape}"
+        )
+    if y_true.size == 0:
+        raise ValueError("metrics need at least one sample")
+    if probabilities.min() < 0 or probabilities.max() > 1:
+        raise ValueError("probabilities must be in [0, 1]")
+    return float(np.mean((probabilities - y_true) ** 2))
+
+
+@dataclass(frozen=True)
+class RegressionReport:
+    """Regression metrics bundle (paper's left-hand Fig. 4 block)."""
+
+    mae: float
+    mape: float
+    one_minus_mape: float
+    n_samples: int
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat dict representation (benches print this)."""
+        return {
+            "mae": self.mae,
+            "mape": self.mape,
+            "one_minus_mape": self.one_minus_mape,
+            "n_samples": float(self.n_samples),
+        }
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """Classification metrics bundle (paper's right-hand Fig. 4 block)."""
+
+    accuracy: float
+    precision_true: float
+    precision_false: float
+    recall_true: float
+    recall_false: float
+    f1_true: float
+    f1_false: float
+    n_samples: int
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat dict representation (benches print this)."""
+        return {
+            "accuracy": self.accuracy,
+            "precision_true": self.precision_true,
+            "precision_false": self.precision_false,
+            "recall_true": self.recall_true,
+            "recall_false": self.recall_false,
+            "f1_true": self.f1_true,
+            "f1_false": self.f1_false,
+            "n_samples": float(self.n_samples),
+        }
+
+
+def regression_report(y_true, y_pred) -> RegressionReport:
+    """Build the full regression bundle."""
+    return RegressionReport(
+        mae=mae(y_true, y_pred),
+        mape=mape(y_true, y_pred),
+        one_minus_mape=one_minus_mape(y_true, y_pred),
+        n_samples=len(np.asarray(y_true)),
+    )
+
+
+def classification_report(y_true, y_pred) -> ClassificationReport:
+    """Build the full binary-classification bundle."""
+    pos = precision_recall_f1(y_true, y_pred, positive=True)
+    neg = precision_recall_f1(y_true, y_pred, positive=False)
+    return ClassificationReport(
+        accuracy=accuracy(np.asarray(y_true, dtype=bool), np.asarray(y_pred, dtype=bool)),
+        precision_true=pos["precision"],
+        precision_false=neg["precision"],
+        recall_true=pos["recall"],
+        recall_false=neg["recall"],
+        f1_true=pos["f1"],
+        f1_false=neg["f1"],
+        n_samples=len(np.asarray(y_true)),
+    )

@@ -1,0 +1,40 @@
+"""ETL pipeline: cohort tables -> model-ready sample sets.
+
+Mirrors section 3 of the paper ("Observational data and feature space" +
+"Quality Assurance"):
+
+1. aggregate the daily wearable trace to monthly means
+   (:mod:`repro.pipeline.aggregate`);
+2. interpolate PRO gaps up to a maximum run length — the paper
+   determined 5 to be safe — leaving longer runs missing
+   (:mod:`repro.pipeline.impute`);
+3. assemble per-outcome sample sets: ``Sample_o`` (PRO + activity),
+   ``Sample^FI_o`` (adds the window-opening Frailty Index), and the KD
+   variants ``Sample^ICI_o`` / ``Sample^{ICI,FI}_o``
+   (:mod:`repro.pipeline.samples`);
+4. compute the QA statistics the paper reports (gap counts/lengths,
+   retained sample counts) (:mod:`repro.pipeline.qa`).
+"""
+
+from repro.pipeline.aggregate import monthly_activity
+from repro.pipeline.impute import interpolate_bounded, interpolate_matrix
+from repro.pipeline.samples import (
+    SampleSet,
+    build_dd_samples,
+    build_kd_samples,
+    build_all_sample_sets,
+)
+from repro.pipeline.qa import GapReport, gap_report, retention_sweep
+
+__all__ = [
+    "monthly_activity",
+    "interpolate_bounded",
+    "interpolate_matrix",
+    "SampleSet",
+    "build_dd_samples",
+    "build_kd_samples",
+    "build_all_sample_sets",
+    "GapReport",
+    "gap_report",
+    "retention_sweep",
+]

@@ -1,0 +1,53 @@
+"""Monthly aggregation of the daily wearable trace.
+
+The paper: "3 aggregated values computed as the mean of the daily
+wearable device data (step count, calories, number of sleep hours)
+collected during the same month".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cohort.schema import ACTIVITY_VARIABLES
+from repro.tabular import Table
+
+__all__ = ["monthly_activity"]
+
+
+def monthly_activity(daily: Table) -> Table:
+    """Mean daily steps/calories/sleep per (patient, month).
+
+    Parameters
+    ----------
+    daily:
+        The cohort's wearable table (``patient_id``, ``month``, one
+        column per activity variable).
+
+    Returns
+    -------
+    Table
+        Columns ``patient_id``, ``month`` and the three activity means,
+        one row per observed (patient, month) pair, ordered by first
+        appearance.
+    """
+    for required in ("patient_id", "month", *ACTIVITY_VARIABLES):
+        daily.column(required)
+    return daily.group_by(
+        ["patient_id", "month"],
+        {var: "mean" for var in ACTIVITY_VARIABLES},
+    )
+
+
+def activity_lookup(monthly: Table) -> dict[tuple[str, int], np.ndarray]:
+    """Index the monthly table: ``(patient_id, month) -> activity vector``.
+
+    The vector follows :data:`ACTIVITY_VARIABLES` order.  Used by the
+    sample builders for O(1) joins against PRO months.
+    """
+    pids = monthly["patient_id"]
+    months = monthly["month"]
+    matrix = np.column_stack([monthly[v] for v in ACTIVITY_VARIABLES])
+    return {
+        (pids[i], int(months[i])): matrix[i] for i in range(monthly.num_rows)
+    }

@@ -1,0 +1,77 @@
+"""Bounded linear interpolation of gappy monthly series.
+
+Paper, Quality Assurance: "We performed imputation by interpolating
+missing data points in the time series ... We experimentally determined
+the max size of gaps that could be safely interpolated (five missing
+steps)".  Gaps longer than the bound — and gaps touching a series
+boundary, which lack an anchor on one side — stay missing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["interpolate_bounded", "interpolate_matrix"]
+
+
+def interpolate_bounded(values: np.ndarray, max_gap: int) -> np.ndarray:
+    """Linearly fill NaN runs of length <= ``max_gap``.
+
+    Interior runs are filled by linear interpolation between the
+    bracketing observed values.  Runs touching either boundary are left
+    missing regardless of length (no anchor to interpolate from), as are
+    runs longer than ``max_gap``.  ``max_gap = 0`` disables imputation.
+
+    Returns a new array; the input is not mutated.
+
+    Examples
+    --------
+    >>> interpolate_bounded(np.array([1.0, np.nan, 3.0]), max_gap=1).tolist()
+    [1.0, 2.0, 3.0]
+    >>> interpolate_bounded(np.array([np.nan, 2.0, 3.0]), max_gap=5).tolist()[0]
+    nan
+    """
+    if max_gap < 0:
+        raise ValueError("max_gap must be >= 0")
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1:
+        raise ValueError(f"expected a 1-D series, got shape {values.shape}")
+    out = values.copy()
+    if max_gap == 0 or len(values) == 0:
+        return out
+
+    missing = np.isnan(values)
+    if not missing.any():
+        return out
+
+    padded = np.concatenate([[False], missing, [False]])
+    changes = np.diff(padded.astype(np.int8))
+    starts = np.flatnonzero(changes == 1)
+    ends = np.flatnonzero(changes == -1)
+    for start, end in zip(starts, ends):
+        length = end - start
+        if length > max_gap:
+            continue
+        left = start - 1
+        right = end
+        if left < 0 or right >= len(values):
+            continue  # boundary gap: no anchor on one side
+        lo, hi = values[left], values[right]
+        steps = np.arange(1, length + 1, dtype=np.float64)
+        out[start:end] = lo + (hi - lo) * steps / (length + 1)
+    return out
+
+
+def interpolate_matrix(matrix: np.ndarray, max_gap: int) -> np.ndarray:
+    """Apply :func:`interpolate_bounded` to every column of a matrix.
+
+    Rows are time steps, columns are independent series (e.g. the 56
+    PRO items of one patient over one window).
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {matrix.shape}")
+    out = np.empty_like(matrix)
+    for j in range(matrix.shape[1]):
+        out[:, j] = interpolate_bounded(matrix[:, j], max_gap)
+    return out

@@ -1,0 +1,314 @@
+"""Sample-set construction (paper section 3, "Observational data ...").
+
+For outcome ``o`` and window ``j`` (closing with the clinical visit at
+month ``9 j``), each observation month ``i in [1, 8]`` of the window
+yields one sample: the 56 PRO answers of that month (after bounded
+interpolation), the 3 monthly wearable means, and the label measured at
+the window-closing visit.  ``Sample^FI_o`` additionally carries the
+Frailty Index computed at the window-*opening* visit (month ``9 (j-1)``)
+— the physician's baseline assessment.
+
+The KD sample sets collapse the same feature vectors into the expert ICI
+scalar (plus optionally the same FI column), giving the four datasets of
+Fig. 3: ``Sample_o``, ``Sample^FI_o``, ``Sample^ICI_o`` and
+``Sample^{ICI,FI}_o``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.cohort.dataset import CohortDataset
+from repro.cohort.outcomes import OUTCOME_NAMES
+from repro.cohort.schema import ACTIVITY_VARIABLES, pro_item_names
+from repro.frailty import FrailtyIndexCalculator
+from repro.knowledge import ICICalculator, ICISpecification
+from repro.pipeline.aggregate import activity_lookup, monthly_activity
+from repro.pipeline.impute import interpolate_matrix
+from repro.tabular import Table
+
+__all__ = [
+    "SampleSet",
+    "build_dd_samples",
+    "build_kd_samples",
+    "build_all_sample_sets",
+]
+
+#: A sample is dropped when more than this fraction of its PRO items is
+#: still missing after bounded interpolation (app-abandonment months).
+DEFAULT_DROP_THRESHOLD = 0.25
+
+#: The paper's experimentally determined safe interpolation bound.
+DEFAULT_MAX_GAP = 5
+
+
+@dataclass(frozen=True)
+class SampleSet:
+    """A model-ready dataset: design matrix + labels + provenance.
+
+    Attributes
+    ----------
+    outcome:
+        One of ``qol`` / ``sppb`` / ``falls``.
+    kind:
+        ``"dd"`` (raw features) or ``"kd"`` (ICI scalar).
+    with_fi:
+        Whether the window-opening FI column is included.
+    X:
+        ``(n, d)`` float matrix; NaN = missing (handled natively by the
+        boosting models).
+    y:
+        ``(n,)`` labels (floats; Falls encoded 0/1).
+    feature_names:
+        Column names of ``X``.
+    patient_ids / clinics / windows / months:
+        Per-sample provenance arrays.
+    """
+
+    outcome: str
+    kind: str
+    with_fi: bool
+    X: np.ndarray
+    y: np.ndarray
+    feature_names: tuple[str, ...]
+    patient_ids: np.ndarray
+    clinics: np.ndarray
+    windows: np.ndarray
+    months: np.ndarray
+
+    def __post_init__(self):
+        n = len(self.y)
+        if self.X.shape != (n, len(self.feature_names)):
+            raise ValueError(
+                f"X shape {self.X.shape} inconsistent with {n} labels and "
+                f"{len(self.feature_names)} feature names"
+            )
+        for name in ("patient_ids", "clinics", "windows", "months"):
+            if len(getattr(self, name)) != n:
+                raise ValueError(f"{name} length mismatch")
+
+    @property
+    def n_samples(self) -> int:
+        """Number of samples."""
+        return len(self.y)
+
+    @property
+    def n_features(self) -> int:
+        """Number of feature columns."""
+        return len(self.feature_names)
+
+    def filter_clinic(self, clinic: str) -> "SampleSet":
+        """Restrict to samples of one clinic."""
+        mask = self.clinics == clinic
+        if not mask.any():
+            raise ValueError(f"no samples for clinic {clinic!r}")
+        return self._take(mask)
+
+    def _take(self, mask: np.ndarray) -> "SampleSet":
+        return replace(
+            self,
+            X=self.X[mask],
+            y=self.y[mask],
+            patient_ids=self.patient_ids[mask],
+            clinics=self.clinics[mask],
+            windows=self.windows[mask],
+            months=self.months[mask],
+        )
+
+    def feature_index(self, name: str) -> int:
+        """Column index of a feature name."""
+        try:
+            return self.feature_names.index(name)
+        except ValueError:
+            raise KeyError(
+                f"no feature {name!r}; have {self.feature_names[:8]}..."
+            ) from None
+
+
+def build_dd_samples(
+    cohort: CohortDataset,
+    outcome: str,
+    with_fi: bool = False,
+    max_gap: int = DEFAULT_MAX_GAP,
+    drop_threshold: float = DEFAULT_DROP_THRESHOLD,
+) -> SampleSet:
+    """Build ``Sample_o`` (or ``Sample^FI_o``) from a cohort.
+
+    Parameters
+    ----------
+    outcome:
+        ``qol``, ``sppb`` or ``falls``.
+    with_fi:
+        Append the window-opening Frailty Index feature.
+    max_gap:
+        Bounded-interpolation limit (paper default 5; 0 disables).
+    drop_threshold:
+        Drop a monthly sample when more than this fraction of PRO items
+        remains missing after interpolation.
+    """
+    if outcome not in OUTCOME_NAMES:
+        raise ValueError(f"unknown outcome {outcome!r}; have {OUTCOME_NAMES}")
+    if not 0.0 <= drop_threshold <= 1.0:
+        raise ValueError("drop_threshold must be in [0, 1]")
+
+    cfg = cohort.config
+    item_names = pro_item_names()
+    activity = activity_lookup(monthly_activity(cohort.daily))
+    clinic_of = cohort.clinic_of()
+    fi_of = _fi_lookup(cohort)
+    labels = _label_lookup(cohort, outcome)
+    pro_rows = _pro_rows_by_patient(cohort)
+
+    feature_names = [*item_names, *ACTIVITY_VARIABLES] + (["fi"] if with_fi else [])
+
+    rows: list[np.ndarray] = []
+    ys: list[float] = []
+    pids: list[str] = []
+    clinics: list[str] = []
+    windows: list[int] = []
+    months_out: list[int] = []
+
+    for pid, (months, items) in pro_rows.items():
+        for j in range(1, cfg.n_windows + 1):
+            label = labels.get((pid, j))
+            if label is None or np.isnan(label):
+                continue
+            window_months = cfg.window_months(j)
+            month_pos = {int(m): k for k, m in enumerate(months)}
+            idx = [month_pos[m] for m in window_months if m in month_pos]
+            if len(idx) != len(window_months):
+                continue  # incomplete acquisition schedule (not expected)
+            block = interpolate_matrix(items[idx], max_gap)
+            fi_value = fi_of.get((pid, 9 * (j - 1)), np.nan) if with_fi else None
+
+            for k, month in enumerate(window_months):
+                item_vec = block[k]
+                missing_frac = float(np.isnan(item_vec).mean())
+                if missing_frac > drop_threshold:
+                    continue
+                act = activity.get((pid, month))
+                if act is None:
+                    continue
+                feats = [item_vec, act]
+                if with_fi:
+                    feats.append(np.array([fi_value]))
+                rows.append(np.concatenate(feats))
+                ys.append(float(label))
+                pids.append(pid)
+                clinics.append(clinic_of[pid])
+                windows.append(j)
+                months_out.append(month)
+
+    if not rows:
+        raise ValueError(
+            f"no samples survived QA for outcome {outcome!r}; "
+            "check missingness / drop_threshold settings"
+        )
+    return SampleSet(
+        outcome=outcome,
+        kind="dd",
+        with_fi=with_fi,
+        X=np.vstack(rows),
+        y=np.asarray(ys, dtype=np.float64),
+        feature_names=tuple(feature_names),
+        patient_ids=np.asarray(pids, dtype=object),
+        clinics=np.asarray(clinics, dtype=object),
+        windows=np.asarray(windows, dtype=np.int64),
+        months=np.asarray(months_out, dtype=np.int64),
+    )
+
+
+def build_kd_samples(
+    dd: SampleSet,
+    specification: ICISpecification | None = None,
+) -> SampleSet:
+    """Collapse a DD sample set into its KD (ICI) counterpart.
+
+    The ICI is computed from exactly the feature values the DD model
+    sees (post-imputation), so the two arms differ only in
+    representation — the comparison the paper draws in Fig. 3.
+    """
+    if dd.kind != "dd":
+        raise ValueError("build_kd_samples expects a DD sample set")
+    calculator = ICICalculator(specification)
+    spec = calculator.specification
+    columns = {}
+    for rule in spec.rules:
+        columns[rule.variable] = dd.X[:, dd.feature_index(rule.variable)]
+    ici = calculator.compute(Table(columns))
+
+    if dd.with_fi:
+        fi = dd.X[:, dd.feature_index("fi")]
+        X = np.column_stack([ici, fi])
+        names: tuple[str, ...] = ("ici", "fi")
+    else:
+        X = ici[:, None]
+        names = ("ici",)
+    return replace(dd, kind="kd", X=X, feature_names=names)
+
+
+def build_all_sample_sets(
+    cohort: CohortDataset,
+    max_gap: int = DEFAULT_MAX_GAP,
+    specification: ICISpecification | None = None,
+) -> dict[tuple[str, str, bool], SampleSet]:
+    """All 12 sample sets of Fig. 3.
+
+    Returns a dict keyed by ``(outcome, kind, with_fi)`` covering the
+    three outcomes x {dd, kd} x {False, True}.
+    """
+    out: dict[tuple[str, str, bool], SampleSet] = {}
+    for outcome in OUTCOME_NAMES:
+        for with_fi in (False, True):
+            dd = build_dd_samples(cohort, outcome, with_fi=with_fi, max_gap=max_gap)
+            out[(outcome, "dd", with_fi)] = dd
+            out[(outcome, "kd", with_fi)] = build_kd_samples(dd, specification)
+    return out
+
+
+# ----------------------------------------------------------------------
+# lookup helpers
+# ----------------------------------------------------------------------
+def _fi_lookup(cohort: CohortDataset) -> dict[tuple[str, int], float]:
+    """(patient, visit_month) -> FI."""
+    fi = FrailtyIndexCalculator().compute(cohort.visits)
+    pids = cohort.visits["patient_id"]
+    months = cohort.visits["visit_month"]
+    return {
+        (pids[i], int(months[i])): float(fi[i]) for i in range(len(fi))
+    }
+
+
+def _label_lookup(cohort: CohortDataset, outcome: str) -> dict[tuple[str, int], float]:
+    """(patient, window) -> outcome value at the window-closing visit."""
+    pids = cohort.visits["patient_id"]
+    months = cohort.visits["visit_month"]
+    values = cohort.visits[outcome]
+    out: dict[tuple[str, int], float] = {}
+    for i in range(cohort.visits.num_rows):
+        m = int(months[i])
+        if m > 0 and m % 9 == 0:
+            out[(pids[i], m // 9)] = float(values[i])
+    return out
+
+
+def _pro_rows_by_patient(
+    cohort: CohortDataset,
+) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+    """patient -> (months sorted ascending, item matrix in that order)."""
+    item_names = pro_item_names()
+    pids = cohort.pro["patient_id"]
+    months = cohort.pro["month"]
+    matrix = np.column_stack([cohort.pro[name] for name in item_names])
+    by_patient: dict[str, list[int]] = {}
+    for i in range(cohort.pro.num_rows):
+        by_patient.setdefault(pids[i], []).append(i)
+    out: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for pid, idx in by_patient.items():
+        idx = np.asarray(idx, dtype=np.int64)
+        order = np.argsort(months[idx], kind="stable")
+        idx = idx[order]
+        out[pid] = (months[idx], matrix[idx])
+    return out

@@ -1,0 +1,35 @@
+"""Seeded stochastic building blocks for the synthetic cohort.
+
+The MySAwH dataset cannot be redistributed, so the reproduction generates a
+synthetic cohort with the same schema and statistical character (see
+DESIGN.md section 5).  This package holds the reusable random-process
+primitives that the generator composes:
+
+``SeedSequenceFactory``
+    Deterministic hierarchical seeding so that every patient / stream gets
+    an independent, reproducible RNG.
+``ar1_process``
+    Mean-reverting AR(1) paths used for latent intrinsic-health states.
+``OrdinalLink``
+    Monotone mapping from a continuous latent score to ordinal categories,
+    used for PRO questionnaire answers.
+``weekly_profile``
+    Day-of-week seasonality for wearable traces.
+``burst_gap_mask``
+    Bursty missing-data process calibrated to the paper's gap statistics.
+"""
+
+from repro.synth.seeding import SeedSequenceFactory
+from repro.synth.processes import ar1_process, clipped_noise, weekly_profile
+from repro.synth.ordinal import OrdinalLink
+from repro.synth.gaps import burst_gap_mask, gap_lengths
+
+__all__ = [
+    "SeedSequenceFactory",
+    "ar1_process",
+    "clipped_noise",
+    "weekly_profile",
+    "OrdinalLink",
+    "burst_gap_mask",
+    "gap_lengths",
+]

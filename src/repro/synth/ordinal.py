@@ -1,0 +1,100 @@
+"""Monotone ordinal links: latent score -> categorical answer.
+
+The 56 PRO questionnaire items are categorical (the paper's examples use
+1..10 stress scales and 1..5 EQ-5D-style items).  Each item is modelled as
+an ordinal discretisation of a latent domain score through item-specific
+thresholds; some items are *reversed* (high answer = worse health) and
+some are nearly uninformative — this heterogeneity is what makes per-
+patient Shapley rankings differ (paper Fig. 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["OrdinalLink"]
+
+
+class OrdinalLink:
+    """Map a latent score in [0, 1] to ordinal answers ``1..n_levels``.
+
+    Parameters
+    ----------
+    n_levels:
+        Number of answer categories (>= 2).
+    thresholds:
+        Strictly increasing cut points in (0, 1), length ``n_levels - 1``.
+        A latent value below ``thresholds[0]`` maps to answer 1, etc.
+    reversed_scale:
+        If True the answer order is flipped (answer 1 = best health).
+    noise_sd:
+        Standard deviation of latent noise added before discretisation;
+        larger values make the item less informative.
+    """
+
+    def __init__(
+        self,
+        n_levels: int,
+        thresholds: np.ndarray | list[float],
+        reversed_scale: bool = False,
+        noise_sd: float = 0.1,
+    ):
+        if n_levels < 2:
+            raise ValueError("n_levels must be >= 2")
+        thresholds = np.asarray(thresholds, dtype=np.float64)
+        if thresholds.shape != (n_levels - 1,):
+            raise ValueError(
+                f"need {n_levels - 1} thresholds for {n_levels} levels, "
+                f"got {thresholds.shape}"
+            )
+        if np.any(np.diff(thresholds) <= 0):
+            raise ValueError("thresholds must be strictly increasing")
+        if np.any((thresholds <= 0) | (thresholds >= 1)):
+            raise ValueError("thresholds must lie strictly inside (0, 1)")
+        if noise_sd < 0:
+            raise ValueError("noise_sd must be non-negative")
+        self.n_levels = int(n_levels)
+        self.thresholds = thresholds
+        self.reversed_scale = bool(reversed_scale)
+        self.noise_sd = float(noise_sd)
+
+    @classmethod
+    def equispaced(
+        cls,
+        n_levels: int,
+        reversed_scale: bool = False,
+        noise_sd: float = 0.1,
+        skew: float = 0.0,
+    ) -> "OrdinalLink":
+        """Build a link with (optionally skewed) equispaced thresholds.
+
+        ``skew`` in (-1, 1) warps the cut points towards 0 (negative) or 1
+        (positive) with a power transform, modelling items whose answers
+        bunch at one end of the scale.
+        """
+        if not -1.0 < skew < 1.0:
+            raise ValueError("skew must be in (-1, 1)")
+        base = np.linspace(0, 1, n_levels + 1)[1:-1]
+        # Positive skew raises the cut points (exponent < 1 on a base in
+        # (0, 1)), so high answers become rarer (ceiling effect).
+        exponent = (1.0 - skew) / (1.0 + skew)
+        return cls(n_levels, base**exponent, reversed_scale, noise_sd)
+
+    def sample(self, latent: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Draw ordinal answers for latent scores ``latent``.
+
+        Returns integer answers in ``1..n_levels`` (int64 array).
+        """
+        latent = np.asarray(latent, dtype=np.float64)
+        noisy = latent + rng.normal(0.0, self.noise_sd, size=latent.shape)
+        answers = np.searchsorted(self.thresholds, np.clip(noisy, 0.0, 1.0)) + 1
+        if self.reversed_scale:
+            answers = self.n_levels + 1 - answers
+        return answers.astype(np.int64)
+
+    def expected_answer(self, latent: float) -> int:
+        """Noise-free answer for a latent score (useful in tests)."""
+        answer = int(np.searchsorted(self.thresholds, np.clip(latent, 0.0, 1.0))) + 1
+        if self.reversed_scale:
+            answer = self.n_levels + 1 - answer
+        return answer

@@ -1,0 +1,73 @@
+"""Hierarchical deterministic seeding.
+
+Reproducibility contract: the whole synthetic cohort is a pure function of
+one integer seed.  Each logical stream (a patient's wearable trace, a PRO
+item's noise, a clinic effect, ...) draws from its own ``Generator`` so
+that adding or reordering streams never perturbs the others.
+
+``numpy.random.SeedSequence.spawn`` would also work, but it is stateful
+(spawn order matters).  Here streams are addressed by *name*, hashed into
+the seed material, which makes the mapping order-independent and
+self-documenting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["SeedSequenceFactory"]
+
+
+class SeedSequenceFactory:
+    """Create named, independent, reproducible random generators.
+
+    Parameters
+    ----------
+    root_seed:
+        The experiment-level seed.  Two factories with the same root seed
+        produce identical generators for identical names.
+
+    Examples
+    --------
+    >>> f = SeedSequenceFactory(7)
+    >>> g1 = f.generator("patient/0/steps")
+    >>> g2 = f.generator("patient/0/steps")
+    >>> float(g1.random()) == float(g2.random())
+    True
+    """
+
+    def __init__(self, root_seed: int):
+        if not isinstance(root_seed, (int, np.integer)):
+            raise TypeError("root_seed must be an integer")
+        self.root_seed = int(root_seed)
+
+    def entropy_for(self, name: str) -> int:
+        """Derive a 128-bit entropy integer for the named stream."""
+        material = f"{self.root_seed}:{name}".encode("utf-8")
+        digest = hashlib.sha256(material).digest()
+        return int.from_bytes(digest[:16], "little")
+
+    def generator(self, name: str) -> np.random.Generator:
+        """Return a fresh, independent ``Generator`` for the named stream."""
+        return np.random.default_rng(np.random.SeedSequence(self.entropy_for(name)))
+
+    def child(self, name: str) -> "SeedSequenceFactory":
+        """Return a sub-factory scoped under ``name`` (namespacing)."""
+        return _ScopedFactory(self, name)
+
+
+class _ScopedFactory(SeedSequenceFactory):
+    """A factory whose stream names are prefixed by a scope."""
+
+    def __init__(self, parent: SeedSequenceFactory, scope: str):
+        super().__init__(parent.root_seed)
+        self._parent = parent
+        self._scope = scope
+
+    def entropy_for(self, name: str) -> int:
+        return self._parent.entropy_for(f"{self._scope}/{name}")
+
+    def child(self, name: str) -> "SeedSequenceFactory":
+        return _ScopedFactory(self._parent, f"{self._scope}/{name}")

@@ -1,0 +1,35 @@
+"""Lightweight typed column-store tables.
+
+The reproduction pipeline needs a small set of relational operations
+(projection, selection, group-by aggregation, equi-join, sorting, CSV
+round-trips) over heterogeneous clinical/longitudinal data.  pandas is not
+available in the build environment, so :class:`~repro.tabular.table.Table`
+provides exactly those operations on top of NumPy arrays, with explicit
+column types and copy-on-write semantics.
+
+Public API
+----------
+``Table``
+    The column-store container.
+``Column``
+    A typed, named 1-D array wrapper.
+``ColumnType``
+    Enumeration of supported logical types.
+``read_csv`` / ``write_csv``
+    CSV (de)serialisation helpers.
+``concat_tables``
+    Vertical concatenation of schema-compatible tables.
+"""
+
+from repro.tabular.column import Column, ColumnType
+from repro.tabular.table import Table, concat_tables
+from repro.tabular.io import read_csv, write_csv
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "Table",
+    "concat_tables",
+    "read_csv",
+    "write_csv",
+]

@@ -1,0 +1,259 @@
+"""Typed columns: the unit of storage for :class:`repro.tabular.Table`.
+
+A :class:`Column` wraps a 1-D NumPy array together with a name and a
+logical :class:`ColumnType`.  The logical type fixes the physical dtype:
+
+========== ==================== =============================
+logical     physical dtype       missing-value representation
+========== ==================== =============================
+FLOAT       ``float64``          ``nan``
+INT         ``int64``            not representable (use FLOAT)
+BOOL        ``bool``             not representable
+STRING      ``object`` (str)     ``None``
+========== ==================== =============================
+
+Columns are immutable from the caller's point of view: every operation
+returns a new column; the underlying buffer is only shared when it is safe
+to do so.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Column", "ColumnType"]
+
+
+class ColumnType(enum.Enum):
+    """Logical type of a table column."""
+
+    FLOAT = "float"
+    INT = "int"
+    BOOL = "bool"
+    STRING = "string"
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Physical NumPy dtype backing this logical type."""
+        return _DTYPES[self]
+
+
+_DTYPES = {
+    ColumnType.FLOAT: np.dtype(np.float64),
+    ColumnType.INT: np.dtype(np.int64),
+    ColumnType.BOOL: np.dtype(np.bool_),
+    ColumnType.STRING: np.dtype(object),
+}
+
+
+def infer_column_type(values: Sequence) -> ColumnType:
+    """Infer the narrowest logical type able to hold ``values``.
+
+    Inference order is BOOL -> INT -> FLOAT -> STRING.  ``None`` and NaN
+    promote the column to FLOAT (numeric) or STRING (otherwise).
+    """
+    saw_none = False
+    saw_float = False
+    saw_int = False
+    saw_bool = False
+    for v in values:
+        if v is None:
+            saw_none = True
+        elif isinstance(v, (bool, np.bool_)):
+            saw_bool = True
+        elif isinstance(v, (int, np.integer)):
+            saw_int = True
+        elif isinstance(v, (float, np.floating)):
+            saw_float = True
+        else:
+            return ColumnType.STRING
+    if saw_float or (saw_none and (saw_int or saw_float)):
+        return ColumnType.FLOAT
+    if saw_int:
+        return ColumnType.FLOAT if saw_none else ColumnType.INT
+    if saw_bool:
+        return ColumnType.BOOL
+    if saw_none:
+        return ColumnType.STRING
+    return ColumnType.FLOAT
+
+
+class Column:
+    """A named, typed, immutable 1-D array.
+
+    Parameters
+    ----------
+    name:
+        Column name; must be a non-empty string.
+    values:
+        Anything convertible to a 1-D array of the column's type.
+    ctype:
+        Logical type.  If omitted it is inferred from ``values``.
+    """
+
+    __slots__ = ("name", "ctype", "_data")
+
+    def __init__(self, name: str, values, ctype: ColumnType | None = None):
+        if not isinstance(name, str) or not name:
+            raise ValueError("column name must be a non-empty string")
+        if ctype is None:
+            if isinstance(values, np.ndarray) and values.dtype != object:
+                ctype = _ctype_from_dtype(values.dtype)
+            else:
+                ctype = infer_column_type(list(values))
+        data = _coerce(values, ctype)
+        if data.ndim != 1:
+            raise ValueError(f"column {name!r} must be 1-D, got shape {data.shape}")
+        self.name = name
+        self.ctype = ctype
+        self._data = data
+        self._data.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # basic container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self):
+        return iter(self._data)
+
+    def __getitem__(self, idx):
+        out = self._data[idx]
+        if isinstance(idx, (int, np.integer)):
+            return out
+        return Column(self.name, out, self.ctype)
+
+    def __eq__(self, other) -> bool:  # value equality, used by tests
+        if not isinstance(other, Column):
+            return NotImplemented
+        if self.name != other.name or self.ctype != other.ctype:
+            return False
+        if len(self) != len(other):
+            return False
+        if self.ctype is ColumnType.FLOAT:
+            a, b = self._data, other._data
+            return bool(np.all((a == b) | (np.isnan(a) & np.isnan(b))))
+        return bool(np.all(self._data == other._data))
+
+    def __hash__(self):  # pragma: no cover - explicit unhashability
+        raise TypeError("Column is not hashable")
+
+    def __repr__(self) -> str:
+        preview = ", ".join(repr(v) for v in self._data[:5])
+        suffix = ", ..." if len(self) > 5 else ""
+        return f"Column({self.name!r}, {self.ctype.value}, [{preview}{suffix}])"
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def values(self) -> np.ndarray:
+        """Read-only view of the underlying array."""
+        return self._data
+
+    def to_numpy(self, copy: bool = False) -> np.ndarray:
+        """Return the underlying array, optionally as a private copy."""
+        return self._data.copy() if copy else self._data
+
+    def to_list(self) -> list:
+        """Return the column as a plain Python list."""
+        return self._data.tolist()
+
+    def rename(self, name: str) -> "Column":
+        """Return a copy of this column under a new name (shares data)."""
+        clone = object.__new__(Column)
+        clone.name = name
+        clone.ctype = self.ctype
+        clone._data = self._data
+        return clone
+
+    def cast(self, ctype: ColumnType) -> "Column":
+        """Return this column converted to another logical type."""
+        if ctype is self.ctype:
+            return self
+        return Column(self.name, self._data, ctype)
+
+    # ------------------------------------------------------------------
+    # missing-data helpers
+    # ------------------------------------------------------------------
+    def is_missing(self) -> np.ndarray:
+        """Boolean mask of missing entries (NaN for FLOAT, None for STRING)."""
+        if self.ctype is ColumnType.FLOAT:
+            return np.isnan(self._data)
+        if self.ctype is ColumnType.STRING:
+            return np.array([v is None for v in self._data], dtype=bool)
+        return np.zeros(len(self), dtype=bool)
+
+    def count_missing(self) -> int:
+        """Number of missing entries."""
+        return int(self.is_missing().sum())
+
+    def fill_missing(self, value) -> "Column":
+        """Return a copy with missing entries replaced by ``value``."""
+        mask = self.is_missing()
+        if not mask.any():
+            return self
+        data = self._data.copy()
+        data[mask] = value
+        return Column(self.name, data, self.ctype)
+
+
+def _ctype_from_dtype(dtype: np.dtype) -> ColumnType:
+    """Map a NumPy dtype to the matching logical type."""
+    if np.issubdtype(dtype, np.bool_):
+        return ColumnType.BOOL
+    if np.issubdtype(dtype, np.integer):
+        return ColumnType.INT
+    if np.issubdtype(dtype, np.floating):
+        return ColumnType.FLOAT
+    return ColumnType.STRING
+
+
+def _coerce(values, ctype: ColumnType) -> np.ndarray:
+    """Convert ``values`` into the physical representation for ``ctype``."""
+    if ctype is ColumnType.STRING:
+        if isinstance(values, np.ndarray) and values.dtype == object:
+            data = values.copy()
+        else:
+            data = np.empty(len(values), dtype=object)
+            for i, v in enumerate(values):
+                data[i] = None if v is None else str(v)
+        return data
+    if ctype is ColumnType.FLOAT:
+        arr = np.asarray(
+            [np.nan if v is None else v for v in values]
+            if _contains_none(values)
+            else values,
+            dtype=np.float64,
+        )
+        return arr.copy() if arr is values else arr
+    arr = np.asarray(values)
+    if ctype is ColumnType.INT:
+        if arr.dtype == np.float64 and np.isnan(arr).any():
+            raise ValueError("INT column cannot hold NaN; use FLOAT")
+        if arr.dtype.kind == "f" and not np.all(arr == np.round(arr)):
+            raise ValueError("INT column cannot hold fractional values")
+        return arr.astype(np.int64)
+    if ctype is ColumnType.BOOL:
+        if arr.dtype != np.bool_ and arr.size:
+            uniq = np.unique(arr[~_none_mask(arr)])
+            if not set(np.asarray(uniq, dtype=object).tolist()) <= {0, 1, True, False}:
+                raise ValueError("BOOL column values must be boolean or 0/1")
+        return arr.astype(np.bool_)
+    raise AssertionError(f"unhandled column type {ctype}")  # pragma: no cover
+
+
+def _contains_none(values: Iterable) -> bool:
+    if isinstance(values, np.ndarray) and values.dtype != object:
+        return False
+    return any(v is None for v in values)
+
+
+def _none_mask(arr: np.ndarray) -> np.ndarray:
+    if arr.dtype == object:
+        return np.array([v is None for v in arr], dtype=bool)
+    return np.zeros(arr.shape, dtype=bool)

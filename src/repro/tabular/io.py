@@ -1,0 +1,114 @@
+"""CSV (de)serialisation for :class:`repro.tabular.Table`.
+
+The format is deliberately plain: a header row, comma separation, RFC-4180
+quoting via the standard library ``csv`` module.  Missing values are
+written as empty fields and read back as NaN (FLOAT) or None (STRING).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from repro.tabular.column import Column, ColumnType
+from repro.tabular.table import Table
+
+__all__ = ["read_csv", "write_csv"]
+
+
+def write_csv(table: Table, path: str | Path) -> None:
+    """Write ``table`` to ``path`` as UTF-8 CSV with a header row."""
+    path = Path(path)
+    names = table.column_names
+    arrays = [table[n] for n in names]
+    types = [table.column(n).ctype for n in names]
+    with path.open("w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(names)
+        for i in range(table.num_rows):
+            writer.writerow(
+                [_format_cell(arr[i], t) for arr, t in zip(arrays, types)]
+            )
+
+
+def read_csv(
+    path: str | Path,
+    types: Mapping[str, ColumnType] | None = None,
+) -> Table:
+    """Read a CSV file written by :func:`write_csv` (or compatible).
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    types:
+        Optional explicit logical types per column.  Columns not listed
+        are inferred: a column parses as FLOAT if every non-empty cell is
+        numeric, as BOOL if every cell is ``true``/``false``, otherwise
+        STRING.
+    """
+    path = Path(path)
+    with path.open("r", newline="", encoding="utf-8") as fh:
+        reader = csv.reader(fh)
+        try:
+            header = next(reader)
+        except StopIteration:
+            return Table()
+        rows = list(reader)
+
+    columns = []
+    for j, name in enumerate(header):
+        raw = [row[j] if j < len(row) else "" for row in rows]
+        ctype = types.get(name) if types else None
+        columns.append(_parse_column(name, raw, ctype))
+    return Table(columns)
+
+
+def _format_cell(value, ctype: ColumnType) -> str:
+    if ctype is ColumnType.FLOAT:
+        return "" if np.isnan(value) else repr(float(value))
+    if ctype is ColumnType.BOOL:
+        return "true" if value else "false"
+    if ctype is ColumnType.STRING:
+        return "" if value is None else str(value)
+    return str(int(value))
+
+
+def _parse_column(name: str, raw: list[str], ctype: ColumnType | None) -> Column:
+    if ctype is None:
+        ctype = _infer_csv_type(raw)
+    if ctype is ColumnType.FLOAT:
+        vals = [float(c) if c else np.nan for c in raw]
+        return Column(name, np.asarray(vals, dtype=np.float64), ColumnType.FLOAT)
+    if ctype is ColumnType.INT:
+        return Column(name, np.asarray([int(float(c)) for c in raw], dtype=np.int64), ColumnType.INT)
+    if ctype is ColumnType.BOOL:
+        return Column(
+            name,
+            np.asarray([c.strip().lower() == "true" for c in raw], dtype=bool),
+            ColumnType.BOOL,
+        )
+    return Column(name, [c if c else None for c in raw], ColumnType.STRING)
+
+
+def _infer_csv_type(raw: list[str]) -> ColumnType:
+    non_empty = [c for c in raw if c != ""]
+    if not non_empty:
+        return ColumnType.STRING
+    lowered = {c.strip().lower() for c in non_empty}
+    if lowered <= {"true", "false"}:
+        return ColumnType.BOOL
+    all_int = True
+    for c in non_empty:
+        try:
+            f = float(c)
+        except ValueError:
+            return ColumnType.STRING
+        if not f.is_integer():
+            all_int = False
+    if all_int and len(non_empty) == len(raw):
+        return ColumnType.INT
+    return ColumnType.FLOAT

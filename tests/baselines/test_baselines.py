@@ -1,0 +1,179 @@
+"""Unit tests for the baseline learners."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    EBMClassifier,
+    EBMRegressor,
+    LogisticRegressor,
+    MajorityClassifier,
+    MeanRegressor,
+    RidgeRegressor,
+)
+
+
+@pytest.fixture(scope="module")
+def linear_data():
+    rng = np.random.default_rng(4)
+    X = rng.normal(size=(500, 6))
+    X[rng.random(X.shape) < 0.1] = np.nan
+    y = 2.0 * np.nan_to_num(X[:, 0]) - np.nan_to_num(X[:, 1]) + rng.normal(0, 0.2, 500)
+    return X, y
+
+
+class TestDummies:
+    def test_mean_regressor(self):
+        model = MeanRegressor().fit(np.zeros((3, 1)), np.array([1.0, 2.0, 3.0]))
+        assert model.predict(np.zeros((2, 1))).tolist() == [2.0, 2.0]
+
+    def test_mean_regressor_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MeanRegressor().fit(np.zeros((0, 1)), np.array([]))
+
+    def test_mean_regressor_unfitted(self):
+        with pytest.raises(RuntimeError):
+            MeanRegressor().predict(np.zeros((1, 1)))
+
+    def test_majority_classifier(self):
+        model = MajorityClassifier().fit(
+            np.zeros((4, 1)), np.array([True, True, True, False])
+        )
+        assert model.predict(np.zeros((2, 1))).tolist() == [True, True]
+        assert model.predict_proba(np.zeros((1, 1)))[0] == pytest.approx(0.75)
+
+    def test_majority_tie_goes_positive(self):
+        model = MajorityClassifier().fit(np.zeros((2, 1)), np.array([True, False]))
+        assert model.predict(np.zeros((1, 1)))[0]
+
+
+class TestRidge:
+    def test_recovers_coefficients(self, linear_data):
+        X, y = linear_data
+        model = RidgeRegressor(alpha=0.01).fit(X, y)
+        pred = model.predict(X)
+        assert float(np.mean(np.abs(pred - y))) < 0.5
+
+    def test_alpha_shrinks_coefficients(self, linear_data):
+        X, y = linear_data
+        weak = RidgeRegressor(alpha=0.01).fit(X, y)
+        strong = RidgeRegressor(alpha=1e6).fit(X, y)
+        assert np.abs(strong.coef_).sum() < np.abs(weak.coef_).sum()
+
+    def test_handles_nan_at_predict_time(self, linear_data):
+        X, y = linear_data
+        model = RidgeRegressor().fit(X, y)
+        X_missing = np.full((3, X.shape[1]), np.nan)
+        assert np.isfinite(model.predict(X_missing)).all()
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            RidgeRegressor(alpha=-1.0)
+
+    def test_length_mismatch_rejected(self, linear_data):
+        X, y = linear_data
+        with pytest.raises(ValueError):
+            RidgeRegressor().fit(X, y[:-1])
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            RidgeRegressor().predict(np.zeros((1, 2)))
+
+    def test_constant_column_does_not_crash(self):
+        X = np.column_stack([np.ones(50), np.arange(50, dtype=float)])
+        y = np.arange(50, dtype=float)
+        model = RidgeRegressor(alpha=0.1).fit(X, y)
+        assert np.isfinite(model.predict(X)).all()
+
+
+class TestLogistic:
+    def test_learns_separable_signal(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(400, 3))
+        y = X[:, 0] - 0.5 * X[:, 1] > 0
+        model = LogisticRegressor(alpha=0.1).fit(X, y)
+        assert float(np.mean(model.predict(X) == y)) > 0.95
+
+    def test_probabilities_valid(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(100, 2))
+        y = X[:, 0] > 0
+        proba = LogisticRegressor().fit(X, y).predict_proba(X)
+        assert proba.min() >= 0.0 and proba.max() <= 1.0
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError, match="binary"):
+            LogisticRegressor().fit(np.zeros((2, 1)), np.array([0.0, 2.0]))
+
+    def test_threshold_validation(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(50, 2))
+        model = LogisticRegressor().fit(X, X[:, 0] > 0)
+        with pytest.raises(ValueError):
+            model.predict(X, threshold=1.0)
+
+
+class TestEBM:
+    def test_regressor_learns_nonlinear_shape(self):
+        rng = np.random.default_rng(2)
+        X = rng.uniform(-2, 2, size=(600, 3))
+        y = np.sin(2 * X[:, 0]) + 0.5 * (X[:, 1] > 0.7) + rng.normal(0, 0.1, 600)
+        model = EBMRegressor(n_cycles=50).fit(X[:500], y[:500])
+        mae = float(np.mean(np.abs(model.predict(X[500:]) - y[500:])))
+        baseline = float(np.mean(np.abs(np.mean(y[:500]) - y[500:])))
+        assert mae < 0.5 * baseline
+
+    def test_classifier_learns(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(500, 3))
+        y = (X[:, 0] + X[:, 1] ** 2) > 1.0
+        model = EBMClassifier(n_cycles=40).fit(X[:400], y[:400])
+        acc = float(np.mean(model.predict(X[400:]) == y[400:]))
+        assert acc > 0.75
+
+    def test_early_stopping_with_eval_set(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(300, 3))
+        y = X[:, 0] + rng.normal(0, 0.1, 300)
+        model = EBMRegressor(n_cycles=100, early_stopping_cycles=3)
+        model.fit(X[:200], y[:200], eval_set=(X[200:], y[200:]))
+        assert np.isfinite(model.predict(X[:5])).all()
+
+    def test_shape_function_exposed(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(200, 2))
+        y = X[:, 0]
+        model = EBMRegressor(n_cycles=10).fit(X, y)
+        edges, contrib = model.shape_function(0)
+        assert len(contrib) == len(edges) + 1
+        # shape of the signal feature rises with its value
+        assert contrib[-1] > contrib[0]
+
+    def test_shape_function_additivity(self):
+        rng = np.random.default_rng(6)
+        X = rng.normal(size=(200, 2))
+        y = X[:, 0] - X[:, 1]
+        model = EBMRegressor(n_cycles=15).fit(X, y)
+        binned = model.mapper_.transform(X[:10])
+        manual = model.base_score_ + sum(
+            model.shape_[f][binned[:, f]] for f in range(2)
+        )
+        assert np.allclose(manual, model.predict(X[:10]))
+
+    def test_missing_values_handled(self):
+        rng = np.random.default_rng(7)
+        X = rng.normal(size=(200, 2))
+        X[rng.random(X.shape) < 0.2] = np.nan
+        y = np.nan_to_num(X[:, 0])
+        model = EBMRegressor(n_cycles=10).fit(X, y)
+        assert np.isfinite(model.predict(X)).all()
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            EBMRegressor(n_cycles=0)
+        with pytest.raises(ValueError):
+            EBMRegressor(learning_rate=0.0)
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            EBMRegressor().predict(np.zeros((1, 2)))

@@ -1,0 +1,107 @@
+"""Unit tests for repro.boosting.binning."""
+
+import numpy as np
+import pytest
+
+from repro.boosting import BinMapper
+
+
+class TestFit:
+    def test_few_distinct_values_get_exact_bins(self):
+        X = np.array([[1.0], [2.0], [2.0], [5.0]])
+        mapper = BinMapper(max_bins=8).fit(X)
+        assert mapper.n_bins_[0] == 3
+        assert mapper.bin_edges_[0].tolist() == [1.5, 3.5]
+
+    def test_many_values_use_quantiles(self, rng):
+        X = rng.normal(size=(1000, 1))
+        mapper = BinMapper(max_bins=16).fit(X)
+        assert mapper.n_bins_[0] <= 16
+        assert len(mapper.bin_edges_[0]) == mapper.n_bins_[0] - 1
+
+    def test_nan_ignored_during_fit(self):
+        X = np.array([[1.0], [np.nan], [3.0]])
+        mapper = BinMapper(max_bins=4).fit(X)
+        assert mapper.n_bins_[0] == 2
+
+    def test_all_nan_column(self):
+        X = np.array([[np.nan], [np.nan]])
+        mapper = BinMapper().fit(X)
+        assert mapper.n_bins_[0] == 1
+
+    def test_invalid_max_bins(self):
+        with pytest.raises(ValueError):
+            BinMapper(max_bins=1)
+        with pytest.raises(ValueError):
+            BinMapper(max_bins=256)
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValueError, match="inf"):
+            BinMapper().fit(np.array([[np.inf]]))
+
+    def test_1d_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            BinMapper().fit(np.array([1.0]))
+
+
+class TestTransform:
+    def test_codes_respect_edges(self):
+        X = np.array([[1.0], [2.0], [5.0]])
+        mapper = BinMapper(max_bins=8).fit(X)
+        codes = mapper.transform(X)
+        assert codes[:, 0].tolist() == [0, 1, 2]
+
+    def test_nan_goes_to_missing_bin(self):
+        X = np.array([[1.0], [2.0]])
+        mapper = BinMapper(max_bins=8).fit(X)
+        codes = mapper.transform(np.array([[np.nan]]))
+        assert codes[0, 0] == mapper.missing_bin
+
+    def test_unseen_values_clamp_to_outer_bins(self):
+        X = np.array([[1.0], [2.0], [3.0]])
+        mapper = BinMapper(max_bins=8).fit(X)
+        codes = mapper.transform(np.array([[-100.0], [100.0]]))
+        assert codes[0, 0] == 0
+        assert codes[1, 0] == mapper.n_bins_[0] - 1
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            BinMapper().transform(np.zeros((1, 1)))
+
+    def test_feature_count_mismatch(self):
+        mapper = BinMapper().fit(np.zeros((3, 2)))
+        with pytest.raises(ValueError, match="features"):
+            mapper.transform(np.zeros((3, 3)))
+
+    def test_fit_transform_roundtrip(self, rng):
+        X = rng.normal(size=(50, 3))
+        mapper = BinMapper(max_bins=8)
+        codes = mapper.fit_transform(X)
+        assert np.array_equal(codes, mapper.transform(X))
+
+    def test_binning_preserves_order(self, rng):
+        X = np.sort(rng.normal(size=(200, 1)), axis=0)
+        codes = BinMapper(max_bins=16).fit_transform(X)
+        assert (np.diff(codes[:, 0].astype(int)) >= 0).all()
+
+
+class TestThresholdValue:
+    def test_matches_edge(self):
+        X = np.array([[1.0], [2.0], [5.0]])
+        mapper = BinMapper(max_bins=8).fit(X)
+        assert mapper.threshold_value(0, 0) == pytest.approx(1.5)
+        assert mapper.threshold_value(0, 1) == pytest.approx(3.5)
+
+    def test_past_last_edge_is_inf(self):
+        X = np.array([[1.0], [2.0]])
+        mapper = BinMapper(max_bins=8).fit(X)
+        assert mapper.threshold_value(0, 5) == np.inf
+
+    def test_negative_index_rejected(self):
+        mapper = BinMapper().fit(np.array([[1.0], [2.0]]))
+        with pytest.raises(IndexError):
+            mapper.threshold_value(0, -1)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            BinMapper().threshold_value(0, 0)

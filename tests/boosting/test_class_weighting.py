@@ -1,0 +1,92 @@
+"""Tests for the weighted logistic loss / scale_pos_weight extension."""
+
+import numpy as np
+import pytest
+
+from repro.boosting import GBClassifier, GBConfig, LogisticLoss
+from repro.learning.metrics import precision_recall_f1
+
+
+def numerical_grad(loss, raw, y, eps=1e-6):
+    n = len(raw)
+    out = np.empty(n)
+    for i in range(n):
+        hi, lo = raw.copy(), raw.copy()
+        hi[i] += eps
+        lo[i] -= eps
+        out[i] = (loss.loss(hi, y) - loss.loss(lo, y)) * n / (2 * eps)
+    return out
+
+
+@pytest.fixture(scope="module")
+def imbalanced_data():
+    rng = np.random.default_rng(13)
+    n = 1200
+    X = rng.normal(size=(n, 6))
+    logits = 2.0 * X[:, 0] - 1.5 * X[:, 1] - 2.2  # ~15% positives
+    y = rng.random(n) < 1 / (1 + np.exp(-logits))
+    return X, y
+
+
+class TestWeightedLoss:
+    def test_weight_one_matches_unweighted(self, rng):
+        raw = rng.normal(size=10)
+        y = (rng.random(10) < 0.5).astype(np.float64)
+        a = LogisticLoss(pos_weight=1.0).gradient_hessian(raw, y)
+        b = LogisticLoss().gradient_hessian(raw, y)
+        assert np.allclose(a[0], b[0]) and np.allclose(a[1], b[1])
+
+    def test_gradient_matches_numerical(self, rng):
+        loss = LogisticLoss(pos_weight=3.0)
+        raw = rng.normal(size=8)
+        y = (rng.random(8) < 0.5).astype(np.float64)
+        grad, _ = loss.gradient_hessian(raw, y)
+        assert np.allclose(grad, numerical_grad(loss, raw, y), atol=1e-4)
+
+    def test_hessian_positive(self, rng):
+        loss = LogisticLoss(pos_weight=5.0)
+        raw = rng.normal(scale=5, size=50)
+        y = (rng.random(50) < 0.2).astype(np.float64)
+        _, hess = loss.gradient_hessian(raw, y)
+        assert (hess > 0).all()
+
+    def test_base_score_shifts_up_with_weight(self):
+        y = np.array([1.0] * 10 + [0.0] * 90)
+        plain = LogisticLoss(pos_weight=1.0).base_score(y)
+        weighted = LogisticLoss(pos_weight=9.0).base_score(y)
+        assert weighted > plain
+        # w = (1-r)/r makes the weighted optimum p* = 0.5 -> logit 0.
+        balanced = LogisticLoss(pos_weight=9.0).base_score(y)
+        assert balanced == pytest.approx(0.0, abs=1e-6)
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(ValueError):
+            LogisticLoss(pos_weight=0.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="scale_pos_weight"):
+            GBConfig(scale_pos_weight=-1.0)
+
+
+class TestRecallTradeoff:
+    def test_weighting_raises_minority_recall(self, imbalanced_data):
+        X, y = imbalanced_data
+        train, test = slice(0, 900), slice(900, None)
+
+        def recall(weight):
+            model = GBClassifier(
+                n_estimators=60,
+                max_depth=3,
+                scale_pos_weight=weight,
+                early_stopping_rounds=0,
+            ).fit(X[train], y[train])
+            pred = model.predict(X[test])
+            return precision_recall_f1(y[test], pred, positive=True)["recall"]
+
+        assert recall(6.0) > recall(1.0)
+
+    def test_weighting_raises_predicted_positive_rate(self, imbalanced_data):
+        X, y = imbalanced_data
+        plain = GBClassifier(n_estimators=30, scale_pos_weight=1.0).fit(X, y)
+        weighted = GBClassifier(n_estimators=30, scale_pos_weight=8.0).fit(X, y)
+        assert weighted.predict(X).mean() > plain.predict(X).mean()

@@ -1,0 +1,99 @@
+"""Tests for monotone constraints in the gradient booster."""
+
+import numpy as np
+import pytest
+
+from repro.boosting import GBConfig, GBRegressor
+
+
+def is_monotone_in_feature(model, X_base, feature, increasing=True, n_grid=40):
+    """Scan a grid over one feature with others fixed per base row."""
+    grid = np.linspace(-3, 3, n_grid)
+    for row in X_base:
+        probe = np.tile(row, (n_grid, 1))
+        probe[:, feature] = grid
+        preds = model.predict(probe)
+        diffs = np.diff(preds)
+        if increasing and (diffs < -1e-9).any():
+            return False
+        if not increasing and (diffs > 1e-9).any():
+            return False
+    return True
+
+
+@pytest.fixture(scope="module")
+def wiggly_data():
+    rng = np.random.default_rng(15)
+    X = rng.normal(size=(800, 3))
+    # Monotone trend in x0 plus strong noise that tempts local
+    # violations; x1 has a genuine non-monotone effect.
+    y = 1.2 * X[:, 0] + np.sin(3 * X[:, 1]) + rng.normal(0, 0.5, 800)
+    return X, y
+
+
+class TestConstraintEnforcement:
+    def test_increasing_constraint_enforced(self, wiggly_data):
+        X, y = wiggly_data
+        model = GBRegressor(
+            n_estimators=60,
+            max_depth=4,
+            subsample=1.0,
+            colsample_bytree=1.0,
+            monotone_constraints=(1, 0, 0),
+        ).fit(X, y)
+        assert is_monotone_in_feature(model, X[:8], 0, increasing=True)
+
+    def test_decreasing_constraint_enforced(self, wiggly_data):
+        X, y = wiggly_data
+        model = GBRegressor(
+            n_estimators=60,
+            max_depth=4,
+            subsample=1.0,
+            colsample_bytree=1.0,
+            monotone_constraints=(0, 0, -1),
+        ).fit(X, -0.5 * X[:, 2] + y)
+        assert is_monotone_in_feature(model, X[:8], 2, increasing=False)
+
+    def test_unconstrained_feature_stays_flexible(self, wiggly_data):
+        X, y = wiggly_data
+        model = GBRegressor(
+            n_estimators=60,
+            max_depth=4,
+            subsample=1.0,
+            colsample_bytree=1.0,
+            monotone_constraints=(1, 0, 0),
+        ).fit(X, y)
+        # x1 carries a sine effect; the model must not be monotone in it.
+        assert not is_monotone_in_feature(model, X[:8], 1, increasing=True)
+        assert not is_monotone_in_feature(model, X[:8], 1, increasing=False)
+
+    def test_constrained_model_still_learns(self, wiggly_data):
+        X, y = wiggly_data
+        model = GBRegressor(
+            n_estimators=60,
+            max_depth=4,
+            monotone_constraints=(1, 0, 0),
+        ).fit(X, y)
+        dummy_mae = float(np.mean(np.abs(y - y.mean())))
+        model_mae = float(np.mean(np.abs(model.predict(X) - y)))
+        assert model_mae < 0.7 * dummy_mae
+
+    def test_no_constraints_matches_default_path(self, wiggly_data):
+        X, y = wiggly_data
+        plain = GBRegressor(n_estimators=10).fit(X, y)
+        zeros = GBRegressor(
+            n_estimators=10, monotone_constraints=(0, 0, 0)
+        ).fit(X, y)
+        assert np.allclose(plain.predict(X[:50]), zeros.predict(X[:50]))
+
+
+class TestValidation:
+    def test_bad_constraint_values_rejected(self):
+        with pytest.raises(ValueError, match="monotone"):
+            GBConfig(monotone_constraints=(2, 0))
+
+    def test_length_mismatch_rejected(self, wiggly_data):
+        X, y = wiggly_data
+        model = GBRegressor(n_estimators=3, monotone_constraints=(1, 0))
+        with pytest.raises(ValueError, match="entries"):
+            model.fit(X, y)

@@ -1,0 +1,117 @@
+"""Unit tests for repro.boosting.serialize (JSON model round trips)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.boosting import (
+    GBClassifier,
+    GBRegressor,
+    load_model,
+    model_from_dict,
+    model_to_dict,
+    save_model,
+)
+
+
+@pytest.fixture(scope="module")
+def fitted_regressor():
+    rng = np.random.default_rng(9)
+    X = rng.normal(size=(200, 5))
+    X[rng.random(X.shape) < 0.1] = np.nan
+    y = 2 * np.nan_to_num(X[:, 0]) + rng.normal(0, 0.1, 200)
+    return GBRegressor(n_estimators=15, max_depth=3).fit(X, y), X
+
+
+@pytest.fixture(scope="module")
+def fitted_classifier():
+    rng = np.random.default_rng(10)
+    X = rng.normal(size=(200, 4))
+    y = X[:, 0] > 0
+    return GBClassifier(n_estimators=10, max_depth=2).fit(X, y), X
+
+
+class TestRoundTrip:
+    def test_regressor_predictions_identical(self, fitted_regressor, tmp_path):
+        model, X = fitted_regressor
+        path = tmp_path / "model.json"
+        save_model(model, path)
+        restored = load_model(path)
+        assert np.array_equal(restored.predict(X), model.predict(X))
+
+    def test_classifier_probabilities_identical(self, fitted_classifier, tmp_path):
+        model, X = fitted_classifier
+        path = tmp_path / "model.json"
+        save_model(model, path)
+        restored = load_model(path)
+        assert np.array_equal(restored.predict_proba(X), model.predict_proba(X))
+        assert isinstance(restored, GBClassifier)
+
+    def test_config_preserved(self, fitted_regressor):
+        model, _ = fitted_regressor
+        restored = model_from_dict(model_to_dict(model))
+        assert restored.config == model.config
+        assert restored.best_iteration_ == model.best_iteration_
+
+    def test_missing_routing_preserved(self, fitted_regressor):
+        model, X = fitted_regressor
+        restored = model_from_dict(model_to_dict(model))
+        X_missing = X[:20].copy()
+        X_missing[:, 0] = np.nan
+        assert np.array_equal(
+            restored.predict(X_missing), model.predict(X_missing)
+        )
+
+    def test_document_is_valid_json(self, fitted_regressor, tmp_path):
+        model, _ = fitted_regressor
+        path = tmp_path / "model.json"
+        save_model(model, path)
+        doc = json.loads(path.read_text())
+        assert doc["kind"] == "regressor"
+        assert doc["format_version"] == 1
+        assert len(doc["trees"]) == model.ensemble_.n_trees
+
+    def test_inf_threshold_round_trips(self):
+        # A split separating non-missing from missing uses a +inf
+        # threshold; JSON cannot hold inf natively.
+        from repro.boosting import Tree, TreeEnsemble
+        from repro.boosting.serialize import _tree_from_dict, _tree_to_dict
+
+        tree = Tree(
+            children_left=np.array([1, -1, -1]),
+            children_right=np.array([2, -1, -1]),
+            feature=np.array([0, -1, -1]),
+            threshold=np.array([np.inf, np.nan, np.nan]),
+            missing_left=np.array([False, False, False]),
+            value=np.array([0.0, 1.0, 2.0]),
+            cover=np.array([3.0, 2.0, 1.0]),
+        )
+        doc = json.loads(json.dumps(_tree_to_dict(tree)))
+        restored = _tree_from_dict(doc)
+        assert restored.threshold[0] == np.inf
+        assert np.isnan(restored.threshold[1])
+
+
+class TestValidation:
+    def test_unfitted_model_rejected(self):
+        with pytest.raises(ValueError, match="not fitted"):
+            model_to_dict(GBRegressor())
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(TypeError):
+            model_to_dict("nope")
+
+    def test_bad_version_rejected(self, fitted_regressor):
+        model, _ = fitted_regressor
+        doc = model_to_dict(model)
+        doc["format_version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            model_from_dict(doc)
+
+    def test_bad_kind_rejected(self, fitted_regressor):
+        model, _ = fitted_regressor
+        doc = model_to_dict(model)
+        doc["kind"] = "svm"
+        with pytest.raises(ValueError, match="kind"):
+            model_from_dict(doc)

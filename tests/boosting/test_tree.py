@@ -1,0 +1,132 @@
+"""Unit tests for repro.boosting.tree (structure + prediction)."""
+
+import numpy as np
+import pytest
+
+from repro.boosting import Tree, TreeEnsemble
+
+
+def make_stump(feature=0, threshold=0.5, left=-1.0, right=1.0, missing_left=True):
+    """Root with two leaves: x[feature] <= threshold -> left leaf."""
+    return Tree(
+        children_left=np.array([1, -1, -1]),
+        children_right=np.array([2, -1, -1]),
+        feature=np.array([feature, -1, -1]),
+        threshold=np.array([threshold, np.nan, np.nan]),
+        missing_left=np.array([missing_left, False, False]),
+        value=np.array([0.0, left, right]),
+        cover=np.array([10.0, 4.0, 6.0]),
+    )
+
+
+def make_depth2():
+    """Two-level tree over features 0 and 1."""
+    return Tree(
+        children_left=np.array([1, 3, 5, -1, -1, -1, -1]),
+        children_right=np.array([2, 4, 6, -1, -1, -1, -1]),
+        feature=np.array([0, 1, 1, -1, -1, -1, -1]),
+        threshold=np.array([0.0, -1.0, 1.0, np.nan, np.nan, np.nan, np.nan]),
+        missing_left=np.array([True, False, True, False, False, False, False]),
+        value=np.array([0.0, 0.0, 0.0, 10.0, 20.0, 30.0, 40.0]),
+        cover=np.array([16.0, 8.0, 8.0, 4.0, 4.0, 4.0, 4.0]),
+    )
+
+
+class TestTreeStructure:
+    def test_leaf_counts(self):
+        tree = make_stump()
+        assert tree.n_nodes == 3
+        assert tree.n_leaves == 2
+
+    def test_is_leaf(self):
+        tree = make_stump()
+        assert not tree.is_leaf(0)
+        assert tree.is_leaf(1) and tree.is_leaf(2)
+
+    def test_max_depth(self):
+        assert make_stump().max_depth() == 1
+        assert make_depth2().max_depth() == 2
+
+    def test_used_features(self):
+        assert make_depth2().used_features().tolist() == [0, 1]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            Tree(
+                children_left=np.array([-1]),
+                children_right=np.array([-1]),
+                feature=np.array([-1]),
+                threshold=np.array([np.nan]),
+                missing_left=np.array([False]),
+                value=np.array([1.0, 2.0]),
+                cover=np.array([1.0]),
+            )
+
+    def test_empty_tree_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Tree(*[np.array([])] * 7)
+
+
+class TestPrediction:
+    def test_stump_routing(self):
+        tree = make_stump()
+        X = np.array([[0.2], [0.8]])
+        assert tree.predict(X).tolist() == [-1.0, 1.0]
+
+    def test_boundary_goes_left(self):
+        tree = make_stump(threshold=0.5)
+        assert tree.predict(np.array([[0.5]]))[0] == -1.0
+
+    def test_missing_routing_left(self):
+        tree = make_stump(missing_left=True)
+        assert tree.predict(np.array([[np.nan]]))[0] == -1.0
+
+    def test_missing_routing_right(self):
+        tree = make_stump(missing_left=False)
+        assert tree.predict(np.array([[np.nan]]))[0] == 1.0
+
+    def test_depth2_all_leaves_reachable(self):
+        tree = make_depth2()
+        X = np.array(
+            [[-1.0, -2.0], [-1.0, 0.0], [1.0, 0.0], [1.0, 2.0]]
+        )
+        assert tree.predict(X).tolist() == [10.0, 20.0, 30.0, 40.0]
+
+    def test_predict_matches_decision_path(self, rng):
+        tree = make_depth2()
+        X = rng.normal(size=(50, 2))
+        preds = tree.predict(X)
+        for i in range(50):
+            leaf = tree.decision_path(X[i])[-1]
+            assert preds[i] == tree.value[leaf]
+
+    def test_decision_path_starts_at_root(self):
+        path = make_depth2().decision_path(np.array([0.0, 0.0]))
+        assert path[0] == 0 and len(path) == 3
+
+    def test_1d_input_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            make_stump().predict(np.array([1.0]))
+
+
+class TestEnsemble:
+    def test_additivity(self):
+        ens = TreeEnsemble(base_score=5.0, trees=[make_stump(), make_stump()])
+        X = np.array([[0.2]])
+        assert ens.predict_raw(X)[0] == pytest.approx(5.0 - 2.0)
+
+    def test_n_trees_truncation(self):
+        ens = TreeEnsemble(base_score=0.0, trees=[make_stump(), make_stump()])
+        X = np.array([[0.9]])
+        assert ens.predict_raw(X, n_trees=1)[0] == pytest.approx(1.0)
+
+    def test_empty_ensemble_returns_base(self):
+        ens = TreeEnsemble(base_score=3.0, trees=[])
+        assert ens.predict_raw(np.zeros((2, 1))).tolist() == [3.0, 3.0]
+
+    def test_total_cover_by_feature(self):
+        ens = TreeEnsemble(base_score=0.0, trees=[make_depth2()])
+        imp = ens.total_cover_by_feature(3)
+        assert imp[0] == pytest.approx(16.0)
+        assert imp[1] == pytest.approx(16.0)  # two internal nodes, 8 + 8
+        assert imp[2] == 0.0

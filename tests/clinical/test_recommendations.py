@@ -1,0 +1,110 @@
+"""Tests for the decision-support layer."""
+
+import numpy as np
+import pytest
+
+from repro.clinical import (
+    DEFAULT_INTERVENTIONS,
+    aggregate_by_domain,
+    recommend,
+)
+from repro.cohort.schema import IC_DOMAINS
+
+
+class TestAggregation:
+    def test_features_fold_into_their_domains(self):
+        names = ["pro_loc_01", "pro_loc_02", "pro_cog_01", "steps"]
+        shap = np.array([-0.3, -0.1, 0.2, -0.2])
+        impacts = aggregate_by_domain(shap, names)
+        assert impacts["locomotion"].negative == pytest.approx(-0.6)
+        assert impacts["cognition"].positive == pytest.approx(0.2)
+
+    def test_fi_lands_in_clinical_bucket(self):
+        impacts = aggregate_by_domain(np.array([-0.5]), ["fi"])
+        assert "clinical_baseline" in impacts
+        assert impacts["clinical_baseline"].negative == pytest.approx(-0.5)
+
+    def test_evidence_sorted_worst_first(self):
+        names = ["pro_loc_01", "pro_loc_02"]
+        impacts = aggregate_by_domain(np.array([-0.1, -0.4]), names)
+        assert impacts["locomotion"].features[0][0] == "pro_loc_02"
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_by_domain(np.zeros(2), ["a"])
+
+
+class TestRecommend:
+    def test_worst_domain_ranked_first(self):
+        names = ["pro_loc_01", "pro_psy_01", "pro_vit_01"]
+        shap = np.array([-0.1, -0.6, -0.3])
+        report = recommend("p1", 0.7, shap, names)
+        assert report.recommendations[0].domain == "psychological"
+        assert report.recommendations[1].domain == "vitality"
+
+    def test_min_impact_filters(self):
+        names = ["pro_loc_01", "pro_psy_01"]
+        shap = np.array([-0.05, -0.6])
+        report = recommend("p1", 0.7, shap, names, min_impact=0.1)
+        domains = [r.domain for r in report.recommendations]
+        assert domains == ["psychological"]
+
+    def test_max_recommendations_cap(self):
+        names = ["pro_loc_01", "pro_psy_01", "pro_vit_01", "pro_cog_01"]
+        shap = np.array([-0.4, -0.3, -0.2, -0.1])
+        report = recommend("p1", 0.7, shap, names, max_recommendations=2)
+        assert len(report.recommendations) == 2
+
+    def test_healthy_patient_gets_no_recommendations(self):
+        names = ["pro_loc_01", "pro_psy_01"]
+        report = recommend("p1", 0.9, np.array([0.2, 0.1]), names)
+        assert report.recommendations == ()
+        assert "no impaired domains" in report.render()
+
+    def test_actions_come_from_catalogue(self):
+        names = ["pro_loc_01"]
+        report = recommend("p1", 0.5, np.array([-0.4]), names)
+        assert report.recommendations[0].action == DEFAULT_INTERVENTIONS["locomotion"]
+
+    def test_custom_catalogue(self):
+        names = ["pro_loc_01"]
+        report = recommend(
+            "p1", 0.5, np.array([-0.4]), names,
+            interventions={"locomotion": "go for walks"},
+        )
+        assert report.recommendations[0].action == "go for walks"
+
+    def test_render_contains_evidence(self):
+        names = ["pro_loc_01", "pro_loc_02"]
+        report = recommend("p7", 0.4, np.array([-0.4, -0.1]), names)
+        text = report.render()
+        assert "p7" in text and "pro_loc_01" in text and "evidence" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            recommend("p", 0.0, np.zeros(1), ["fi"], min_impact=-1.0)
+        with pytest.raises(ValueError):
+            recommend("p", 0.0, np.zeros(1), ["fi"], max_recommendations=0)
+
+    def test_catalogue_covers_all_domains(self):
+        for domain in IC_DOMAINS:
+            assert domain in DEFAULT_INTERVENTIONS
+
+
+class TestEndToEnd:
+    def test_real_model_explanation_flows_through(self, qol_dd_samples):
+        from repro.explain import TreeShapExplainer
+        from repro.learning import run_protocol
+
+        result = run_protocol(qol_dd_samples, n_folds=2, seed=0)
+        explainer = TreeShapExplainer(result.model)
+        idx = result.test_idx[0]
+        shap = explainer.shap_values_single(qol_dd_samples.X[idx])
+        report = recommend(
+            str(qol_dd_samples.patient_ids[idx]),
+            float(result.model.predict(qol_dd_samples.X[idx][None, :])[0]),
+            shap,
+            list(qol_dd_samples.feature_names),
+        )
+        assert report.recommendations  # something is always improvable
+        assert all(r.impact < 0 for r in report.recommendations)

@@ -1,0 +1,75 @@
+"""Unit tests for repro.cohort.config."""
+
+import pytest
+
+from repro.cohort import ClinicConfig, CohortConfig
+
+
+class TestClinicConfig:
+    def test_defaults_valid(self):
+        ClinicConfig("x", 10)
+
+    def test_zero_patients_rejected(self):
+        with pytest.raises(ValueError, match="n_patients"):
+            ClinicConfig("x", 0)
+
+    def test_health_mean_bounds(self):
+        with pytest.raises(ValueError, match="health_mean"):
+            ClinicConfig("x", 10, health_mean=1.0)
+
+    def test_negative_spread_rejected(self):
+        with pytest.raises(ValueError):
+            ClinicConfig("x", 10, health_spread=-0.1)
+
+    def test_missing_rate_bounds(self):
+        with pytest.raises(ValueError, match="missing_rate"):
+            ClinicConfig("x", 10, missing_rate=1.0)
+
+
+class TestCohortConfig:
+    def test_default_matches_paper(self):
+        cfg = CohortConfig()
+        assert cfg.n_patients == 261
+        assert cfg.n_months == 18
+        assert cfg.n_windows == 2
+        assert cfg.visit_months == (0, 9, 18)
+
+    def test_default_clinic_sizes(self):
+        sizes = {c.name: c.n_patients for c in CohortConfig().clinics}
+        assert sizes == {"modena": 128, "sydney": 100, "hong_kong": 33}
+
+    def test_window_months_first(self):
+        assert CohortConfig().window_months(1) == [1, 2, 3, 4, 5, 6, 7, 8]
+
+    def test_window_months_second(self):
+        assert CohortConfig().window_months(2) == [10, 11, 12, 13, 14, 15, 16, 17]
+
+    def test_window_out_of_range(self):
+        with pytest.raises(ValueError, match="window"):
+            CohortConfig().window_months(3)
+
+    def test_non_multiple_of_nine_rejected(self):
+        with pytest.raises(ValueError, match="multiple of 9"):
+            CohortConfig(n_months=12)
+
+    def test_duplicate_clinics_rejected(self):
+        clinic = ClinicConfig("x", 5)
+        with pytest.raises(ValueError, match="duplicate"):
+            CohortConfig(clinics=(clinic, clinic))
+
+    def test_empty_clinics_rejected(self):
+        with pytest.raises(ValueError, match="clinic"):
+            CohortConfig(clinics=())
+
+    def test_falls_rate_bounds(self):
+        with pytest.raises(ValueError, match="falls_base_rate"):
+            CohortConfig(falls_base_rate=0.0)
+
+    def test_max_gap_bounds(self):
+        with pytest.raises(ValueError, match="max_gap_length"):
+            CohortConfig(max_gap_length=0)
+
+    def test_longer_study_supported(self):
+        cfg = CohortConfig(n_months=27)
+        assert cfg.n_windows == 3
+        assert cfg.visit_months == (0, 9, 18, 27)

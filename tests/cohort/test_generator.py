@@ -1,0 +1,82 @@
+"""Integration tests for the assembled cohort tables."""
+
+import numpy as np
+import pytest
+
+from repro.cohort import generate_cohort
+from repro.cohort.schema import IC_DOMAINS, pro_item_names
+from repro.frailty.deficits import deficit_names
+
+from tests.conftest import small_config
+
+
+class TestTables:
+    def test_patients_table(self, small_cohort):
+        t = small_cohort.patients
+        assert t.num_rows == 30
+        assert set(t.column_names) == {"patient_id", "clinic", "age", "years_with_hiv"}
+
+    def test_daily_table_shape(self, small_cohort):
+        cfg = small_cohort.config
+        expected = cfg.n_patients * cfg.n_months * cfg.days_per_month
+        assert small_cohort.daily.num_rows == expected
+
+    def test_pro_table_shape(self, small_cohort):
+        cfg = small_cohort.config
+        assert small_cohort.pro.num_rows == cfg.n_patients * cfg.n_months
+        assert set(pro_item_names()) <= set(small_cohort.pro.column_names)
+
+    def test_visits_table_shape(self, small_cohort):
+        cfg = small_cohort.config
+        assert small_cohort.visits.num_rows == cfg.n_patients * len(cfg.visit_months)
+        assert set(deficit_names()) <= set(small_cohort.visits.column_names)
+
+    def test_latent_table_has_domains(self, small_cohort):
+        assert set(IC_DOMAINS) <= set(small_cohort.latent.column_names)
+
+    def test_outcomes_only_at_closing_visits(self, small_cohort):
+        visits = small_cohort.visits
+        month0 = visits.filter(visits["visit_month"] == 0)
+        assert np.isnan(month0["qol"]).all()
+        later = small_cohort.outcome_visits()
+        assert not np.isnan(later["qol"]).any()
+
+    def test_outcome_visits_excludes_month0(self, small_cohort):
+        ov = small_cohort.outcome_visits()
+        assert (ov["visit_month"] > 0).all()
+
+
+class TestDeterminismAndHelpers:
+    def test_same_seed_same_cohort(self, small_cohort):
+        again = generate_cohort(small_config())
+        assert again.pro == small_cohort.pro
+        assert again.visits == small_cohort.visits
+
+    def test_different_seed_differs(self, small_cohort):
+        other = generate_cohort(small_config(seed=99))
+        assert other.pro != small_cohort.pro
+
+    def test_clinic_of(self, small_cohort):
+        mapping = small_cohort.clinic_of()
+        assert len(mapping) == 30
+        assert mapping["modena_000"] == "modena"
+
+    def test_patient_ids_filter(self, small_cohort):
+        assert len(small_cohort.patient_ids("hong_kong")) == 6
+        assert len(small_cohort.patient_ids()) == 30
+
+    def test_patient_ids_unknown_clinic(self, small_cohort):
+        with pytest.raises(KeyError):
+            small_cohort.patient_ids("atlantis")
+
+    def test_summary(self, small_cohort):
+        s = small_cohort.summary()
+        assert s["patients"] == 30
+        assert s["clinics"]["modena"] == 14
+
+    def test_default_config_is_paper_scale(self):
+        # Smoke-check only the config (full generation is exercised by
+        # the benchmarks).
+        from repro.cohort import CohortConfig
+
+        assert CohortConfig().n_patients == 261

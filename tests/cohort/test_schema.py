@@ -1,0 +1,74 @@
+"""Unit tests for repro.cohort.schema (the variable bank)."""
+
+import pytest
+
+from repro.cohort.schema import (
+    ACTIVITY_VARIABLES,
+    IC_DOMAINS,
+    PRO_ITEMS,
+    ProItem,
+    items_by_domain,
+    pro_item_names,
+)
+
+
+class TestItemBank:
+    def test_exactly_56_items(self):
+        # The paper: "56 categorical questions exploring functional
+        # abilities and Quality of life".
+        assert len(PRO_ITEMS) == 56
+
+    def test_every_domain_covered(self):
+        for domain in IC_DOMAINS:
+            assert len(items_by_domain(domain)) > 0
+
+    def test_domain_counts_sum_to_56(self):
+        assert sum(len(items_by_domain(d)) for d in IC_DOMAINS) == 56
+
+    def test_names_unique(self):
+        names = pro_item_names()
+        assert len(set(names)) == 56
+
+    def test_names_prefixed(self):
+        assert all(name.startswith("pro_") for name in pro_item_names())
+
+    def test_scales_are_5_or_10_levels(self):
+        assert {item.n_levels for item in PRO_ITEMS} == {5, 10}
+
+    def test_some_items_reversed(self):
+        reversed_count = sum(item.reversed_scale for item in PRO_ITEMS)
+        assert 0 < reversed_count < 56
+
+    def test_informativeness_varies(self):
+        noises = {item.noise_sd for item in PRO_ITEMS}
+        assert len(noises) >= 3  # strong / medium / weak tiers
+
+    def test_unknown_domain_raises(self):
+        with pytest.raises(ValueError):
+            items_by_domain("strength")
+
+
+class TestProItemValidation:
+    def test_invalid_domain(self):
+        with pytest.raises(ValueError, match="domain"):
+            ProItem("x", "nope", 5, False, 0.1, 0.0)
+
+    def test_invalid_levels(self):
+        with pytest.raises(ValueError, match="n_levels"):
+            ProItem("x", "cognition", 1, False, 0.1, 0.0)
+
+    def test_negative_noise(self):
+        with pytest.raises(ValueError, match="noise"):
+            ProItem("x", "cognition", 5, False, -0.1, 0.0)
+
+    def test_invalid_skew(self):
+        with pytest.raises(ValueError, match="skew"):
+            ProItem("x", "cognition", 5, False, 0.1, 1.0)
+
+
+class TestConstants:
+    def test_five_ic_domains(self):
+        assert len(IC_DOMAINS) == 5
+
+    def test_three_activity_variables(self):
+        assert ACTIVITY_VARIABLES == ("steps", "calories", "sleep_hours")

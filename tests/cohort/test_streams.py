@@ -1,0 +1,211 @@
+"""Unit tests for the per-patient observation streams (wearable, PRO,
+clinical, outcomes, missingness)."""
+
+import numpy as np
+import pytest
+
+from repro.cohort.clinical import generate_visit_deficits
+from repro.cohort.missingness import apply_missingness
+from repro.cohort.outcomes import generate_outcomes
+from repro.cohort.patients import generate_patients
+from repro.cohort.pro import build_item_links, generate_pro_answers
+from repro.cohort.schema import PRO_ITEMS, pro_item_names
+from repro.cohort.wearable import generate_daily_trace
+from repro.frailty.deficits import deficit_names
+from repro.synth import SeedSequenceFactory
+
+from tests.conftest import small_config
+
+
+@pytest.fixture(scope="module")
+def setup():
+    cfg = small_config()
+    seeds = SeedSequenceFactory(cfg.seed)
+    patients = generate_patients(cfg, seeds)
+    clinics = {c.name: c for c in cfg.clinics}
+    return cfg, seeds, patients, clinics
+
+
+class TestWearable:
+    def test_trace_length(self, setup):
+        cfg, seeds, patients, clinics = setup
+        p = patients[0]
+        trace = generate_daily_trace(cfg, clinics[p.clinic], p, seeds)
+        assert len(trace["day"]) == cfg.n_months * cfg.days_per_month
+
+    def test_month_attribution(self, setup):
+        cfg, seeds, patients, clinics = setup
+        p = patients[0]
+        trace = generate_daily_trace(cfg, clinics[p.clinic], p, seeds)
+        assert trace["month"].min() == 1
+        assert trace["month"].max() == cfg.n_months
+        # each month holds exactly days_per_month days
+        counts = np.bincount(trace["month"])[1:]
+        assert (counts == cfg.days_per_month).all()
+
+    def test_values_positive(self, setup):
+        cfg, seeds, patients, clinics = setup
+        p = patients[1]
+        trace = generate_daily_trace(cfg, clinics[p.clinic], p, seeds)
+        assert (trace["steps"] >= 0).all()
+        assert (trace["calories"] > 0).all()
+        assert (trace["sleep_hours"] > 0).all()
+
+    def test_steps_track_locomotion(self, setup):
+        cfg, seeds, patients, clinics = setup
+        # Patients with higher mean locomotion walk more on average.
+        mean_steps, mean_loco = [], []
+        for p in patients:
+            trace = generate_daily_trace(cfg, clinics[p.clinic], p, seeds)
+            mean_steps.append(float(np.mean(trace["steps"])))
+            mean_loco.append(float(np.mean(p.domain_scores["locomotion"])))
+        assert np.corrcoef(mean_steps, mean_loco)[0, 1] > 0.3
+
+    def test_deterministic(self, setup):
+        cfg, seeds, patients, clinics = setup
+        p = patients[0]
+        a = generate_daily_trace(cfg, clinics[p.clinic], p, seeds)
+        b = generate_daily_trace(cfg, clinics[p.clinic], p, seeds)
+        assert np.array_equal(a["steps"], b["steps"])
+
+
+class TestPro:
+    def test_months_covered(self, setup):
+        cfg, seeds, patients, clinics = setup
+        p = patients[0]
+        answers = generate_pro_answers(cfg, clinics[p.clinic], p, seeds)
+        assert answers["month"].tolist() == list(range(1, cfg.n_months + 1))
+
+    def test_all_items_present(self, setup):
+        cfg, seeds, patients, clinics = setup
+        p = patients[0]
+        answers = generate_pro_answers(cfg, clinics[p.clinic], p, seeds)
+        assert set(pro_item_names()) <= set(answers)
+
+    def test_answers_within_scale(self, setup):
+        cfg, seeds, patients, clinics = setup
+        p = patients[2]
+        answers = generate_pro_answers(cfg, clinics[p.clinic], p, seeds)
+        for item in PRO_ITEMS:
+            vals = answers[item.name]
+            assert vals.min() >= 1 and vals.max() <= item.n_levels
+
+    def test_item_links_cover_bank(self):
+        links = build_item_links()
+        assert set(links) == set(pro_item_names())
+
+    def test_protocol_noise_widens_links(self):
+        base = build_item_links(extra_noise=0.0)
+        noisy = build_item_links(extra_noise=0.1)
+        name = pro_item_names()[0]
+        assert noisy[name].noise_sd > base[name].noise_sd
+
+
+class TestMissingness:
+    def test_nan_holes_created(self, setup):
+        cfg, seeds, patients, clinics = setup
+        p = patients[0]
+        answers = generate_pro_answers(cfg, clinics[p.clinic], p, seeds)
+        gappy = apply_missingness(cfg, clinics[p.clinic], p.patient_id, answers, seeds)
+        total_nan = sum(
+            int(np.isnan(gappy[name]).sum()) for name in pro_item_names()
+        )
+        assert total_nan > 0
+
+    def test_input_not_mutated(self, setup):
+        cfg, seeds, patients, clinics = setup
+        p = patients[0]
+        answers = generate_pro_answers(cfg, clinics[p.clinic], p, seeds)
+        before = answers[pro_item_names()[0]].copy()
+        apply_missingness(cfg, clinics[p.clinic], p.patient_id, answers, seeds)
+        assert np.array_equal(answers[pro_item_names()[0]], before)
+
+    def test_month_column_untouched(self, setup):
+        cfg, seeds, patients, clinics = setup
+        p = patients[0]
+        answers = generate_pro_answers(cfg, clinics[p.clinic], p, seeds)
+        gappy = apply_missingness(cfg, clinics[p.clinic], p.patient_id, answers, seeds)
+        assert np.array_equal(gappy["month"], answers["month"])
+
+    def test_patient_level_bursts_blank_many_items_at_once(self, setup):
+        cfg, seeds, patients, clinics = setup
+        # In months hit by the patient-level mask, most items are NaN
+        # simultaneously; count months where >90% of items are missing.
+        hits = 0
+        for p in patients[:10]:
+            answers = generate_pro_answers(cfg, clinics[p.clinic], p, seeds)
+            gappy = apply_missingness(
+                cfg, clinics[p.clinic], p.patient_id, answers, seeds
+            )
+            matrix = np.column_stack([gappy[n] for n in pro_item_names()])
+            frac = np.isnan(matrix).mean(axis=1)
+            hits += int(np.sum(frac > 0.9))
+        assert hits > 0
+
+
+class TestClinical:
+    def test_visit_months(self, setup):
+        cfg, seeds, patients, _ = setup
+        deficits = generate_visit_deficits(cfg, patients[0], seeds)
+        assert deficits["visit_month"].tolist() == list(cfg.visit_months)
+
+    def test_all_deficits_present_in_unit_interval(self, setup):
+        cfg, seeds, patients, _ = setup
+        deficits = generate_visit_deficits(cfg, patients[0], seeds)
+        for name in deficit_names():
+            vals = deficits[name]
+            assert ((vals >= 0) & (vals <= 1)).all()
+
+    def test_sicker_patients_express_more_deficits(self, setup):
+        cfg, seeds, patients, _ = setup
+        burden, health = [], []
+        for p in patients:
+            deficits = generate_visit_deficits(cfg, p, seeds)
+            matrix = np.column_stack([deficits[n] for n in deficit_names()])
+            burden.append(float(matrix.mean()))
+            health.append(float(p.health[list(cfg.visit_months)].mean()))
+        assert np.corrcoef(burden, health)[0, 1] < -0.5
+
+
+class TestOutcomes:
+    def test_one_row_per_window(self, setup):
+        cfg, seeds, patients, _ = setup
+        out = generate_outcomes(cfg, patients[0], seeds)
+        assert out["window"].tolist() == [1, 2]
+        assert out["visit_month"].tolist() == [9, 18]
+
+    def test_qol_in_unit_interval(self, setup):
+        cfg, seeds, patients, _ = setup
+        for p in patients[:10]:
+            out = generate_outcomes(cfg, p, seeds)
+            assert (out["qol"] >= 0).all() and (out["qol"] <= 1).all()
+
+    def test_sppb_in_range(self, setup):
+        cfg, seeds, patients, _ = setup
+        for p in patients[:10]:
+            out = generate_outcomes(cfg, p, seeds)
+            assert out["sppb"].min() >= 0 and out["sppb"].max() <= 12
+
+    def test_falls_is_boolean(self, setup):
+        cfg, seeds, patients, _ = setup
+        out = generate_outcomes(cfg, patients[0], seeds)
+        assert out["falls"].dtype == bool
+
+    def test_falls_minority_class(self, setup):
+        cfg, seeds, patients, _ = setup
+        all_falls = np.concatenate(
+            [generate_outcomes(cfg, p, seeds)["falls"] for p in patients]
+        )
+        assert 0.0 < all_falls.mean() < 0.5  # strong False majority
+
+    def test_sppb_tracks_locomotion(self, setup):
+        cfg, seeds, patients, _ = setup
+        sppb, loco = [], []
+        for p in patients:
+            out = generate_outcomes(cfg, p, seeds)
+            sppb.extend(out["sppb"].tolist())
+            loco.extend(
+                p.window_mean(cfg.window_months(int(j)), "locomotion")
+                for j in out["window"]
+            )
+        assert np.corrcoef(sppb, loco)[0, 1] > 0.6

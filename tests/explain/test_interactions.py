@@ -1,0 +1,146 @@
+"""Correctness tests for SHAP interaction values.
+
+Gold standard: the Shapley interaction index computed by brute-force
+subset enumeration over the same path-dependent value function (SHAP's
+convention splits each pair's total effect across the two symmetric
+off-diagonal cells).
+"""
+
+from itertools import combinations
+from math import factorial
+
+import numpy as np
+import pytest
+
+from repro.boosting import GBRegressor, Tree, TreeEnsemble
+from repro.explain import TreeShapExplainer, TreeShapInteractionExplainer
+from repro.explain.exact import tree_value_function
+
+
+def xor_tree():
+    """Depth-2 tree encoding sign(x0) == sign(x1) -> +1 else -1."""
+    return Tree(
+        children_left=np.array([1, 3, 5, -1, -1, -1, -1]),
+        children_right=np.array([2, 4, 6, -1, -1, -1, -1]),
+        feature=np.array([0, 1, 1, -1, -1, -1, -1]),
+        threshold=np.array([0.0, 0.0, 0.0, np.nan, np.nan, np.nan, np.nan]),
+        missing_left=np.array([True] * 7),
+        value=np.array([0.0, 0.0, 0.0, 1.0, -1.0, -1.0, 1.0]),
+        cover=np.array([8.0, 4.0, 4.0, 2.0, 2.0, 2.0, 2.0]),
+    )
+
+
+def brute_pair_interaction(trees, x, i, j) -> float:
+    """Total pair effect phi_ij + phi_ji by subset enumeration."""
+    total = 0.0
+    for tree in trees:
+        used = [int(f) for f in tree.used_features()]
+        if i not in used or j not in used:
+            continue
+        others = [f for f in used if f not in (i, j)]
+        m = len(used)
+        for size in range(len(others) + 1):
+            w = factorial(size) * factorial(m - size - 2) / factorial(m - 1)
+            for combo in combinations(others, size):
+                s = frozenset(combo)
+                delta = (
+                    tree_value_function(tree, x, s | {i, j})
+                    - tree_value_function(tree, x, s | {i})
+                    - tree_value_function(tree, x, s | {j})
+                    + tree_value_function(tree, x, s)
+                )
+                total += w * delta
+    return total
+
+
+@pytest.fixture(scope="module")
+def fitted_model():
+    rng = np.random.default_rng(14)
+    X = rng.normal(size=(300, 4))
+    # An explicit, greedily-learnable interaction: the x1 effect only
+    # exists where x0 > 0.
+    y = 1.5 * X[:, 0] + 2.0 * (X[:, 0] > 0) * X[:, 1] + rng.normal(0, 0.05, 300)
+    model = GBRegressor(
+        n_estimators=25, max_depth=3, subsample=1.0, colsample_bytree=1.0
+    ).fit(X, y)
+    return model, X
+
+
+class TestAgainstBruteForce:
+    def test_xor_tree_pair_effect(self):
+        ens = TreeEnsemble(0.0, [xor_tree()])
+        explainer = TreeShapInteractionExplainer(ens)
+        for raw in ([-1.0, -1.0], [1.0, -1.0], [2.0, 0.5]):
+            x = np.array(raw)
+            matrix = explainer.shap_interaction_values(x, 2)
+            expected_pair = brute_pair_interaction([xor_tree()], x, 0, 1)
+            assert matrix[0, 1] + matrix[1, 0] == pytest.approx(expected_pair)
+
+    def test_fitted_model_pair_effects(self, fitted_model):
+        model, X = fitted_model
+        explainer = TreeShapInteractionExplainer(model)
+        for idx in range(3):
+            x = X[idx]
+            matrix = explainer.shap_interaction_values(x, 4)
+            expected = brute_pair_interaction(model.ensemble_.trees, x, 0, 1)
+            assert matrix[0, 1] + matrix[1, 0] == pytest.approx(expected, abs=1e-8)
+
+
+class TestIdentities:
+    def test_rows_sum_to_shap_values(self, fitted_model):
+        model, X = fitted_model
+        inter = TreeShapInteractionExplainer(model)
+        shap = TreeShapExplainer(model)
+        for idx in range(3):
+            matrix = inter.shap_interaction_values(X[idx], 4)
+            phi = shap.shap_values_single(X[idx])
+            assert np.allclose(matrix.sum(axis=1), phi, atol=1e-8)
+
+    def test_symmetry(self, fitted_model):
+        model, X = fitted_model
+        inter = TreeShapInteractionExplainer(model)
+        matrix = inter.shap_interaction_values(X[0], 4)
+        assert np.allclose(matrix, matrix.T, atol=1e-10)
+
+    def test_xor_has_pure_interaction(self):
+        ens = TreeEnsemble(0.0, [xor_tree()])
+        matrix = TreeShapInteractionExplainer(ens).shap_interaction_values(
+            np.array([1.0, 1.0]), 2
+        )
+        # All attribution lives on the pair; main effects vanish by the
+        # symmetry of the XOR structure.
+        assert matrix[0, 0] == pytest.approx(0.0, abs=1e-10)
+        assert matrix[1, 1] == pytest.approx(0.0, abs=1e-10)
+        assert matrix[0, 1] == pytest.approx(0.5)
+
+    def test_learned_conditional_effect_is_detected(self, fitted_model):
+        model, X = fitted_model
+        inter = TreeShapInteractionExplainer(model)
+        # Average |interaction| over samples: the (0,1) pair must carry
+        # substantially more mass than a non-interacting pair like (2,3).
+        acc = np.zeros((4, 4))
+        for idx in range(12):
+            acc += np.abs(inter.shap_interaction_values(X[idx], 4))
+        assert acc[0, 1] > 5 * acc[2, 3]
+
+    def test_unused_feature_has_zero_row(self, fitted_model):
+        model, X = fitted_model
+        matrix = TreeShapInteractionExplainer(model).shap_interaction_values(
+            X[0], 6  # two phantom features beyond the model's 4
+        )
+        assert np.allclose(matrix[4], 0.0) and np.allclose(matrix[5], 0.0)
+
+
+class TestValidation:
+    def test_single_sample_only(self, fitted_model):
+        model, X = fitted_model
+        with pytest.raises(ValueError, match="single sample"):
+            TreeShapInteractionExplainer(model).shap_interaction_values(X[:2], 4)
+
+    def test_empty_ensemble_rejected(self):
+        with pytest.raises(ValueError):
+            TreeShapInteractionExplainer(TreeEnsemble(0.0, []))
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(TypeError):
+            TreeShapInteractionExplainer([1, 2])

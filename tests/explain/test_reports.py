@@ -1,0 +1,124 @@
+"""Unit tests for repro.explain.reports."""
+
+import numpy as np
+import pytest
+
+from repro.explain import (
+    dependence_curve,
+    detect_threshold,
+    top_k_features,
+)
+
+
+class TestTopK:
+    def test_ranks_by_absolute_value(self):
+        shap = np.array([0.1, -0.5, 0.3])
+        expl = top_k_features(
+            shap, np.array([1.0, 2.0, 3.0]), ["a", "b", "c"], 1.0, 0.5, k=2
+        )
+        assert expl.features == ("b", "c")
+        assert expl.contributions == (-0.5, 0.3)
+
+    def test_positive_negative_split(self):
+        shap = np.array([0.4, -0.2])
+        expl = top_k_features(shap, np.zeros(2), ["a", "b"], 1.0, 0.0, k=2)
+        assert expl.positive() == [("a", 0.4)]
+        assert expl.negative() == [("b", -0.2)]
+
+    def test_values_carried(self):
+        shap = np.array([1.0])
+        expl = top_k_features(shap, np.array([42.0]), ["a"], 0.0, 0.0, k=1)
+        assert expl.values == (42.0,)
+
+    def test_render_shows_missing(self):
+        shap = np.array([1.0])
+        expl = top_k_features(shap, np.array([np.nan]), ["a"], 0.0, 0.0, k=1)
+        assert "missing" in expl.render()
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            top_k_features(np.zeros(2), np.zeros(3), ["a", "b"], 0.0, 0.0)
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            top_k_features(np.zeros(1), np.zeros(1), ["a"], 0.0, 0.0, k=0)
+
+    def test_k_larger_than_features_ok(self):
+        expl = top_k_features(np.zeros(2), np.zeros(2), ["a", "b"], 0.0, 0.0, k=10)
+        assert len(expl.features) == 2
+
+
+class TestDetectThreshold:
+    def test_paper_style_sign_change(self):
+        # Fig. 7: negative SVs below answer 3, positive at and above.
+        values = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        shap = np.array([-0.4, -0.2, 0.1, 0.3, 0.5])
+        assert detect_threshold(values, shap) == 3.0
+
+    def test_descending_curve(self):
+        values = np.array([1.0, 2.0, 3.0])
+        shap = np.array([0.5, -0.1, -0.4])
+        assert detect_threshold(values, shap) == 2.0
+
+    def test_no_sign_change_returns_none(self):
+        values = np.array([1.0, 2.0])
+        assert detect_threshold(values, np.array([0.1, 0.5])) is None
+
+    def test_non_monotone_returns_none(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        shap = np.array([-0.1, 0.2, -0.3, 0.4])
+        assert detect_threshold(values, shap) is None
+
+    def test_zeros_ignored(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        shap = np.array([-0.3, 0.0, 0.0, 0.4])
+        assert detect_threshold(values, shap) == 4.0
+
+    def test_all_zero_returns_none(self):
+        assert detect_threshold(np.array([1.0, 2.0]), np.zeros(2)) is None
+
+    def test_single_point_returns_none(self):
+        assert detect_threshold(np.array([1.0]), np.array([0.5])) is None
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            detect_threshold(np.array([1.0]), np.zeros(2))
+
+
+class TestDependenceCurve:
+    def test_categorical_values_kept_exact(self):
+        x = np.array([1.0, 1.0, 2.0, 2.0, 3.0])
+        shap = np.array([-0.2, -0.4, 0.0, 0.2, 0.5])
+        curve = dependence_curve(shap, x, "item")
+        assert curve.values.tolist() == [1.0, 2.0, 3.0]
+        assert curve.mean_shap[0] == pytest.approx(-0.3)
+        assert curve.counts.tolist() == [2, 2, 1]
+
+    def test_threshold_detected(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        shap = np.array([-0.2, -0.1, 0.2, 0.4])
+        curve = dependence_curve(shap, x, "item")
+        assert curve.threshold == 3.0
+
+    def test_nan_values_excluded(self):
+        x = np.array([1.0, np.nan, 2.0])
+        shap = np.array([0.1, 99.0, 0.3])
+        curve = dependence_curve(shap, x, "item")
+        assert curve.counts.sum() == 2
+
+    def test_continuous_bucketing(self, rng):
+        x = rng.normal(size=500)
+        shap = x * 0.1
+        curve = dependence_curve(shap, x, "steps", max_points=10)
+        assert len(curve.values) <= 10
+        assert curve.counts.sum() == 500
+
+    def test_all_missing_rejected(self):
+        with pytest.raises(ValueError, match="no observed"):
+            dependence_curve(np.array([1.0]), np.array([np.nan]), "item")
+
+    def test_render_contains_threshold(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        shap = np.array([-0.2, -0.1, 0.2, 0.4])
+        text = dependence_curve(shap, x, "item").render()
+        assert "threshold" in text

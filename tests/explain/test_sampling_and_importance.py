@@ -1,0 +1,108 @@
+"""Tests for the Monte-Carlo Shapley estimator and global importance."""
+
+import numpy as np
+import pytest
+
+from repro.boosting import GBRegressor, TreeEnsemble
+from repro.explain import (
+    PermutationShapEstimator,
+    TreeShapExplainer,
+    global_importance,
+)
+
+
+@pytest.fixture(scope="module")
+def model_and_data():
+    rng = np.random.default_rng(12)
+    X = rng.normal(size=(300, 5))
+    y = 2 * X[:, 0] + X[:, 1] * X[:, 2] + rng.normal(0, 0.1, 300)
+    model = GBRegressor(
+        n_estimators=15, max_depth=3, subsample=1.0, colsample_bytree=1.0
+    ).fit(X, y)
+    return model, X
+
+
+class TestPermutationEstimator:
+    def test_converges_to_exact_treeshap(self, model_and_data):
+        model, X = model_and_data
+        exact = TreeShapExplainer(model).shap_values_single(X[0])
+        approx = PermutationShapEstimator(
+            model, n_permutations=400, seed=0
+        ).shap_values_single(X[0], X.shape[1])
+        assert np.allclose(approx, exact, atol=0.05)
+
+    def test_more_permutations_reduce_error(self, model_and_data):
+        model, X = model_and_data
+        exact = TreeShapExplainer(model).shap_values_single(X[1])
+
+        def error(n_perm):
+            est = PermutationShapEstimator(model, n_permutations=n_perm, seed=1)
+            return float(
+                np.abs(est.shap_values_single(X[1], X.shape[1]) - exact).max()
+            )
+
+        assert error(300) <= error(5) + 1e-9
+
+    def test_deterministic_given_seed(self, model_and_data):
+        model, X = model_and_data
+        a = PermutationShapEstimator(model, 20, seed=3).shap_values_single(X[0], 5)
+        b = PermutationShapEstimator(model, 20, seed=3).shap_values_single(X[0], 5)
+        assert np.array_equal(a, b)
+
+    def test_efficiency_holds_exactly_per_permutation(self, model_and_data):
+        # Telescoping sums make permutation Shapley exactly efficient
+        # regardless of n_permutations.
+        model, X = model_and_data
+        est = PermutationShapEstimator(model, n_permutations=3, seed=0)
+        phi = est.shap_values_single(X[2], X.shape[1])
+        explainer = TreeShapExplainer(model)
+        pred = model.predict(X[2][None, :])[0]
+        assert phi.sum() + explainer.expected_value == pytest.approx(pred, abs=1e-8)
+
+    def test_invalid_permutation_count(self, model_and_data):
+        model, _ = model_and_data
+        with pytest.raises(ValueError):
+            PermutationShapEstimator(model, n_permutations=0)
+
+    def test_empty_ensemble_rejected(self):
+        with pytest.raises(ValueError):
+            PermutationShapEstimator(TreeEnsemble(base_score=0.0, trees=[]))
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(TypeError):
+            PermutationShapEstimator(42)
+
+
+class TestGlobalImportance:
+    def test_ranks_signal_features_first(self, model_and_data):
+        model, X = model_and_data
+        shap = TreeShapExplainer(model).shap_values(X[:80])
+        ranking = global_importance(shap, [f"f{i}" for i in range(5)], k=5)
+        assert ranking.features[0] == "f0"  # the dominant linear term
+
+    def test_k_truncates(self, model_and_data):
+        model, X = model_and_data
+        shap = TreeShapExplainer(model).shap_values(X[:30])
+        ranking = global_importance(shap, [f"f{i}" for i in range(5)], k=2)
+        assert len(ranking.features) == 2
+
+    def test_magnitudes_descending(self, model_and_data):
+        model, X = model_and_data
+        shap = TreeShapExplainer(model).shap_values(X[:30])
+        ranking = global_importance(shap, [f"f{i}" for i in range(5)])
+        mags = list(ranking.mean_abs_shap)
+        assert mags == sorted(mags, reverse=True)
+
+    def test_render(self, model_and_data):
+        model, X = model_and_data
+        shap = TreeShapExplainer(model).shap_values(X[:30])
+        text = global_importance(shap, [f"f{i}" for i in range(5)]).render()
+        assert "global feature importance" in text and "f0" in text
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="feature names"):
+            global_importance(np.zeros((3, 2)), ["a"])
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError, match="k"):
+            global_importance(np.zeros((3, 2)), ["a", "b"], k=0)

@@ -1,0 +1,172 @@
+"""Correctness tests for exact TreeSHAP.
+
+The gold standard is brute-force subset enumeration over the identical
+value function (repro.explain.exact); TreeSHAP must match it to
+numerical precision, and must satisfy the Shapley axioms that have
+direct observable form (efficiency, dummy, symmetry).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boosting import GBClassifier, GBRegressor, Tree, TreeEnsemble
+from repro.explain import TreeShapExplainer, brute_force_shap, tree_value_function
+
+from tests.boosting.test_tree import make_depth2, make_stump
+
+
+@pytest.fixture(scope="module")
+def fitted_model():
+    rng = np.random.default_rng(2)
+    X = rng.normal(size=(300, 5))
+    X[rng.random(X.shape) < 0.15] = np.nan
+    y = (
+        2.0 * np.nan_to_num(X[:, 0])
+        + np.nan_to_num(X[:, 1]) * np.nan_to_num(X[:, 2])
+        + rng.normal(0, 0.1, 300)
+    )
+    model = GBRegressor(
+        n_estimators=25, max_depth=3, subsample=1.0, colsample_bytree=1.0
+    )
+    model.fit(X, y)
+    return model, X
+
+
+class TestAgainstBruteForce:
+    def test_matches_on_fitted_ensemble(self, fitted_model):
+        model, X = fitted_model
+        explainer = TreeShapExplainer(model)
+        for i in range(8):
+            fast = explainer.shap_values_single(X[i])
+            slow = brute_force_shap(model.ensemble_, X[i], X.shape[1])
+            assert np.allclose(fast, slow, atol=1e-10)
+
+    def test_matches_with_missing_values(self, fitted_model):
+        model, X = fitted_model
+        x = X[0].copy()
+        x[0] = np.nan
+        explainer = TreeShapExplainer(model)
+        fast = explainer.shap_values_single(x)
+        slow = brute_force_shap(model.ensemble_, x, X.shape[1])
+        assert np.allclose(fast, slow, atol=1e-10)
+
+    def test_matches_on_handcrafted_tree(self):
+        tree = make_depth2()
+        ens = TreeEnsemble(base_score=0.0, trees=[tree])
+        explainer = TreeShapExplainer(ens)
+        for x in ([-1.0, -2.0], [1.0, 2.0], [0.5, np.nan]):
+            x = np.array(x)
+            fast = explainer.shap_values_single(x)
+            slow = brute_force_shap(ens, x, 2)
+            assert np.allclose(fast, slow, atol=1e-12)
+
+
+class TestShapleyAxioms:
+    def test_efficiency_on_ensemble(self, fitted_model):
+        model, X = fitted_model
+        explainer = TreeShapExplainer(model)
+        phi = explainer.shap_values(X[:40])
+        reconstruction = phi.sum(axis=1) + explainer.expected_value
+        assert np.allclose(reconstruction, model.predict(X[:40]), atol=1e-9)
+
+    def test_dummy_feature_gets_zero(self, fitted_model):
+        model, X = fitted_model
+        explainer = TreeShapExplainer(model)
+        phi = explainer.shap_values(X[:40])
+        used = set()
+        for tree in model.ensemble_.trees:
+            used |= set(tree.used_features().tolist())
+        unused = set(range(X.shape[1])) - used
+        for f in unused:
+            assert np.allclose(phi[:, f], 0.0)
+
+    def test_symmetry_on_symmetric_tree(self):
+        # f(x) = [x0 > 0] + [x1 > 0] built as two symmetric stumps.
+        stump0 = make_stump(feature=0, threshold=0.0, left=0.0, right=1.0)
+        stump1 = make_stump(feature=1, threshold=0.0, left=0.0, right=1.0)
+        # equalise covers so conditional expectations are symmetric
+        ens = TreeEnsemble(base_score=0.0, trees=[stump0, stump1])
+        explainer = TreeShapExplainer(ens)
+        phi = explainer.shap_values_single(np.array([1.0, 1.0]))
+        assert phi[0] == pytest.approx(phi[1])
+
+    def test_single_split_attribution(self):
+        # One stump: the entire deviation from the baseline belongs to
+        # the split feature.
+        tree = make_stump(feature=0, threshold=0.0, left=-1.0, right=1.0)
+        ens = TreeEnsemble(base_score=0.0, trees=[tree])
+        explainer = TreeShapExplainer(ens)
+        phi = explainer.shap_values_single(np.array([2.0, 5.0]))
+        expected_value = (4.0 * -1.0 + 6.0 * 1.0) / 10.0
+        assert phi[1] == 0.0
+        assert phi[0] == pytest.approx(1.0 - expected_value)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_efficiency_random_inputs(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(60, 4))
+        y = rng.normal(size=60)
+        model = GBRegressor(
+            n_estimators=5, max_depth=3, subsample=1.0, colsample_bytree=1.0
+        ).fit(X, y)
+        explainer = TreeShapExplainer(model)
+        x = rng.normal(size=4)
+        phi = explainer.shap_values_single(x)
+        pred = model.predict(x[None, :])[0]
+        assert phi.sum() + explainer.expected_value == pytest.approx(pred, abs=1e-8)
+
+
+class TestValueFunction:
+    def test_full_subset_is_prediction(self, fitted_model):
+        model, X = fitted_model
+        tree = model.ensemble_.trees[0]
+        full = frozenset(range(X.shape[1]))
+        assert tree_value_function(tree, X[0], full) == pytest.approx(
+            tree.predict(X[0][None, :])[0]
+        )
+
+    def test_empty_subset_is_cover_weighted_mean(self):
+        tree = make_stump(left=-1.0, right=1.0)
+        v = tree_value_function(tree, np.array([0.0]), frozenset())
+        assert v == pytest.approx((4 * -1.0 + 6 * 1.0) / 10.0)
+
+
+class TestExplainerAPI:
+    def test_accepts_estimator_or_ensemble(self, fitted_model):
+        model, X = fitted_model
+        a = TreeShapExplainer(model).shap_values_single(X[0])
+        b = TreeShapExplainer(model.ensemble_).shap_values_single(X[0])
+        assert np.array_equal(a, b)
+
+    def test_classifier_explained_on_logit_scale(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(200, 3))
+        y = X[:, 0] > 0
+        model = GBClassifier(
+            n_estimators=10, max_depth=2, subsample=1.0, colsample_bytree=1.0
+        ).fit(X, y)
+        explainer = TreeShapExplainer(model)
+        phi = explainer.shap_values(X[:10])
+        raw = model.ensemble_.predict_raw(X[:10])
+        assert np.allclose(phi.sum(axis=1) + explainer.expected_value, raw, atol=1e-9)
+
+    def test_1d_input_promoted(self, fitted_model):
+        model, X = fitted_model
+        explainer = TreeShapExplainer(model)
+        assert explainer.shap_values(X[0]).shape == (1, X.shape[1])
+
+    def test_3d_input_rejected(self, fitted_model):
+        model, X = fitted_model
+        with pytest.raises(ValueError):
+            TreeShapExplainer(model).shap_values(np.zeros((1, 2, 3)))
+
+    def test_empty_ensemble_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            TreeShapExplainer(TreeEnsemble(base_score=0.0, trees=[]))
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(TypeError):
+            TreeShapExplainer("not a model")

@@ -1,0 +1,74 @@
+"""Unit tests for repro.frailty.deficits."""
+
+import numpy as np
+import pytest
+
+from repro.frailty import DEFICIT_CATALOGUE, Deficit, deficit_names
+
+
+class TestCatalogue:
+    def test_exactly_37_deficits(self):
+        # Paper: "37 of these variables were used to measure the FI".
+        assert len(DEFICIT_CATALOGUE) == 37
+
+    def test_category_composition(self):
+        counts = {}
+        for d in DEFICIT_CATALOGUE:
+            counts[d.category] = counts.get(d.category, 0) + 1
+        # 27 blood tests, 3 body composition, 7 HIV/PRO, per the paper.
+        assert counts == {"blood": 27, "body_composition": 3, "hiv_pro": 7}
+
+    def test_names_unique(self):
+        names = deficit_names()
+        assert len(set(names)) == 37
+
+    def test_mixed_sensitivities(self):
+        sens = {d.sensitivity for d in DEFICIT_CATALOGUE}
+        assert len(sens) >= 3
+
+    def test_some_graded_deficits(self):
+        graded = sum(d.graded for d in DEFICIT_CATALOGUE)
+        assert 0 < graded < 37
+
+
+class TestDeficitModel:
+    def test_expression_increases_as_health_falls(self):
+        d = Deficit("x", "blood", base_rate=0.05, sensitivity=0.5, graded=False)
+        p_healthy = d.expression_probability(0.9)
+        p_sick = d.expression_probability(0.2)
+        assert p_sick > p_healthy
+
+    def test_probability_clipped_to_unit_interval(self):
+        d = Deficit("x", "blood", base_rate=0.9, sensitivity=1.0, graded=False)
+        assert d.expression_probability(0.0) == 1.0
+        assert d.expression_probability(np.array([1.0]))[0] == pytest.approx(0.9)
+
+    def test_binary_sampling_values(self, rng):
+        d = Deficit("x", "blood", base_rate=0.1, sensitivity=0.5, graded=False)
+        vals = d.sample(np.full(500, 0.5), rng)
+        assert set(np.unique(vals)) <= {0.0, 1.0}
+
+    def test_graded_sampling_values(self, rng):
+        d = Deficit("x", "blood", base_rate=0.2, sensitivity=0.6, graded=True)
+        vals = d.sample(np.full(2000, 0.3), rng)
+        assert set(np.unique(vals)) <= {0.0, 0.5, 1.0}
+        assert 0.5 in vals  # partial expression occurs
+
+    def test_sampling_rate_matches_probability(self):
+        rng = np.random.default_rng(0)
+        d = Deficit("x", "blood", base_rate=0.1, sensitivity=0.4, graded=False)
+        h = 0.5
+        vals = d.sample(np.full(50000, h), rng)
+        assert vals.mean() == pytest.approx(d.expression_probability(h), abs=0.01)
+
+    def test_invalid_category(self):
+        with pytest.raises(ValueError, match="category"):
+            Deficit("x", "nope", 0.1, 0.5, False)
+
+    def test_invalid_base_rate(self):
+        with pytest.raises(ValueError, match="base_rate"):
+            Deficit("x", "blood", 1.5, 0.5, False)
+
+    def test_negative_sensitivity(self):
+        with pytest.raises(ValueError, match="sensitivity"):
+            Deficit("x", "blood", 0.1, -0.5, False)

@@ -1,0 +1,106 @@
+"""Unit and property tests for repro.frailty.index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.frailty import FrailtyIndexCalculator, frailty_category
+from repro.tabular import Table
+
+
+class TestFrailtyCategory:
+    def test_bands(self):
+        assert frailty_category(0.1) == "fit"
+        assert frailty_category(0.3) == "pre_frail"
+        assert frailty_category(0.5) == "frail"
+        assert frailty_category(0.7) == "most_frail"
+
+    def test_boundaries(self):
+        assert frailty_category(0.25) == "pre_frail"
+        assert frailty_category(0.4) == "frail"
+        assert frailty_category(0.6) == "most_frail"
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            frailty_category(1.5)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            frailty_category(float("nan"))
+
+
+class TestCalculator:
+    def test_fi_is_mean_deficit(self):
+        calc = FrailtyIndexCalculator(["d1", "d2", "d3"], min_observed=2)
+        fi = calc.compute_from_matrix(np.array([[0.0, 0.5, 1.0]]))
+        assert fi[0] == pytest.approx(0.5)
+
+    def test_missing_deficits_shrink_denominator(self):
+        calc = FrailtyIndexCalculator(["d1", "d2", "d3"], min_observed=2)
+        fi = calc.compute_from_matrix(np.array([[1.0, 1.0, np.nan]]))
+        assert fi[0] == pytest.approx(1.0)
+
+    def test_below_min_observed_is_nan(self):
+        calc = FrailtyIndexCalculator(["d1", "d2", "d3"], min_observed=3)
+        fi = calc.compute_from_matrix(np.array([[1.0, 1.0, np.nan]]))
+        assert np.isnan(fi[0])
+
+    def test_value_range_validated(self):
+        calc = FrailtyIndexCalculator(["d1", "d2"], min_observed=1)
+        with pytest.raises(ValueError, match="0, 1"):
+            calc.compute_from_matrix(np.array([[2.0, 0.5]]))
+
+    def test_shape_validated(self):
+        calc = FrailtyIndexCalculator(["d1", "d2"], min_observed=1)
+        with pytest.raises(ValueError, match="shape"):
+            calc.compute_from_matrix(np.zeros((2, 3)))
+
+    def test_default_uses_catalogue(self):
+        calc = FrailtyIndexCalculator()
+        assert len(calc.deficit_columns) == 37
+        assert calc.min_observed == 30
+
+    def test_min_observed_cannot_exceed_columns(self):
+        with pytest.raises(ValueError, match="min_observed"):
+            FrailtyIndexCalculator(["d1"], min_observed=2)
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            FrailtyIndexCalculator([], min_observed=1)
+
+    def test_compute_from_table(self):
+        t = Table({"d1": [0.0, 1.0], "d2": [1.0, 1.0]})
+        calc = FrailtyIndexCalculator(["d1", "d2"], min_observed=1)
+        assert calc.compute(t).tolist() == [0.5, 1.0]
+
+    def test_with_fi_column(self):
+        t = Table({"d1": [0.0], "d2": [1.0]})
+        calc = FrailtyIndexCalculator(["d1", "d2"], min_observed=1)
+        out = calc.with_fi_column(t, name="fi")
+        assert out["fi"][0] == pytest.approx(0.5)
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(1, 20), st.just(5)),
+            elements=st.floats(0.0, 1.0),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_fi_always_in_unit_interval(self, matrix):
+        calc = FrailtyIndexCalculator([f"d{i}" for i in range(5)], min_observed=1)
+        fi = calc.compute_from_matrix(matrix)
+        assert ((fi >= 0) & (fi <= 1)).all()
+
+    def test_monotonicity_adding_a_deficit_raises_fi(self):
+        calc = FrailtyIndexCalculator(["d1", "d2", "d3"], min_observed=1)
+        low = calc.compute_from_matrix(np.array([[0.0, 0.0, 0.0]]))[0]
+        high = calc.compute_from_matrix(np.array([[1.0, 0.0, 0.0]]))[0]
+        assert high > low
+
+    def test_cohort_fi_plausible(self, small_cohort):
+        fi = FrailtyIndexCalculator().compute(small_cohort.visits)
+        assert not np.isnan(fi).any()
+        assert 0.0 < fi.mean() < 0.6  # typical HIV-cohort FI levels [6]

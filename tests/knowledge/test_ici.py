@@ -1,0 +1,137 @@
+"""Unit tests for repro.knowledge.ici."""
+
+import numpy as np
+import pytest
+
+from repro.knowledge import (
+    CutoffRule,
+    ICICalculator,
+    ICISpecification,
+    ThresholdScore,
+    default_ici_specification,
+)
+from repro.tabular import Table
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return default_ici_specification()
+
+
+class TestDefaultSpecification:
+    def test_covers_all_domains(self, spec):
+        coverage = spec.domain_coverage()
+        assert all(count >= 1 for count in coverage.values())
+
+    def test_includes_wearable_variables(self, spec):
+        assert "steps" in spec.variables
+        assert "sleep_hours" in spec.variables
+
+    def test_two_items_per_domain_plus_wearables(self, spec):
+        assert len(spec.rules) == 5 * 2 + 2
+
+    def test_items_per_domain_parameter(self):
+        bigger = default_ici_specification(items_per_domain=3)
+        assert len(bigger.rules) == 5 * 3 + 2
+
+    def test_invalid_items_per_domain(self):
+        with pytest.raises(ValueError):
+            default_ici_specification(items_per_domain=0)
+
+    def test_rules_have_rationales(self, spec):
+        assert all(rule.rationale for rule in spec.rules)
+
+
+class TestSpecificationValidation:
+    def test_empty_rules_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ICISpecification(rules=())
+
+    def test_duplicate_variables_rejected(self):
+        rule = CutoffRule("steps", ThresholdScore(1))
+        with pytest.raises(ValueError, match="duplicate"):
+            ICISpecification(rules=(rule, rule))
+
+    def test_uncovered_domain_rejected(self):
+        rules = (CutoffRule("steps", ThresholdScore(1)),)
+        with pytest.raises(ValueError, match="uncovered"):
+            ICISpecification(rules=rules)
+
+
+class TestComputation:
+    def test_normalised_sum_formula(self):
+        # ICI = sum(s_i) / n, per section 4 of the paper.
+        rules = tuple(
+            CutoffRule(v, ThresholdScore(3))
+            for v in ("pro_loc_01", "pro_cog_01", "pro_psy_01", "pro_vit_01", "pro_sen_01")
+        )
+        spec = ICISpecification(rules=rules)
+        calc = ICICalculator(spec)
+        table = Table(
+            {
+                "pro_loc_01": [5.0],
+                "pro_cog_01": [5.0],
+                "pro_psy_01": [1.0],
+                "pro_vit_01": [1.0],
+                "pro_sen_01": [1.0],
+            }
+        )
+        assert calc.compute(table)[0] == pytest.approx(2.0 / 5.0)
+
+    def test_missing_values_shrink_normaliser(self):
+        rules = tuple(
+            CutoffRule(v, ThresholdScore(3))
+            for v in ("pro_loc_01", "pro_cog_01", "pro_psy_01", "pro_vit_01", "pro_sen_01")
+        )
+        calc = ICICalculator(ICISpecification(rules=rules))
+        table = Table(
+            {
+                "pro_loc_01": [5.0],
+                "pro_cog_01": [np.nan],
+                "pro_psy_01": [np.nan],
+                "pro_vit_01": [np.nan],
+                "pro_sen_01": [1.0],
+            }
+        )
+        assert calc.compute(table)[0] == pytest.approx(1.0 / 2.0)
+
+    def test_all_missing_gives_nan(self):
+        rules = tuple(
+            CutoffRule(v, ThresholdScore(3))
+            for v in ("pro_loc_01", "pro_cog_01", "pro_psy_01", "pro_vit_01", "pro_sen_01")
+        )
+        calc = ICICalculator(ICISpecification(rules=rules))
+        table = Table({v: [np.nan] for v in calc.specification.variables})
+        assert np.isnan(calc.compute(table)[0])
+
+    def test_compute_from_mapping(self, spec):
+        calc = ICICalculator(spec)
+        values = {v: 5.0 for v in spec.variables}
+        values["steps"] = 10000.0
+        values["sleep_hours"] = 8.0
+        ici = calc.compute_from_mapping(values)
+        assert 0.0 <= ici <= 1.0
+
+    def test_ici_bounded_on_cohort_features(self, qol_dd_samples):
+        calc = ICICalculator()
+        columns = {
+            rule.variable: qol_dd_samples.X[
+                :, qol_dd_samples.feature_index(rule.variable)
+            ]
+            for rule in calc.specification.rules
+        }
+        ici = calc.compute(Table(columns))
+        observed = ici[~np.isnan(ici)]
+        assert observed.min() >= 0.0 and observed.max() <= 1.0
+
+    def test_healthier_answers_raise_ici(self, spec):
+        calc = ICICalculator(spec)
+        best = {v: 1e9 for v in spec.variables}
+        worst = {v: -1e9 for v in spec.variables}
+        # Reversed items score healthy on LOW answers, so drive values
+        # per rule direction instead of blindly maxing.
+        for rule in spec.rules:
+            if getattr(rule.scorer, "healthy_if_low", False):
+                best[rule.variable] = 0.0
+                worst[rule.variable] = 1e9
+        assert calc.compute_from_mapping(best) > calc.compute_from_mapping(worst)

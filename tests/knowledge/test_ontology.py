@@ -1,0 +1,109 @@
+"""Unit tests for repro.knowledge.ontology."""
+
+import networkx as nx
+import pytest
+
+from repro.cohort.schema import IC_DOMAINS, pro_item_names
+from repro.knowledge import IntrinsicCapacityOntology
+
+
+@pytest.fixture(scope="module")
+def onto():
+    return IntrinsicCapacityOntology.default()
+
+
+class TestDefaultOntology:
+    def test_five_domains(self, onto):
+        assert sorted(onto.domains()) == sorted(IC_DOMAINS)
+
+    def test_all_pro_items_are_variables(self, onto):
+        assert set(pro_item_names()) <= set(onto.variables())
+
+    def test_activity_variables_mapped(self, onto):
+        assert onto.domain_of("steps") == "locomotion"
+        assert onto.domain_of("calories") == "locomotion"
+        assert onto.domain_of("sleep_hours") == "vitality"
+
+    def test_domain_of_pro_item_matches_schema(self, onto):
+        from repro.cohort.schema import PRO_ITEMS
+
+        for item in PRO_ITEMS[:10]:
+            assert onto.domain_of(item.name) == item.domain
+
+    def test_variables_by_domain(self, onto):
+        loco = onto.variables("locomotion")
+        assert "steps" in loco
+        assert all(onto.domain_of(v) == "locomotion" for v in loco)
+
+    def test_unknown_domain_raises(self, onto):
+        with pytest.raises(KeyError):
+            onto.variables("strength")
+
+    def test_unknown_variable_raises(self, onto):
+        with pytest.raises(KeyError):
+            onto.domain_of("nope")
+
+    def test_domain_is_not_a_variable(self, onto):
+        with pytest.raises(KeyError):
+            onto.domain_of("locomotion")
+
+    def test_provenance_annotations(self, onto):
+        assert "WHO" in onto.provenance("locomotion")
+        assert "wearable" in onto.provenance("steps")
+
+    def test_root_has_no_provenance(self, onto):
+        with pytest.raises(KeyError):
+            onto.provenance(IntrinsicCapacityOntology.ROOT)
+
+
+class TestCoverage:
+    def test_coverage_counts(self, onto):
+        cover = onto.coverage(["steps", "sleep_hours", "pro_cog_01"])
+        assert cover["locomotion"] == 1
+        assert cover["vitality"] == 1
+        assert cover["cognition"] == 1
+        assert cover["sensory"] == 0
+
+    def test_assert_full_coverage_passes(self, onto):
+        variables = [onto.variables(d)[0] for d in onto.domains()]
+        onto.assert_full_coverage(variables)  # no raise
+
+    def test_assert_full_coverage_fails(self, onto):
+        with pytest.raises(ValueError, match="uncovered"):
+            onto.assert_full_coverage(["steps"])
+
+
+class TestValidation:
+    def test_cycle_rejected(self):
+        g = nx.DiGraph()
+        g.add_node("intrinsic_capacity", kind="root")
+        g.add_node("a", kind="domain")
+        g.add_edge("intrinsic_capacity", "a", provenance="x")
+        g.add_edge("a", "intrinsic_capacity", provenance="x")
+        with pytest.raises(ValueError, match="DAG"):
+            IntrinsicCapacityOntology(g)
+
+    def test_bad_kind_rejected(self):
+        g = nx.DiGraph()
+        g.add_node("x", kind="banana")
+        with pytest.raises(ValueError, match="kind"):
+            IntrinsicCapacityOntology(g)
+
+    def test_variable_must_be_leaf(self):
+        g = nx.DiGraph()
+        g.add_node("intrinsic_capacity", kind="root")
+        g.add_node("d", kind="domain")
+        g.add_node("v", kind="variable")
+        g.add_node("w", kind="variable")
+        g.add_edge("intrinsic_capacity", "d", provenance="x")
+        g.add_edge("d", "v", provenance="x")
+        g.add_edge("v", "w", provenance="x")
+        with pytest.raises(ValueError, match="leaf"):
+            IntrinsicCapacityOntology(g)
+
+    def test_domain_must_hang_off_root(self):
+        g = nx.DiGraph()
+        g.add_node("intrinsic_capacity", kind="root")
+        g.add_node("orphan", kind="domain")
+        with pytest.raises(ValueError, match="root"):
+            IntrinsicCapacityOntology(g)

@@ -1,0 +1,64 @@
+"""Unit tests for repro.knowledge.scoring."""
+
+import numpy as np
+import pytest
+
+from repro.knowledge import CutoffRule, LinearBandScore, ThresholdScore
+
+
+class TestThresholdScore:
+    def test_paper_stress_example(self):
+        # "stress level (from 1 to 10): the score is mapped to 1 if the
+        # value is lower than 3 and 0 otherwise" (paper section 4).
+        scorer = ThresholdScore(threshold=3, healthy_if_low=True)
+        assert scorer(np.array([1, 2, 3, 7])).tolist() == [1.0, 1.0, 0.0, 0.0]
+
+    def test_healthy_if_high(self):
+        scorer = ThresholdScore(threshold=4, healthy_if_low=False)
+        assert scorer(np.array([3, 4, 5])).tolist() == [0.0, 1.0, 1.0]
+
+    def test_nan_propagates(self):
+        scorer = ThresholdScore(threshold=3)
+        out = scorer(np.array([np.nan, 5.0]))
+        assert np.isnan(out[0]) and out[1] == 1.0
+
+    def test_scalar_input(self):
+        scorer = ThresholdScore(threshold=2, healthy_if_low=True)
+        assert scorer([1.0]).tolist() == [1.0]
+
+
+class TestLinearBandScore:
+    def test_paper_steps_example(self):
+        # "Other variables are mapped to a score in the [0, 1] range,
+        # for instance the number of steps per day."
+        scorer = LinearBandScore(low=2000, high=8000)
+        out = scorer(np.array([1000.0, 2000.0, 5000.0, 8000.0, 12000.0]))
+        assert out.tolist() == [0.0, 0.0, 0.5, 1.0, 1.0]
+
+    def test_inverted_band(self):
+        scorer = LinearBandScore(low=0, high=10, inverted=True)
+        out = scorer(np.array([0.0, 5.0, 10.0]))
+        assert out.tolist() == [1.0, 0.5, 0.0]
+
+    def test_nan_propagates(self):
+        out = LinearBandScore(low=0, high=1)(np.array([np.nan]))
+        assert np.isnan(out[0])
+
+    def test_degenerate_band_rejected(self):
+        with pytest.raises(ValueError, match="low"):
+            LinearBandScore(low=5, high=5)
+
+    def test_scores_always_in_unit_interval(self, rng):
+        scorer = LinearBandScore(low=-3, high=7)
+        out = scorer(rng.normal(0, 100, size=1000))
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+
+class TestCutoffRule:
+    def test_applies_scorer(self):
+        rule = CutoffRule("steps", LinearBandScore(0, 10), rationale="test")
+        assert rule.score(np.array([5.0]))[0] == pytest.approx(0.5)
+
+    def test_carries_rationale(self):
+        rule = CutoffRule("x", ThresholdScore(1), rationale="expert judgement")
+        assert rule.rationale == "expert judgement"

@@ -1,0 +1,100 @@
+"""Integration tests for the Fig. 3 protocol and per-clinic stratification."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MeanRegressor
+from repro.learning import per_clinic_results, run_protocol
+from repro.learning.metrics import ClassificationReport, RegressionReport
+
+
+@pytest.fixture(scope="module")
+def qol_result(qol_dd_samples):
+    return run_protocol(qol_dd_samples, n_folds=3, seed=0)
+
+
+class TestProtocol:
+    def test_regression_report_for_qol(self, qol_result):
+        assert isinstance(qol_result.test_report, RegressionReport)
+
+    def test_headline_is_one_minus_mape(self, qol_result):
+        assert qol_result.headline == qol_result.test_report.one_minus_mape
+
+    def test_beats_dummy_baseline(self, qol_dd_samples):
+        gbm = run_protocol(qol_dd_samples, n_folds=3, seed=0)
+        dummy = run_protocol(
+            qol_dd_samples,
+            model_factory=lambda s: MeanRegressor(),
+            n_folds=3,
+            seed=0,
+        )
+        assert gbm.test_report.mae < dummy.test_report.mae
+
+    def test_split_sizes(self, qol_result, qol_dd_samples):
+        n = qol_dd_samples.n_samples
+        assert len(qol_result.test_idx) == pytest.approx(0.2 * n, abs=2)
+        assert len(qol_result.train_idx) + len(qol_result.test_idx) == n
+
+    def test_split_disjoint(self, qol_result):
+        assert set(qol_result.train_idx) & set(qol_result.test_idx) == set()
+
+    def test_cv_reports_per_fold(self, qol_result):
+        assert len(qol_result.cv_reports) == 3
+        assert all(isinstance(r, RegressionReport) for r in qol_result.cv_reports)
+
+    def test_test_predictions_align(self, qol_result):
+        preds = qol_result.test_predictions()
+        assert len(preds) == len(qol_result.test_idx)
+        assert np.isfinite(preds).all()
+
+    def test_falls_uses_classification(self, falls_dd_samples):
+        result = run_protocol(falls_dd_samples, n_folds=2, seed=0)
+        assert isinstance(result.test_report, ClassificationReport)
+        assert result.headline == result.test_report.accuracy
+
+    def test_falls_split_stratified(self, falls_dd_samples):
+        result = run_protocol(falls_dd_samples, n_folds=2, seed=0)
+        y = falls_dd_samples.y
+        test_rate = y[result.test_idx].mean()
+        overall = y.mean()
+        assert abs(test_rate - overall) < 0.1
+
+    def test_deterministic(self, qol_dd_samples):
+        a = run_protocol(qol_dd_samples, n_folds=2, seed=5)
+        b = run_protocol(qol_dd_samples, n_folds=2, seed=5)
+        assert a.test_report.mae == b.test_report.mae
+
+    def test_seed_changes_split(self, qol_dd_samples):
+        a = run_protocol(qol_dd_samples, n_folds=2, seed=1)
+        b = run_protocol(qol_dd_samples, n_folds=2, seed=2)
+        assert not np.array_equal(a.test_idx, b.test_idx)
+
+    def test_custom_model_factory_used(self, qol_dd_samples):
+        result = run_protocol(
+            qol_dd_samples,
+            model_factory=lambda s: MeanRegressor(),
+            n_folds=2,
+        )
+        assert isinstance(result.model, MeanRegressor)
+
+
+class TestPerClinic:
+    def test_all_clinics_evaluated(self, qol_dd_samples):
+        results = per_clinic_results(qol_dd_samples, n_folds=2, seed=0)
+        assert set(results) == {"modena", "sydney", "hong_kong"}
+
+    def test_subsets_are_clinic_pure(self, qol_dd_samples):
+        results = per_clinic_results(qol_dd_samples, n_folds=2, seed=0)
+        for clinic, result in results.items():
+            assert set(result.samples.clinics.tolist()) == {clinic}
+
+    def test_explicit_clinic_list(self, qol_dd_samples):
+        results = per_clinic_results(
+            qol_dd_samples, clinics=["modena"], n_folds=2, seed=0
+        )
+        assert list(results) == ["modena"]
+
+    def test_folds_shrink_for_small_clinics(self, falls_dd_samples):
+        # hong_kong has 6 patients; requesting many folds must not crash.
+        results = per_clinic_results(falls_dd_samples, n_folds=10, seed=0)
+        assert "hong_kong" in results

@@ -1,0 +1,202 @@
+"""Unit tests for repro.learning.metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learning import (
+    accuracy,
+    classification_report,
+    confusion_counts,
+    mae,
+    mape,
+    one_minus_mape,
+    precision_recall_f1,
+    regression_report,
+)
+
+
+class TestRegressionMetrics:
+    def test_mae_known_value(self):
+        assert mae([1.0, 2.0], [2.0, 4.0]) == pytest.approx(1.5)
+
+    def test_mae_zero_at_perfect(self):
+        assert mae([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_mape_known_value(self):
+        assert mape([2.0, 4.0], [1.0, 5.0]) == pytest.approx(
+            (0.5 + 0.25) / 2
+        )
+
+    def test_one_minus_mape_complements(self):
+        y, p = [2.0, 4.0], [1.0, 5.0]
+        assert one_minus_mape(y, p) == pytest.approx(1.0 - mape(y, p))
+
+    def test_mape_survives_zero_targets(self):
+        assert np.isfinite(mape([0.0, 1.0], [0.1, 1.0]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mae([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mae([], [])
+
+    def test_regression_report_bundle(self):
+        report = regression_report([2.0, 4.0], [1.0, 5.0])
+        assert report.mae == pytest.approx(1.0)
+        assert report.n_samples == 2
+        assert set(report.as_dict()) == {
+            "mae",
+            "mape",
+            "one_minus_mape",
+            "n_samples",
+        }
+
+    @given(
+        st.lists(st.floats(0.5, 100), min_size=1, max_size=50),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_mae_nonnegative_and_zero_iff_equal(self, values):
+        y = np.array(values)
+        assert mae(y, y) == 0.0
+        assert mae(y, y + 1.0) == pytest.approx(1.0)
+
+
+class TestClassificationMetrics:
+    def test_accuracy(self):
+        assert accuracy([True, False], [True, True]) == 0.5
+
+    def test_confusion_counts(self):
+        y = [True, True, False, False]
+        p = [True, False, True, False]
+        counts = confusion_counts(y, p)
+        assert counts == {"tp": 1, "fn": 1, "fp": 1, "tn": 1}
+
+    def test_precision_recall_f1_positive(self):
+        y = [True, True, False, False, False]
+        p = [True, False, True, False, False]
+        m = precision_recall_f1(y, p, positive=True)
+        assert m["precision"] == 0.5
+        assert m["recall"] == 0.5
+        assert m["f1"] == 0.5
+
+    def test_negative_class_metrics(self):
+        y = [True, False, False]
+        p = [True, False, True]
+        m = precision_recall_f1(y, p, positive=False)
+        assert m["precision"] == 1.0
+        assert m["recall"] == 0.5
+
+    def test_degenerate_denominators_give_zero(self):
+        # No predicted positives -> precision 0 (sklearn zero_division=0).
+        m = precision_recall_f1([True, False], [False, False], positive=True)
+        assert m["precision"] == 0.0
+        assert m["f1"] == 0.0
+
+    def test_no_true_positives_recall_zero(self):
+        m = precision_recall_f1([False, False], [True, False], positive=True)
+        assert m["recall"] == 0.0
+
+    def test_report_matches_paper_structure(self):
+        y = [True, False, True, False]
+        p = [True, False, False, False]
+        report = classification_report(y, p)
+        assert report.accuracy == 0.75
+        assert report.recall_true == 0.5
+        assert report.recall_false == 1.0
+        assert set(report.as_dict()) == {
+            "accuracy",
+            "precision_true",
+            "precision_false",
+            "recall_true",
+            "recall_false",
+            "f1_true",
+            "f1_false",
+            "n_samples",
+        }
+
+    def test_imbalance_sensitivity(self):
+        # Majority-vote predictions on an imbalanced problem: high
+        # accuracy, zero minority recall — the paper's KD-without-FI
+        # failure mode in Fig. 4.
+        y = [False] * 95 + [True] * 5
+        p = [False] * 100
+        report = classification_report(y, p)
+        assert report.accuracy == 0.95
+        assert report.recall_true == 0.0
+        assert report.recall_false == 1.0
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_perfect_predictions_max_all_metrics(self, labels):
+        report = classification_report(labels, labels)
+        assert report.accuracy == 1.0
+        if any(labels):
+            assert report.recall_true == 1.0
+        if not all(labels):
+            assert report.recall_false == 1.0
+
+
+class TestRankingMetrics:
+    def test_perfect_ranking_auc_one(self):
+        from repro.learning import roc_auc
+
+        y = [False, False, True, True]
+        assert roc_auc(y, [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_inverted_ranking_auc_zero(self):
+        from repro.learning import roc_auc
+
+        y = [False, False, True, True]
+        assert roc_auc(y, [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+    def test_random_scores_auc_half(self):
+        from repro.learning import roc_auc
+
+        rng = np.random.default_rng(0)
+        y = rng.random(4000) < 0.3
+        scores = rng.random(4000)
+        assert roc_auc(y, scores) == pytest.approx(0.5, abs=0.03)
+
+    def test_ties_get_midranks(self):
+        from repro.learning import roc_auc
+
+        # one positive tied with one negative at the same score
+        y = [True, False, False]
+        scores = [0.5, 0.5, 0.1]
+        assert roc_auc(y, scores) == pytest.approx(0.75)
+
+    def test_single_class_rejected(self):
+        from repro.learning import roc_auc
+
+        with pytest.raises(ValueError, match="both classes"):
+            roc_auc([True, True], [0.1, 0.9])
+
+    def test_auc_invariant_to_monotone_transform(self):
+        from repro.learning import roc_auc
+
+        rng = np.random.default_rng(1)
+        y = rng.random(300) < 0.4
+        scores = rng.normal(size=300) + y
+        assert roc_auc(y, scores) == pytest.approx(
+            roc_auc(y, np.exp(scores))
+        )
+
+    def test_brier_perfect_zero(self):
+        from repro.learning import brier_score
+
+        assert brier_score([1.0, 0.0], [1.0, 0.0]) == 0.0
+
+    def test_brier_known_value(self):
+        from repro.learning import brier_score
+
+        assert brier_score([1.0, 0.0], [0.5, 0.5]) == pytest.approx(0.25)
+
+    def test_brier_rejects_bad_probabilities(self):
+        from repro.learning import brier_score
+
+        with pytest.raises(ValueError, match="probabilities"):
+            brier_score([1.0], [1.5])

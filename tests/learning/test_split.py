@@ -1,0 +1,116 @@
+"""Unit and property tests for repro.learning.split."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learning import KFoldSplitter, train_test_split
+
+
+class TestTrainTestSplit:
+    def test_partition(self):
+        train, test = train_test_split(100, test_fraction=0.2, seed=0)
+        combined = np.sort(np.concatenate([train, test]))
+        assert np.array_equal(combined, np.arange(100))
+
+    def test_test_fraction_respected(self):
+        _, test = train_test_split(100, test_fraction=0.2, seed=0)
+        assert len(test) == 20
+
+    def test_deterministic(self):
+        a = train_test_split(50, seed=3)
+        b = train_test_split(50, seed=3)
+        assert np.array_equal(a[0], b[0])
+
+    def test_seed_changes_split(self):
+        a = train_test_split(50, seed=3)
+        b = train_test_split(50, seed=4)
+        assert not np.array_equal(a[1], b[1])
+
+    def test_stratified_preserves_rates(self):
+        labels = np.array([0] * 90 + [1] * 10)
+        _, test = train_test_split(100, 0.2, seed=0, stratify=labels)
+        assert labels[test].sum() == 2  # 10% positives in the test side
+
+    def test_stratified_keeps_minority_everywhere(self):
+        labels = np.array([0] * 97 + [1] * 3)
+        train, test = train_test_split(100, 0.2, seed=0, stratify=labels)
+        assert labels[test].sum() >= 1
+        assert labels[train].sum() >= 1
+
+    def test_group_split_keeps_groups_together(self):
+        groups = np.array([f"p{i // 5}" for i in range(50)], dtype=object)
+        train, test = train_test_split(50, 0.2, seed=0, groups=groups)
+        assert set(groups[train]) & set(groups[test]) == set()
+
+    def test_stratify_and_groups_exclusive(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            train_test_split(
+                10, stratify=np.zeros(10), groups=np.zeros(10, dtype=object)
+            )
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(10, test_fraction=1.0)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            train_test_split(1)
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            train_test_split(10, stratify=np.zeros(5))
+
+    @given(
+        n=st.integers(5, 300),
+        frac=st.floats(0.05, 0.5),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_partition_property(self, n, frac, seed):
+        train, test = train_test_split(n, test_fraction=frac, seed=seed)
+        assert len(set(train) | set(test)) == n
+        assert len(set(train) & set(test)) == 0
+        assert len(test) >= 1 and len(train) >= 1
+
+
+class TestKFold:
+    def test_folds_partition_everything(self):
+        folds = list(KFoldSplitter(n_folds=5, seed=0).split(53))
+        all_val = np.sort(np.concatenate([val for _, val in folds]))
+        assert np.array_equal(all_val, np.arange(53))
+
+    def test_train_val_disjoint(self):
+        for train, val in KFoldSplitter(n_folds=4, seed=1).split(40):
+            assert set(train) & set(val) == set()
+            assert len(train) + len(val) == 40
+
+    def test_fold_sizes_balanced(self):
+        folds = list(KFoldSplitter(n_folds=5, seed=0).split(52))
+        sizes = sorted(len(val) for _, val in folds)
+        assert sizes[-1] - sizes[0] <= 1
+
+    def test_stratified_folds_have_minority(self):
+        labels = np.array([0] * 40 + [1] * 10)
+        splitter = KFoldSplitter(n_folds=5, seed=0, stratified=True)
+        for _, val in splitter.split(50, labels=labels):
+            assert labels[val].sum() == 2
+
+    def test_stratified_requires_labels(self):
+        splitter = KFoldSplitter(stratified=True)
+        with pytest.raises(ValueError, match="labels"):
+            list(splitter.split(20))
+
+    def test_too_many_folds(self):
+        with pytest.raises(ValueError):
+            list(KFoldSplitter(n_folds=10).split(5))
+
+    def test_min_two_folds(self):
+        with pytest.raises(ValueError):
+            KFoldSplitter(n_folds=1)
+
+    def test_deterministic(self):
+        a = [v.tolist() for _, v in KFoldSplitter(n_folds=3, seed=2).split(30)]
+        b = [v.tolist() for _, v in KFoldSplitter(n_folds=3, seed=2).split(30)]
+        assert a == b

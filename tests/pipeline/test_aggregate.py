@@ -1,0 +1,48 @@
+"""Unit tests for repro.pipeline.aggregate."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import monthly_activity
+from repro.pipeline.aggregate import activity_lookup
+from repro.tabular import Table
+
+
+@pytest.fixture()
+def daily():
+    return Table(
+        {
+            "patient_id": ["p1"] * 4 + ["p2"] * 2,
+            "day": [0, 1, 30, 31, 0, 1],
+            "month": [1, 1, 2, 2, 1, 1],
+            "steps": [1000.0, 3000.0, 5000.0, 7000.0, 400.0, 600.0],
+            "calories": [1800.0, 2000.0, 1900.0, 2100.0, 1500.0, 1700.0],
+            "sleep_hours": [6.0, 8.0, 7.0, 7.0, 5.0, 5.0],
+        }
+    )
+
+
+class TestMonthlyActivity:
+    def test_means_per_patient_month(self, daily):
+        monthly = monthly_activity(daily)
+        lookup = activity_lookup(monthly)
+        assert lookup[("p1", 1)][0] == pytest.approx(2000.0)  # steps mean
+        assert lookup[("p1", 2)][0] == pytest.approx(6000.0)
+        assert lookup[("p2", 1)][2] == pytest.approx(5.0)  # sleep mean
+
+    def test_row_count(self, daily):
+        assert monthly_activity(daily).num_rows == 3
+
+    def test_missing_required_column(self, daily):
+        with pytest.raises(KeyError):
+            monthly_activity(daily.drop(["steps"]))
+
+    def test_cohort_aggregation_covers_all_months(self, small_cohort):
+        monthly = monthly_activity(small_cohort.daily)
+        cfg = small_cohort.config
+        assert monthly.num_rows == cfg.n_patients * cfg.n_months
+
+    def test_cohort_monthly_means_finite(self, small_cohort):
+        monthly = monthly_activity(small_cohort.daily)
+        for var in ("steps", "calories", "sleep_hours"):
+            assert np.isfinite(monthly[var]).all()

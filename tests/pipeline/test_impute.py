@@ -1,0 +1,107 @@
+"""Unit and property tests for repro.pipeline.impute."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pipeline import interpolate_bounded, interpolate_matrix
+
+
+class TestInterpolateBounded:
+    def test_single_interior_gap(self):
+        out = interpolate_bounded(np.array([1.0, np.nan, 3.0]), max_gap=1)
+        assert out.tolist() == [1.0, 2.0, 3.0]
+
+    def test_longer_gap_linear_values(self):
+        out = interpolate_bounded(np.array([0.0, np.nan, np.nan, np.nan, 4.0]), max_gap=3)
+        assert out.tolist() == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_gap_longer_than_bound_untouched(self):
+        series = np.array([0.0, np.nan, np.nan, 3.0])
+        out = interpolate_bounded(series, max_gap=1)
+        assert np.isnan(out[1]) and np.isnan(out[2])
+
+    def test_leading_gap_never_filled(self):
+        out = interpolate_bounded(np.array([np.nan, 2.0, 3.0]), max_gap=5)
+        assert np.isnan(out[0])
+
+    def test_trailing_gap_never_filled(self):
+        out = interpolate_bounded(np.array([1.0, 2.0, np.nan]), max_gap=5)
+        assert np.isnan(out[2])
+
+    def test_max_gap_zero_disables(self):
+        series = np.array([1.0, np.nan, 3.0])
+        out = interpolate_bounded(series, max_gap=0)
+        assert np.isnan(out[1])
+
+    def test_multiple_gaps_handled_independently(self):
+        series = np.array([1.0, np.nan, 3.0, np.nan, np.nan, np.nan, 7.0])
+        out = interpolate_bounded(series, max_gap=2)
+        assert out[1] == pytest.approx(2.0)
+        assert np.isnan(out[3:6]).all()  # length-3 gap exceeds bound
+
+    def test_input_not_mutated(self):
+        series = np.array([1.0, np.nan, 3.0])
+        interpolate_bounded(series, max_gap=1)
+        assert np.isnan(series[1])
+
+    def test_complete_series_passthrough(self):
+        series = np.array([1.0, 2.0])
+        assert interpolate_bounded(series, max_gap=3).tolist() == [1.0, 2.0]
+
+    def test_empty_series(self):
+        assert interpolate_bounded(np.array([]), max_gap=3).size == 0
+
+    def test_all_missing_stays_missing(self):
+        out = interpolate_bounded(np.full(4, np.nan), max_gap=10)
+        assert np.isnan(out).all()
+
+    def test_negative_max_gap_rejected(self):
+        with pytest.raises(ValueError):
+            interpolate_bounded(np.array([1.0]), max_gap=-1)
+
+    def test_2d_input_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            interpolate_bounded(np.zeros((2, 2)), max_gap=1)
+
+    @given(
+        st.lists(
+            st.one_of(st.none(), st.floats(-100, 100)), min_size=2, max_size=40
+        ),
+        st.integers(0, 10),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_invariants(self, raw, max_gap):
+        series = np.array([np.nan if v is None else v for v in raw])
+        out = interpolate_bounded(series, max_gap)
+        observed = ~np.isnan(series)
+        # observed values never change
+        assert np.array_equal(out[observed], series[observed])
+        # imputation is monotone: missing count never increases
+        assert np.isnan(out).sum() <= np.isnan(series).sum()
+        # filled values lie within the convex hull of observations
+        if observed.any():
+            lo, hi = series[observed].min(), series[observed].max()
+            filled = out[~observed & ~np.isnan(out)]
+            assert ((filled >= lo - 1e-9) & (filled <= hi + 1e-9)).all()
+
+
+class TestInterpolateMatrix:
+    def test_columns_independent(self):
+        matrix = np.array(
+            [
+                [1.0, 10.0],
+                [np.nan, np.nan],
+                [3.0, np.nan],
+                [4.0, np.nan],
+                [5.0, 50.0],
+            ]
+        )
+        out = interpolate_matrix(matrix, max_gap=1)
+        assert out[1, 0] == pytest.approx(2.0)
+        assert np.isnan(out[1:4, 1]).all()  # 3-long gap exceeds bound
+
+    def test_1d_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            interpolate_matrix(np.array([1.0]), max_gap=1)

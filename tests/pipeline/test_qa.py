@@ -1,0 +1,41 @@
+"""Unit tests for repro.pipeline.qa."""
+
+import pytest
+
+from repro.pipeline import gap_report, retention_sweep
+
+
+class TestGapReport:
+    def test_fields_populated(self, small_cohort):
+        report = gap_report(small_cohort)
+        assert report.n_patients == 30
+        assert report.mean_gap_length > 0
+        assert report.max_gap_length >= report.mean_gap_length
+        assert report.max_gaps_per_patient >= report.mean_gaps_per_patient
+        assert 0.0 < report.missing_fraction < 1.0
+
+    def test_gap_lengths_bounded_by_series(self, small_cohort):
+        report = gap_report(small_cohort)
+        assert report.max_gap_length <= small_cohort.config.n_months
+
+    def test_render_mentions_key_stats(self, small_cohort):
+        text = gap_report(small_cohort).render()
+        assert "mean length" in text and "per patient" in text
+
+
+class TestRetentionSweep:
+    def test_monotone_in_max_gap(self, small_cohort):
+        sweep = retention_sweep(small_cohort, max_gaps=(0, 1, 5))
+        retained = [sweep[g]["retained"] for g in (0, 1, 5)]
+        assert retained == sorted(retained)
+
+    def test_fraction_consistency(self, small_cohort):
+        sweep = retention_sweep(small_cohort, max_gaps=(5,))
+        row = sweep[5]
+        assert row["fraction"] == pytest.approx(
+            row["retained"] / row["possible"]
+        )
+
+    def test_possible_counts_labelled_slots(self, small_cohort):
+        sweep = retention_sweep(small_cohort, max_gaps=(0,))
+        assert sweep[0]["possible"] == 30 * 16  # patients x monthly slots

@@ -1,0 +1,129 @@
+"""Unit/integration tests for repro.pipeline.samples."""
+
+import numpy as np
+import pytest
+
+from repro.cohort.schema import ACTIVITY_VARIABLES, pro_item_names
+from repro.pipeline import build_all_sample_sets, build_dd_samples, build_kd_samples
+
+
+class TestDDSamples:
+    def test_feature_layout_without_fi(self, small_cohort):
+        samples = build_dd_samples(small_cohort, "qol", with_fi=False)
+        assert samples.feature_names == (*pro_item_names(), *ACTIVITY_VARIABLES)
+        assert samples.n_features == 59
+
+    def test_feature_layout_with_fi(self, qol_dd_samples):
+        assert qol_dd_samples.feature_names[-1] == "fi"
+        assert qol_dd_samples.n_features == 60
+
+    def test_labels_match_outcome_range(self, small_cohort):
+        qol = build_dd_samples(small_cohort, "qol")
+        assert qol.y.min() >= 0.0 and qol.y.max() <= 1.0
+        sppb = build_dd_samples(small_cohort, "sppb")
+        assert sppb.y.min() >= 0 and sppb.y.max() <= 12
+        falls = build_dd_samples(small_cohort, "falls")
+        assert set(np.unique(falls.y)) <= {0.0, 1.0}
+
+    def test_months_restricted_to_windows(self, qol_dd_samples):
+        cfg_months = set(range(1, 9)) | set(range(10, 18))
+        assert set(qol_dd_samples.months.tolist()) <= cfg_months
+
+    def test_same_label_for_all_months_of_a_window(self, qol_dd_samples):
+        s = qol_dd_samples
+        key = (s.patient_ids[0], s.windows[0])
+        mask = (s.patient_ids == key[0]) & (s.windows == key[1])
+        assert len(set(s.y[mask].tolist())) == 1
+
+    def test_fi_constant_within_window(self, qol_dd_samples):
+        s = qol_dd_samples
+        fi_col = s.feature_index("fi")
+        key = (s.patient_ids[0], s.windows[0])
+        mask = (s.patient_ids == key[0]) & (s.windows == key[1])
+        fis = s.X[mask, fi_col]
+        assert len(set(fis.tolist())) == 1
+
+    def test_retention_below_possible(self, small_cohort, qol_dd_samples):
+        possible = 30 * 16
+        assert 0 < qol_dd_samples.n_samples < possible
+
+    def test_interpolation_increases_retention(self, small_cohort):
+        none = build_dd_samples(small_cohort, "qol", max_gap=0)
+        some = build_dd_samples(small_cohort, "qol", max_gap=5)
+        assert some.n_samples >= none.n_samples
+
+    def test_residual_missing_bounded_by_threshold(self, qol_dd_samples):
+        item_cols = [
+            qol_dd_samples.feature_index(n) for n in pro_item_names()
+        ]
+        frac = np.isnan(qol_dd_samples.X[:, item_cols]).mean(axis=1)
+        assert frac.max() <= 0.25 + 1e-9
+
+    def test_unknown_outcome_rejected(self, small_cohort):
+        with pytest.raises(ValueError, match="outcome"):
+            build_dd_samples(small_cohort, "bmi")
+
+    def test_invalid_threshold_rejected(self, small_cohort):
+        with pytest.raises(ValueError, match="drop_threshold"):
+            build_dd_samples(small_cohort, "qol", drop_threshold=1.5)
+
+    def test_deterministic(self, small_cohort, qol_dd_samples):
+        again = build_dd_samples(small_cohort, "qol", with_fi=True)
+        assert np.array_equal(again.y, qol_dd_samples.y)
+        assert np.array_equal(
+            np.isnan(again.X), np.isnan(qol_dd_samples.X)
+        )
+
+
+class TestKDSamples:
+    def test_collapses_to_ici_plus_fi(self, qol_kd_samples):
+        assert qol_kd_samples.feature_names == ("ici", "fi")
+        assert qol_kd_samples.kind == "kd"
+
+    def test_without_fi_single_column(self, small_cohort):
+        dd = build_dd_samples(small_cohort, "qol", with_fi=False)
+        kd = build_kd_samples(dd)
+        assert kd.feature_names == ("ici",)
+
+    def test_same_labels_and_provenance(self, qol_dd_samples, qol_kd_samples):
+        assert np.array_equal(qol_dd_samples.y, qol_kd_samples.y)
+        assert np.array_equal(
+            qol_dd_samples.patient_ids, qol_kd_samples.patient_ids
+        )
+
+    def test_ici_in_unit_interval(self, qol_kd_samples):
+        ici = qol_kd_samples.X[:, 0]
+        observed = ici[~np.isnan(ici)]
+        assert observed.min() >= 0.0 and observed.max() <= 1.0
+
+    def test_rejects_kd_input(self, qol_kd_samples):
+        with pytest.raises(ValueError, match="DD"):
+            build_kd_samples(qol_kd_samples)
+
+
+class TestSampleSetOps:
+    def test_filter_clinic(self, qol_dd_samples):
+        sub = qol_dd_samples.filter_clinic("modena")
+        assert set(sub.clinics.tolist()) == {"modena"}
+        assert sub.n_samples < qol_dd_samples.n_samples
+
+    def test_filter_unknown_clinic(self, qol_dd_samples):
+        with pytest.raises(ValueError):
+            qol_dd_samples.filter_clinic("atlantis")
+
+    def test_feature_index(self, qol_dd_samples):
+        assert qol_dd_samples.feature_index("steps") == 56
+
+    def test_feature_index_missing(self, qol_dd_samples):
+        with pytest.raises(KeyError):
+            qol_dd_samples.feature_index("nope")
+
+
+class TestBuildAll:
+    def test_all_twelve_sets(self, small_cohort):
+        sets = build_all_sample_sets(small_cohort)
+        assert len(sets) == 12
+        for (outcome, kind, with_fi), samples in sets.items():
+            assert samples.outcome == outcome
+            assert samples.kind == kind
+            assert samples.with_fi == with_fi

@@ -1,0 +1,90 @@
+"""Unit and property tests for repro.synth.gaps."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synth import burst_gap_mask, gap_lengths
+
+
+class TestGapLengths:
+    def test_empty(self):
+        assert gap_lengths(np.array([], dtype=bool)).tolist() == []
+
+    def test_no_gaps(self):
+        assert gap_lengths(np.zeros(5, dtype=bool)).tolist() == []
+
+    def test_all_missing(self):
+        assert gap_lengths(np.ones(4, dtype=bool)).tolist() == [4]
+
+    def test_mixed_runs(self):
+        mask = np.array([1, 1, 0, 1, 0, 0, 1, 1, 1], dtype=bool)
+        assert gap_lengths(mask).tolist() == [2, 1, 3]
+
+    def test_boundary_runs(self):
+        mask = np.array([1, 0, 1], dtype=bool)
+        assert gap_lengths(mask).tolist() == [1, 1]
+
+    @given(st.lists(st.booleans(), max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_lengths_sum_to_missing_count(self, bits):
+        mask = np.array(bits, dtype=bool)
+        assert gap_lengths(mask).sum() == mask.sum()
+
+
+class TestBurstMask:
+    def test_zero_rate_gives_no_gaps(self, rng):
+        mask = burst_gap_mask(rng, 100, missing_rate=0.0, mean_gap_length=5)
+        assert not mask.any()
+
+    def test_stationary_rate_approximation(self):
+        rng = np.random.default_rng(0)
+        mask = burst_gap_mask(rng, 200000, missing_rate=0.3, mean_gap_length=5)
+        assert float(mask.mean()) == pytest.approx(0.3, abs=0.03)
+
+    def test_mean_gap_length_approximation(self):
+        rng = np.random.default_rng(0)
+        mask = burst_gap_mask(rng, 200000, missing_rate=0.3, mean_gap_length=5)
+        lengths = gap_lengths(mask)
+        assert float(lengths.mean()) == pytest.approx(5.0, rel=0.15)
+
+    def test_max_gap_cap_enforced(self):
+        rng = np.random.default_rng(1)
+        mask = burst_gap_mask(
+            rng, 50000, missing_rate=0.5, mean_gap_length=10, max_gap_length=7
+        )
+        assert gap_lengths(mask).max() <= 7
+
+    def test_max_gap_one_gives_isolated_holes(self):
+        rng = np.random.default_rng(2)
+        mask = burst_gap_mask(
+            rng, 20000, missing_rate=0.3, mean_gap_length=4, max_gap_length=1
+        )
+        assert gap_lengths(mask).max() == 1
+
+    def test_invalid_rate(self, rng):
+        with pytest.raises(ValueError, match="missing_rate"):
+            burst_gap_mask(rng, 10, missing_rate=1.0, mean_gap_length=3)
+
+    def test_invalid_mean_length(self, rng):
+        with pytest.raises(ValueError, match="mean_gap_length"):
+            burst_gap_mask(rng, 10, missing_rate=0.2, mean_gap_length=0.5)
+
+    def test_negative_steps(self, rng):
+        with pytest.raises(ValueError, match="n_steps"):
+            burst_gap_mask(rng, -1, missing_rate=0.2, mean_gap_length=2)
+
+    def test_zero_steps_ok(self, rng):
+        assert burst_gap_mask(rng, 0, missing_rate=0.2, mean_gap_length=2).size == 0
+
+    @given(
+        rate=st.floats(0.05, 0.6),
+        mean_len=st.floats(1.0, 8.0),
+        n=st.integers(1, 500),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_mask_is_boolean_of_right_length(self, rate, mean_len, n):
+        rng = np.random.default_rng(3)
+        mask = burst_gap_mask(rng, n, missing_rate=rate, mean_gap_length=mean_len)
+        assert mask.dtype == np.bool_ and len(mask) == n

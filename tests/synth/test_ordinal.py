@@ -1,0 +1,83 @@
+"""Unit and property tests for repro.synth.ordinal."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synth import OrdinalLink
+
+
+class TestValidation:
+    def test_too_few_levels(self):
+        with pytest.raises(ValueError, match="n_levels"):
+            OrdinalLink(1, [])
+
+    def test_threshold_count_mismatch(self):
+        with pytest.raises(ValueError, match="thresholds"):
+            OrdinalLink(3, [0.5])
+
+    def test_non_increasing_thresholds(self):
+        with pytest.raises(ValueError, match="increasing"):
+            OrdinalLink(3, [0.6, 0.4])
+
+    def test_thresholds_outside_unit_interval(self):
+        with pytest.raises(ValueError, match="inside"):
+            OrdinalLink(3, [0.0, 0.5])
+
+    def test_negative_noise(self):
+        with pytest.raises(ValueError, match="noise"):
+            OrdinalLink(3, [0.3, 0.6], noise_sd=-0.1)
+
+    def test_equispaced_invalid_skew(self):
+        with pytest.raises(ValueError, match="skew"):
+            OrdinalLink.equispaced(5, skew=1.0)
+
+
+class TestMapping:
+    def test_noise_free_boundaries(self):
+        link = OrdinalLink(3, [0.33, 0.66], noise_sd=0.0)
+        assert link.expected_answer(0.1) == 1
+        assert link.expected_answer(0.5) == 2
+        assert link.expected_answer(0.9) == 3
+
+    def test_reversed_scale_flips(self):
+        link = OrdinalLink(3, [0.33, 0.66], reversed_scale=True, noise_sd=0.0)
+        assert link.expected_answer(0.1) == 3
+        assert link.expected_answer(0.9) == 1
+
+    def test_sample_matches_expected_when_noise_free(self, rng):
+        link = OrdinalLink.equispaced(5, noise_sd=0.0)
+        latent = np.linspace(0.05, 0.95, 20)
+        answers = link.sample(latent, rng)
+        expected = np.array([link.expected_answer(v) for v in latent])
+        assert (answers == expected).all()
+
+    def test_sample_monotone_in_latent_on_average(self, rng):
+        link = OrdinalLink.equispaced(5, noise_sd=0.1)
+        low = link.sample(np.full(3000, 0.2), rng).mean()
+        high = link.sample(np.full(3000, 0.8), rng).mean()
+        assert high > low
+
+    def test_skew_bunches_answers(self, rng):
+        skewed = OrdinalLink.equispaced(5, noise_sd=0.0, skew=0.5)
+        uniform_latent = np.linspace(0.01, 0.99, 500)
+        answers = skewed.sample(uniform_latent, rng)
+        # positive skew pushes thresholds towards 1 -> lower answers rare
+        assert np.mean(answers >= 4) < 0.5
+
+    @given(
+        n_levels=st.integers(2, 10),
+        reversed_scale=st.booleans(),
+        noise=st.floats(0.0, 0.5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_answers_always_in_range(self, n_levels, reversed_scale, noise):
+        link = OrdinalLink.equispaced(
+            n_levels, reversed_scale=reversed_scale, noise_sd=noise
+        )
+        rng = np.random.default_rng(0)
+        latent = rng.uniform(-0.5, 1.5, size=200)  # deliberately out of range
+        answers = link.sample(latent, rng)
+        assert answers.min() >= 1
+        assert answers.max() <= n_levels

@@ -1,0 +1,96 @@
+"""Unit and property tests for repro.synth.processes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synth import ar1_process, clipped_noise, weekly_profile
+
+
+class TestAR1:
+    def test_length(self, rng):
+        assert len(ar1_process(rng, 10, mean=0.5, phi=0.8, sigma=0.1)) == 10
+
+    def test_zero_sigma_converges_to_mean(self, rng):
+        path = ar1_process(rng, 200, mean=0.5, phi=0.5, sigma=0.0, start=1.0)
+        assert path[-1] == pytest.approx(0.5, abs=1e-9)
+
+    def test_drift_moves_mean(self, rng):
+        path = ar1_process(
+            rng, 100, mean=0.5, phi=0.0, sigma=0.0, start=0.5, drift=-0.01
+        )
+        assert path[-1] == pytest.approx(0.5 - 0.01 * 99, abs=1e-9)
+
+    def test_mean_reversion_statistics(self, rng):
+        path = ar1_process(rng, 20000, mean=2.0, phi=0.7, sigma=0.2)
+        assert np.mean(path) == pytest.approx(2.0, abs=0.05)
+
+    def test_stationary_variance(self, rng):
+        phi, sigma = 0.6, 0.3
+        path = ar1_process(rng, 50000, mean=0.0, phi=phi, sigma=sigma)
+        expected_var = sigma**2 / (1 - phi**2)
+        assert np.var(path) == pytest.approx(expected_var, rel=0.1)
+
+    def test_invalid_phi(self, rng):
+        with pytest.raises(ValueError, match="phi"):
+            ar1_process(rng, 5, mean=0.0, phi=1.0, sigma=0.1)
+
+    def test_negative_sigma(self, rng):
+        with pytest.raises(ValueError, match="sigma"):
+            ar1_process(rng, 5, mean=0.0, phi=0.5, sigma=-1.0)
+
+    def test_zero_steps(self, rng):
+        with pytest.raises(ValueError, match="n_steps"):
+            ar1_process(rng, 0, mean=0.0, phi=0.5, sigma=0.1)
+
+    @given(
+        phi=st.floats(0.0, 0.95),
+        sigma=st.floats(0.0, 1.0),
+        mean=st.floats(-5.0, 5.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_output_always_finite(self, phi, sigma, mean):
+        rng = np.random.default_rng(0)
+        path = ar1_process(rng, 50, mean=mean, phi=phi, sigma=sigma)
+        assert np.isfinite(path).all()
+
+
+class TestClippedNoise:
+    def test_zero_mean(self, rng):
+        noise = clipped_noise(rng, 50000, sigma=1.0)
+        assert abs(float(np.mean(noise))) < 0.02
+
+    def test_clipping_bound(self, rng):
+        noise = clipped_noise(rng, 10000, sigma=2.0, heavy_tail=0.3, clip=3.0)
+        assert np.abs(noise).max() <= 3.0 * 2.0 + 1e-12
+
+    def test_heavy_tail_increases_spread(self, rng):
+        base = clipped_noise(np.random.default_rng(0), 20000, sigma=1.0, clip=10.0)
+        heavy = clipped_noise(
+            np.random.default_rng(0), 20000, sigma=1.0, heavy_tail=0.3, clip=10.0
+        )
+        assert np.std(heavy) > np.std(base)
+
+    def test_invalid_heavy_tail(self, rng):
+        with pytest.raises(ValueError):
+            clipped_noise(rng, 10, sigma=1.0, heavy_tail=1.5)
+
+
+class TestWeeklyProfile:
+    def test_length_seven(self, rng):
+        assert len(weekly_profile(rng)) == 7
+
+    def test_normalised_to_mean_one(self, rng):
+        assert float(np.mean(weekly_profile(rng))) == pytest.approx(1.0)
+
+    def test_weekend_dip(self):
+        profiles = np.stack(
+            [weekly_profile(np.random.default_rng(i)) for i in range(200)]
+        )
+        weekday = profiles[:, :5].mean()
+        weekend = profiles[:, 5:].mean()
+        assert weekend < weekday
+
+    def test_strictly_positive(self, rng):
+        assert (weekly_profile(rng) > 0).all()

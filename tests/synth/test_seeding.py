@@ -1,0 +1,65 @@
+"""Unit tests for repro.synth.seeding."""
+
+import pytest
+
+from repro.synth import SeedSequenceFactory
+
+
+class TestDeterminism:
+    def test_same_name_same_stream(self):
+        f = SeedSequenceFactory(7)
+        a = f.generator("x").random(5)
+        b = f.generator("x").random(5)
+        assert (a == b).all()
+
+    def test_different_names_different_streams(self):
+        f = SeedSequenceFactory(7)
+        a = f.generator("x").random(5)
+        b = f.generator("y").random(5)
+        assert (a != b).any()
+
+    def test_different_root_seeds_differ(self):
+        a = SeedSequenceFactory(1).generator("x").random(5)
+        b = SeedSequenceFactory(2).generator("x").random(5)
+        assert (a != b).any()
+
+    def test_order_independence(self):
+        f1 = SeedSequenceFactory(7)
+        f1.generator("a")  # consume in a different order
+        x1 = f1.generator("x").random(3)
+        f2 = SeedSequenceFactory(7)
+        x2 = f2.generator("x").random(3)
+        assert (x1 == x2).all()
+
+
+class TestScoping:
+    def test_child_prefixes_names(self):
+        f = SeedSequenceFactory(7)
+        child = f.child("patient_0")
+        direct = f.generator("patient_0/steps").random(3)
+        scoped = child.generator("steps").random(3)
+        assert (direct == scoped).all()
+
+    def test_nested_children(self):
+        f = SeedSequenceFactory(7)
+        nested = f.child("a").child("b").generator("x").random(3)
+        flat = f.generator("a/b/x").random(3)
+        assert (nested == flat).all()
+
+    def test_child_keeps_root_seed(self):
+        f = SeedSequenceFactory(9)
+        assert f.child("c").root_seed == 9
+
+
+class TestValidation:
+    def test_non_integer_seed_rejected(self):
+        with pytest.raises(TypeError):
+            SeedSequenceFactory("seed")  # type: ignore[arg-type]
+
+    def test_entropy_is_stable(self):
+        f = SeedSequenceFactory(5)
+        assert f.entropy_for("x") == f.entropy_for("x")
+
+    def test_entropy_fits_128_bits(self):
+        e = SeedSequenceFactory(5).entropy_for("anything")
+        assert 0 <= e < 2**128

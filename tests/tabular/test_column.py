@@ -1,0 +1,179 @@
+"""Unit tests for repro.tabular.column."""
+
+import numpy as np
+import pytest
+
+from repro.tabular import Column, ColumnType
+from repro.tabular.column import infer_column_type
+
+
+class TestTypeInference:
+    def test_int_values_infer_int(self):
+        assert infer_column_type([1, 2, 3]) is ColumnType.INT
+
+    def test_float_values_infer_float(self):
+        assert infer_column_type([1.5, 2.0]) is ColumnType.FLOAT
+
+    def test_mixed_int_float_infer_float(self):
+        assert infer_column_type([1, 2.5]) is ColumnType.FLOAT
+
+    def test_bool_values_infer_bool(self):
+        assert infer_column_type([True, False]) is ColumnType.BOOL
+
+    def test_strings_infer_string(self):
+        assert infer_column_type(["a", "b"]) is ColumnType.STRING
+
+    def test_none_with_ints_promotes_to_float(self):
+        assert infer_column_type([1, None, 3]) is ColumnType.FLOAT
+
+    def test_none_with_strings_stays_string(self):
+        assert infer_column_type(["a", None]) is ColumnType.STRING
+
+    def test_all_none_is_string(self):
+        assert infer_column_type([None, None]) is ColumnType.STRING
+
+    def test_empty_defaults_to_float(self):
+        assert infer_column_type([]) is ColumnType.FLOAT
+
+
+class TestConstruction:
+    def test_basic_float_column(self):
+        col = Column("x", [1.0, 2.0, 3.0])
+        assert col.ctype is ColumnType.FLOAT
+        assert len(col) == 3
+
+    def test_numpy_int_array_keeps_int(self):
+        col = Column("x", np.array([1, 2], dtype=np.int64))
+        assert col.ctype is ColumnType.INT
+
+    def test_none_becomes_nan_in_float(self):
+        col = Column("x", [1.0, None, 3.0])
+        assert np.isnan(col.values[1])
+
+    def test_explicit_type_coerces(self):
+        col = Column("x", [1, 2, 3], ColumnType.FLOAT)
+        assert col.values.dtype == np.float64
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Column("", [1.0])
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(ValueError):
+            Column(3, [1.0])  # type: ignore[arg-type]
+
+    def test_2d_values_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            Column("x", np.zeros((2, 2)))
+
+    def test_int_column_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            Column("x", np.array([1.0, np.nan]), ColumnType.INT)
+
+    def test_int_column_rejects_fractional(self):
+        with pytest.raises(ValueError, match="fractional"):
+            Column("x", np.array([1.0, 2.5]), ColumnType.INT)
+
+    def test_bool_column_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="BOOL"):
+            Column("x", np.array([0, 2]), ColumnType.BOOL)
+
+    def test_bool_column_accepts_01(self):
+        col = Column("x", np.array([0, 1]), ColumnType.BOOL)
+        assert col.values.dtype == np.bool_
+
+    def test_string_column_stringifies(self):
+        col = Column("x", [1, "a"], ColumnType.STRING)
+        assert col.to_list() == ["1", "a"]
+
+    def test_values_are_read_only(self):
+        col = Column("x", [1.0, 2.0])
+        with pytest.raises(ValueError):
+            col.values[0] = 9.0
+
+
+class TestAccess:
+    def test_scalar_indexing(self):
+        col = Column("x", [1.0, 2.0])
+        assert col[1] == 2.0
+
+    def test_mask_indexing_returns_column(self):
+        col = Column("x", [1.0, 2.0, 3.0])
+        sub = col[np.array([True, False, True])]
+        assert isinstance(sub, Column)
+        assert sub.to_list() == [1.0, 3.0]
+
+    def test_iteration(self):
+        assert list(Column("x", [1, 2], ColumnType.INT)) == [1, 2]
+
+    def test_to_numpy_copy_is_private(self):
+        col = Column("x", [1.0])
+        arr = col.to_numpy(copy=True)
+        arr[0] = 5.0
+        assert col.values[0] == 1.0
+
+    def test_rename_shares_data(self):
+        col = Column("x", [1.0, 2.0])
+        renamed = col.rename("y")
+        assert renamed.name == "y"
+        assert renamed.values is col.values
+
+    def test_cast_int_to_float(self):
+        col = Column("x", [1, 2], ColumnType.INT).cast(ColumnType.FLOAT)
+        assert col.ctype is ColumnType.FLOAT
+
+    def test_cast_same_type_is_identity(self):
+        col = Column("x", [1.0])
+        assert col.cast(ColumnType.FLOAT) is col
+
+    def test_repr_mentions_name_and_type(self):
+        text = repr(Column("steps", [1.0]))
+        assert "steps" in text and "float" in text
+
+
+class TestEquality:
+    def test_equal_columns(self):
+        assert Column("x", [1.0, 2.0]) == Column("x", [1.0, 2.0])
+
+    def test_nan_aware_equality(self):
+        a = Column("x", [1.0, np.nan])
+        b = Column("x", [1.0, np.nan])
+        assert a == b
+
+    def test_different_names_not_equal(self):
+        assert Column("x", [1.0]) != Column("y", [1.0])
+
+    def test_different_types_not_equal(self):
+        assert Column("x", [1], ColumnType.INT) != Column("x", [1.0])
+
+    def test_not_hashable(self):
+        with pytest.raises(TypeError):
+            hash(Column("x", [1.0]))
+
+
+class TestMissing:
+    def test_float_missing_mask(self):
+        col = Column("x", [1.0, np.nan, 3.0])
+        assert col.is_missing().tolist() == [False, True, False]
+
+    def test_string_missing_mask(self):
+        col = Column("x", ["a", None], ColumnType.STRING)
+        assert col.is_missing().tolist() == [False, True]
+
+    def test_int_has_no_missing(self):
+        assert Column("x", [1, 2], ColumnType.INT).count_missing() == 0
+
+    def test_count_missing(self):
+        assert Column("x", [np.nan, np.nan, 1.0]).count_missing() == 2
+
+    def test_fill_missing_float(self):
+        col = Column("x", [1.0, np.nan]).fill_missing(0.0)
+        assert col.to_list() == [1.0, 0.0]
+
+    def test_fill_missing_noop_when_complete(self):
+        col = Column("x", [1.0, 2.0])
+        assert col.fill_missing(0.0) is col
+
+    def test_fill_missing_string(self):
+        col = Column("x", ["a", None], ColumnType.STRING).fill_missing("z")
+        assert col.to_list() == ["a", "z"]

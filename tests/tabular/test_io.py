@@ -1,0 +1,98 @@
+"""Unit tests for repro.tabular.io (CSV round trips)."""
+
+import numpy as np
+import pytest
+
+from repro.tabular import Column, ColumnType, Table, read_csv, write_csv
+
+
+@pytest.fixture()
+def table():
+    return Table(
+        {
+            "pid": ["p1", "p2", "p3"],
+            "age": [61, 72, 55],
+            "fi": [0.5, np.nan, 0.25],
+            "frail": [True, False, True],
+        }
+    )
+
+
+class TestRoundTrip:
+    def test_full_round_trip(self, tmp_path, table):
+        path = tmp_path / "t.csv"
+        write_csv(table, path)
+        back = read_csv(path)
+        assert back == table
+
+    def test_missing_string_round_trip(self, tmp_path):
+        t = Table({"s": Column("s", ["a", None], ColumnType.STRING)})
+        path = tmp_path / "t.csv"
+        write_csv(t, path)
+        back = read_csv(path, types={"s": ColumnType.STRING})
+        assert back.column("s").to_list() == ["a", None]
+
+    def test_nan_round_trip(self, tmp_path):
+        t = Table({"x": [1.5, np.nan]})
+        path = tmp_path / "t.csv"
+        write_csv(t, path)
+        back = read_csv(path)
+        assert np.isnan(back["x"][1])
+
+    def test_empty_table(self, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(Table({"a": []}), path)
+        back = read_csv(path)
+        assert back.num_rows == 0
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("")
+        assert read_csv(path).num_columns == 0
+
+
+class TestTypeInference:
+    def test_int_column_inferred(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a\n1\n2\n")
+        assert read_csv(path).column("a").ctype is ColumnType.INT
+
+    def test_float_column_inferred(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a\n1.5\n2\n")
+        assert read_csv(path).column("a").ctype is ColumnType.FLOAT
+
+    def test_bool_column_inferred(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a\ntrue\nfalse\n")
+        assert read_csv(path).column("a").ctype is ColumnType.BOOL
+
+    def test_text_column_inferred(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a\nx\n1\n")
+        assert read_csv(path).column("a").ctype is ColumnType.STRING
+
+    def test_int_with_gaps_becomes_float(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a\n1\n\n3\n")
+        col = read_csv(path).column("a")
+        assert col.ctype is ColumnType.FLOAT
+        assert np.isnan(col.values[1])
+
+    def test_explicit_type_overrides_inference(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a\n1\n2\n")
+        t = read_csv(path, types={"a": ColumnType.FLOAT})
+        assert t.column("a").ctype is ColumnType.FLOAT
+
+    def test_quoted_comma_survives(self, tmp_path):
+        t = Table({"s": ["a,b", "c"]})
+        path = tmp_path / "t.csv"
+        write_csv(t, path)
+        assert read_csv(path).column("s").to_list() == ["a,b", "c"]
+
+    def test_ragged_row_padded(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        t = read_csv(path)
+        assert np.isnan(t["b"][1])

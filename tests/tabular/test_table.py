@@ -1,0 +1,304 @@
+"""Unit tests for repro.tabular.table."""
+
+import numpy as np
+import pytest
+
+from repro.tabular import Column, ColumnType, Table, concat_tables
+
+
+@pytest.fixture()
+def patients():
+    return Table(
+        {
+            "pid": ["p1", "p2", "p3", "p4"],
+            "clinic": ["modena", "sydney", "modena", "hk"],
+            "age": [61, 72, 55, 68],
+            "fi": [0.12, 0.33, np.nan, 0.25],
+        }
+    )
+
+
+class TestConstruction:
+    def test_from_mapping(self, patients):
+        assert patients.num_rows == 4
+        assert patients.num_columns == 4
+
+    def test_from_columns(self):
+        t = Table([Column("a", [1.0]), Column("b", [2.0])])
+        assert t.column_names == ("a", "b")
+
+    def test_empty_table(self):
+        t = Table()
+        assert t.num_rows == 0 and t.num_columns == 0
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(ValueError, match="unequal"):
+            Table({"a": [1.0], "b": [1.0, 2.0]})
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Table([Column("a", [1.0]), Column("a", [2.0])])
+
+    def test_non_column_rejected(self):
+        with pytest.raises(TypeError):
+            Table([42])  # type: ignore[list-item]
+
+    def test_schema(self, patients):
+        schema = patients.schema
+        assert schema["pid"] is ColumnType.STRING
+        assert schema["age"] is ColumnType.INT
+        assert schema["fi"] is ColumnType.FLOAT
+
+
+class TestAccess:
+    def test_getitem_returns_values(self, patients):
+        assert patients["age"].tolist() == [61, 72, 55, 68]
+
+    def test_missing_column_error_lists_available(self, patients):
+        with pytest.raises(KeyError, match="pid"):
+            patients.column("nope")
+
+    def test_contains(self, patients):
+        assert "age" in patients and "nope" not in patients
+
+    def test_row(self, patients):
+        row = patients.row(1)
+        assert row["pid"] == "p2" and row["age"] == 72
+
+    def test_row_negative_index(self, patients):
+        assert patients.row(-1)["pid"] == "p4"
+
+    def test_row_out_of_range(self, patients):
+        with pytest.raises(IndexError):
+            patients.row(10)
+
+    def test_iter_rows(self, patients):
+        rows = list(patients.iter_rows())
+        assert len(rows) == 4
+        assert rows[2]["clinic"] == "modena"
+
+    def test_len(self, patients):
+        assert len(patients) == 4
+
+
+class TestProjection:
+    def test_select_preserves_order(self, patients):
+        t = patients.select(["age", "pid"])
+        assert t.column_names == ("age", "pid")
+
+    def test_drop(self, patients):
+        t = patients.drop(["fi"])
+        assert "fi" not in t
+
+    def test_drop_missing_raises(self, patients):
+        with pytest.raises(KeyError):
+            patients.drop(["nope"])
+
+    def test_with_column_adds(self, patients):
+        t = patients.with_column("score", [1.0, 2.0, 3.0, 4.0])
+        assert t.num_columns == 5
+        assert patients.num_columns == 4  # original untouched
+
+    def test_with_column_replaces(self, patients):
+        t = patients.with_column("age", [0, 0, 0, 0])
+        assert t["age"].tolist() == [0, 0, 0, 0]
+
+    def test_with_column_length_mismatch(self, patients):
+        with pytest.raises(ValueError, match="rows"):
+            patients.with_column("bad", [1.0])
+
+    def test_rename(self, patients):
+        t = patients.rename({"pid": "patient_id"})
+        assert "patient_id" in t and "pid" not in t
+
+    def test_rename_missing_raises(self, patients):
+        with pytest.raises(KeyError):
+            patients.rename({"nope": "x"})
+
+
+class TestSelection:
+    def test_filter(self, patients):
+        t = patients.filter(patients["clinic"] == "modena")
+        assert t.num_rows == 2
+
+    def test_filter_requires_bool(self, patients):
+        with pytest.raises(TypeError):
+            patients.filter(np.array([1, 0, 1, 0]))
+
+    def test_filter_shape_mismatch(self, patients):
+        with pytest.raises(ValueError):
+            patients.filter(np.array([True]))
+
+    def test_where(self, patients):
+        t = patients.where("age", lambda a: a > 60)
+        assert t.num_rows == 3
+
+    def test_take_reorders(self, patients):
+        t = patients.take([3, 0])
+        assert t["pid"].tolist() == ["p4", "p1"]
+
+    def test_take_allows_repetition(self, patients):
+        assert patients.take([0, 0]).num_rows == 2
+
+    def test_head(self, patients):
+        assert patients.head(2).num_rows == 2
+
+    def test_sort_by_single(self, patients):
+        t = patients.sort_by("age")
+        assert t["age"].tolist() == [55, 61, 68, 72]
+
+    def test_sort_by_descending(self, patients):
+        t = patients.sort_by("age", descending=True)
+        assert t["age"].tolist() == [72, 68, 61, 55]
+
+    def test_sort_by_multi_primary_first(self):
+        t = Table({"a": [2, 1, 1], "b": [0, 2, 1]}).sort_by(["a", "b"])
+        assert t["a"].tolist() == [1, 1, 2]
+        assert t["b"].tolist() == [1, 2, 0]
+
+    def test_sort_by_string_column(self, patients):
+        t = patients.sort_by("clinic")
+        assert t["clinic"].tolist() == ["hk", "modena", "modena", "sydney"]
+
+    def test_unique(self, patients):
+        assert patients.unique("clinic") == ["hk", "modena", "sydney"]
+
+
+class TestGroupBy:
+    def test_mean_aggregation(self, patients):
+        g = patients.group_by("clinic", {"age": "mean"})
+        by = dict(zip(g["clinic"].tolist(), g["age"].tolist()))
+        assert by["modena"] == pytest.approx(58.0)
+
+    def test_count(self, patients):
+        g = patients.group_by("clinic", {"age": "count"})
+        by = dict(zip(g["clinic"].tolist(), g["age"].tolist()))
+        assert by["modena"] == 2.0
+
+    def test_nan_skipped_in_mean(self, patients):
+        g = patients.group_by("clinic", {"fi": "mean"})
+        by = dict(zip(g["clinic"].tolist(), g["fi"].tolist()))
+        assert by["modena"] == pytest.approx(0.12)
+
+    def test_multi_key(self):
+        t = Table({"a": [1, 1, 2], "b": ["x", "x", "y"], "v": [1.0, 3.0, 5.0]})
+        g = t.group_by(["a", "b"], {"v": "sum"})
+        assert g.num_rows == 2
+
+    def test_callable_aggregation(self, patients):
+        g = patients.group_by("clinic", {"age": lambda a: int(a.max())})
+        by = dict(zip(g["clinic"].tolist(), g["age"].tolist()))
+        assert by["modena"] == 61
+
+    def test_cannot_aggregate_key(self, patients):
+        with pytest.raises(ValueError):
+            patients.group_by("clinic", {"clinic": "count"})
+
+    def test_first_last(self):
+        t = Table({"k": [1, 1], "v": [10.0, 20.0]})
+        first = t.group_by("k", {"v": "first"})["v"][0]
+        last = t.group_by("k", {"v": "last"})["v"][0]
+        assert (first, last) == (10.0, 20.0)
+
+
+class TestJoin:
+    def test_inner_join(self, patients):
+        visits = Table({"pid": ["p1", "p2", "p9"], "qol": [0.7, 0.8, 0.9]})
+        j = patients.join(visits, on="pid")
+        assert j.num_rows == 2
+        assert "qol" in j
+
+    def test_left_join_pads_missing(self, patients):
+        visits = Table({"pid": ["p1"], "qol": [0.7]})
+        j = patients.join(visits, on="pid", how="left")
+        assert j.num_rows == 4
+        qol = j["qol"]
+        assert np.isnan(qol).sum() == 3
+
+    def test_left_join_promotes_int_to_float(self, patients):
+        visits = Table({"pid": ["p1"], "visits": [3]})
+        j = patients.join(visits, on="pid", how="left")
+        assert j.column("visits").ctype is ColumnType.FLOAT
+
+    def test_join_suffixes_collisions(self, patients):
+        other = Table({"pid": ["p1"], "age": [99]})
+        j = patients.join(other, on="pid")
+        assert "age_right" in j
+
+    def test_join_duplicates_rows_on_multi_match(self):
+        left = Table({"k": ["a"], "v": [1.0]})
+        right = Table({"k": ["a", "a"], "w": [1.0, 2.0]})
+        assert left.join(right, on="k").num_rows == 2
+
+    def test_unsupported_join_type(self, patients):
+        with pytest.raises(ValueError):
+            patients.join(patients, on="pid", how="outer")
+
+
+class TestConcatAndConversion:
+    def test_concat(self, patients):
+        both = concat_tables([patients, patients])
+        assert both.num_rows == 8
+
+    def test_concat_schema_mismatch(self, patients):
+        with pytest.raises(ValueError):
+            concat_tables([patients, patients.drop(["fi"])])
+
+    def test_concat_empty_list(self):
+        assert concat_tables([]).num_rows == 0
+
+    def test_to_matrix_excludes_strings_by_default(self, patients):
+        m = patients.to_matrix()
+        assert m.shape == (4, 2)  # age, fi
+
+    def test_to_matrix_explicit_names(self, patients):
+        m = patients.to_matrix(["age"])
+        assert m.shape == (4, 1)
+
+    def test_to_matrix_rejects_string_column(self, patients):
+        with pytest.raises(TypeError):
+            patients.to_matrix(["pid"])
+
+    def test_to_dict(self, patients):
+        d = patients.to_dict()
+        assert d["pid"] == ["p1", "p2", "p3", "p4"]
+
+    def test_equality(self, patients):
+        assert patients == patients.select(list(patients.column_names))
+
+    def test_table_not_hashable(self, patients):
+        with pytest.raises(TypeError):
+            hash(patients)
+
+
+class TestDescribe:
+    def test_one_row_per_column(self, patients):
+        desc = patients.describe()
+        assert desc.num_rows == patients.num_columns
+        assert desc["column"].tolist() == list(patients.column_names)
+
+    def test_numeric_statistics(self, patients):
+        desc = patients.describe()
+        row = {name: desc.row(i) for i, name in enumerate(desc["column"])}
+        age = row["age"]
+        assert age["mean"] == pytest.approx(64.0)
+        assert age["min"] == 55.0 and age["max"] == 72.0
+        assert age["missing"] == 0
+
+    def test_missing_counted(self, patients):
+        desc = patients.describe()
+        row = {name: desc.row(i) for i, name in enumerate(desc["column"])}
+        assert row["fi"]["missing"] == 1
+        assert row["fi"]["count"] == 3
+
+    def test_string_columns_have_nan_stats(self, patients):
+        desc = patients.describe()
+        row = {name: desc.row(i) for i, name in enumerate(desc["column"])}
+        assert np.isnan(row["pid"]["mean"])
+        assert row["pid"]["type"] == "string"
+
+    def test_all_missing_numeric_column(self):
+        t = Table({"x": [np.nan, np.nan]})
+        desc = t.describe()
+        assert desc.row(0)["count"] == 0
+        assert np.isnan(desc.row(0)["mean"])

@@ -1,0 +1,48 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_all_experiments_offered(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig1"])
+        assert args.experiment == "fig1"
+        assert args.seed == 7
+
+    def test_all_keyword(self):
+        args = build_parser().parse_args(["all", "--small"])
+        assert args.experiment == "all" and args.small
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_registry_covers_every_paper_artefact(self):
+        assert set(EXPERIMENTS) == {
+            "fig1",
+            "fig4",
+            "table1",
+            "fig5",
+            "fig6",
+            "fig7",
+            "qa",
+            "abl1",
+            "abl2",
+            "abl3",
+        }
+
+
+class TestExecution:
+    def test_fig1_small_prints_artifact(self, capsys):
+        assert main(["fig1", "--small", "--seed", "11"]) == 0
+        out = capsys.readouterr().out
+        assert "FIG1(a)" in out and "Falls" in out
+
+    def test_qa_with_output_dir(self, tmp_path, capsys):
+        assert main(["qa", "--small", "--seed", "11", "--out", str(tmp_path)]) == 0
+        written = tmp_path / "qa.txt"
+        assert written.exists()
+        assert "retention" in written.read_text()

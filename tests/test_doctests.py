@@ -1,0 +1,34 @@
+"""Run the library's docstring examples as tests.
+
+Every ``>>>`` example in a public docstring is part of the documented
+contract; this harness keeps them honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro.boosting.gbm
+import repro.knowledge.ontology
+import repro.learning.split
+import repro.pipeline.impute
+import repro.synth.gaps
+import repro.synth.seeding
+import repro.tabular.table
+
+MODULES = [
+    repro.boosting.gbm,
+    repro.knowledge.ontology,
+    repro.learning.split,
+    repro.pipeline.impute,
+    repro.synth.gaps,
+    repro.synth.seeding,
+    repro.tabular.table,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

@@ -1,0 +1,62 @@
+"""Install the offline ``wheel`` shim into the active site-packages.
+
+Run once per environment (idempotent)::
+
+    python tools/install_wheel_shim.py
+
+After this, ``pip install -e .`` works without network access.  The shim
+registers the ``bdist_wheel`` distutils command through a dist-info
+``entry_points.txt`` so setuptools can discover it.
+"""
+
+from __future__ import annotations
+
+import shutil
+import site
+import sys
+from pathlib import Path
+
+SHIM_ROOT = Path(__file__).resolve().parent / "wheelshim"
+DIST_INFO = "wheel-0.45.0.dist-info"
+
+METADATA = """\
+Metadata-Version: 2.1
+Name: wheel
+Version: 0.45.0
+Summary: Offline shim of the PyPA wheel package (editable-install subset)
+"""
+
+ENTRY_POINTS = """\
+[distutils.commands]
+bdist_wheel = wheel.bdist_wheel:bdist_wheel
+"""
+
+
+def main() -> int:
+    try:
+        import wheel  # noqa: F401
+
+        if "shim" not in getattr(wheel, "__version__", ""):
+            print("a real wheel package is already installed; nothing to do")
+            return 0
+    except ImportError:
+        pass
+
+    target = Path(site.getsitepackages()[0])
+    pkg_dst = target / "wheel"
+    if pkg_dst.exists():
+        shutil.rmtree(pkg_dst)
+    shutil.copytree(SHIM_ROOT / "wheel", pkg_dst)
+
+    info_dst = target / DIST_INFO
+    info_dst.mkdir(exist_ok=True)
+    (info_dst / "METADATA").write_text(METADATA, encoding="utf-8")
+    (info_dst / "entry_points.txt").write_text(ENTRY_POINTS, encoding="utf-8")
+    (info_dst / "RECORD").write_text("", encoding="utf-8")
+    (info_dst / "INSTALLER").write_text("tools/install_wheel_shim.py\n", encoding="utf-8")
+    print(f"wheel shim installed into {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

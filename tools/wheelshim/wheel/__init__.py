@@ -1,0 +1,15 @@
+"""Minimal offline stand-in for the PyPA ``wheel`` package.
+
+The reproduction environment has no network access and no ``wheel``
+distribution, but ``pip install -e .`` (PEP 660 through setuptools'
+``editable_wheel`` command) needs two things from it:
+
+* the ``bdist_wheel`` distutils command (only ``get_tag``, ``egg2dist``
+  and ``write_wheelfile`` are exercised on the editable path);
+* ``wheel.wheelfile.WheelFile`` for zipping the editable wheel.
+
+This shim implements exactly that surface for pure-Python projects.  It
+is installed into site-packages by ``tools/install_wheel_shim.py``.
+"""
+
+__version__ = "0.45.0.shim"

@@ -1,0 +1,117 @@
+"""The ``bdist_wheel`` distutils command, pure-Python editable subset.
+
+setuptools' ``dist_info`` command calls :meth:`bdist_wheel.egg2dist` to
+convert an ``.egg-info`` directory into a ``.dist-info`` directory, and
+``editable_wheel`` calls :meth:`get_tag` / :meth:`write_wheelfile`.
+Building full binary wheels is out of scope (the ``run`` method builds a
+purelib wheel sufficient for ``pip wheel`` on pure-Python trees).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+
+from setuptools import Command
+
+from wheel import __version__
+from wheel.wheelfile import WheelFile
+
+
+def _safer_name(name: str) -> str:
+    import re
+
+    return re.sub(r"[^\w\d.]+", "_", name, flags=re.UNICODE)
+
+
+class bdist_wheel(Command):
+    description = "create a wheel distribution (offline shim)"
+
+    user_options = [
+        ("bdist-dir=", "b", "temporary directory for creating the distribution"),
+        ("dist-dir=", "d", "directory to put final built distributions in"),
+        ("keep-temp", "k", "keep the pseudo-installation tree"),
+    ]
+    boolean_options = ["keep-temp"]
+
+    def initialize_options(self):
+        self.bdist_dir = None
+        self.dist_dir = None
+        self.keep_temp = False
+        self.data_dir = None
+        self.plat_name = None
+        self.root_is_pure = True
+
+    def finalize_options(self):
+        if self.bdist_dir is None:
+            bdist_base = self.get_finalized_command("bdist").bdist_base
+            self.bdist_dir = os.path.join(bdist_base, "wheel")
+        self.data_dir = self.wheel_dist_name + ".data"
+        need_options = ("dist_dir",)
+        self.set_undefined_options("bdist", *zip(need_options, need_options))
+
+    @property
+    def wheel_dist_name(self) -> str:
+        dist = self.distribution
+        return f"{_safer_name(dist.get_name())}-{dist.get_version()}"
+
+    def get_tag(self) -> tuple[str, str, str]:
+        """Pure-Python tag; the shim does not support extension modules."""
+        if self.distribution.has_ext_modules():
+            raise RuntimeError(
+                "the offline wheel shim only supports pure-Python projects"
+            )
+        return ("py3", "none", "any")
+
+    def write_wheelfile(self, wheelfile_base: str, generator: str | None = None):
+        content = (
+            "Wheel-Version: 1.0\n"
+            f"Generator: wheel-shim ({__version__})\n"
+            f"Root-Is-Purelib: {'true' if self.root_is_pure else 'false'}\n"
+            f"Tag: {'-'.join(self.get_tag())}\n"
+        )
+        path = os.path.join(wheelfile_base, "WHEEL")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(content)
+
+    def egg2dist(self, egginfo_path: str, distinfo_path: str):
+        """Convert an .egg-info directory into a .dist-info directory."""
+        if os.path.exists(distinfo_path):
+            shutil.rmtree(distinfo_path)
+        os.makedirs(distinfo_path)
+        pkg_info = os.path.join(egginfo_path, "PKG-INFO")
+        if not os.path.exists(pkg_info):
+            raise FileNotFoundError(f"missing {pkg_info}")
+        shutil.copyfile(pkg_info, os.path.join(distinfo_path, "METADATA"))
+        for extra in ("entry_points.txt", "top_level.txt"):
+            src = os.path.join(egginfo_path, extra)
+            if os.path.exists(src):
+                shutil.copyfile(src, os.path.join(distinfo_path, extra))
+        self.write_wheelfile(distinfo_path)
+
+    def run(self):
+        """Build a purelib wheel (used by ``pip wheel`` / build_wheel)."""
+        build = self.reinitialize_command("build", reinit_subcommands=True)
+        build.build_lib = os.path.join(self.bdist_dir, "lib")
+        self.run_command("build")
+
+        dist_info = self.reinitialize_command("dist_info")
+        dist_info.output_dir = build.build_lib
+        dist_info.keep_egg_info = False
+        dist_info.ensure_finalized()
+        dist_info.run()
+
+        os.makedirs(self.dist_dir, exist_ok=True)
+        archive = os.path.join(
+            self.dist_dir,
+            f"{self.wheel_dist_name}-{'-'.join(self.get_tag())}.whl",
+        )
+        if os.path.exists(archive):
+            os.unlink(archive)
+        with WheelFile(archive, "w") as wf:
+            wf.write_files(build.build_lib)
+        if not self.keep_temp:
+            shutil.rmtree(self.bdist_dir, ignore_errors=True)
+        getattr(self.distribution, "dist_files", []).append(
+            ("bdist_wheel", "3", archive)
+        )

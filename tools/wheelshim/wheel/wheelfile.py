@@ -1,0 +1,75 @@
+"""A RECORD-writing ZipFile, API-compatible with wheel.wheelfile.WheelFile
+for the subset setuptools' editable_wheel uses."""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import re
+import zipfile
+
+_WHEEL_NAME_RE = re.compile(
+    r"^(?P<name>[^\s-]+)-(?P<version>[^\s-]+)(-(?P<build>\d[^\s-]*))?"
+    r"-(?P<pyver>[^\s-]+)-(?P<abi>[^\s-]+)-(?P<plat>[^\s-]+)\.whl$"
+)
+
+
+def _urlsafe_b64(data: bytes) -> str:
+    return base64.urlsafe_b64encode(data).rstrip(b"=").decode("ascii")
+
+
+class WheelFile(zipfile.ZipFile):
+    """Write-mode wheel archive that appends a RECORD on close."""
+
+    def __init__(self, file, mode="r", compression=zipfile.ZIP_DEFLATED):
+        basename = os.path.basename(str(file))
+        match = _WHEEL_NAME_RE.match(basename)
+        if match is None:
+            raise ValueError(f"bad wheel filename {basename!r}")
+        self.parsed_filename = match
+        self.dist_info_path = (
+            f"{match.group('name')}-{match.group('version')}.dist-info"
+        )
+        self.record_path = f"{self.dist_info_path}/RECORD"
+        self._records: list[tuple[str, str, int]] = []
+        super().__init__(file, mode=mode, compression=compression, allowZip64=True)
+
+    # -- recording wrappers -------------------------------------------
+    def write(self, filename, arcname=None, compress_type=None):
+        with open(filename, "rb") as fh:
+            data = fh.read()
+        self.writestr(
+            zipfile.ZipInfo(str(arcname or filename).replace(os.sep, "/")),
+            data,
+            compress_type,
+        )
+
+    def writestr(self, zinfo_or_arcname, data, compress_type=None):
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        arcname = (
+            zinfo_or_arcname.filename
+            if isinstance(zinfo_or_arcname, zipfile.ZipInfo)
+            else str(zinfo_or_arcname)
+        )
+        super().writestr(zinfo_or_arcname, data, compress_type)
+        if arcname != self.record_path:
+            digest = _urlsafe_b64(hashlib.sha256(data).digest())
+            self._records.append((arcname, f"sha256={digest}", len(data)))
+
+    def write_files(self, base_dir):
+        """Add every file under ``base_dir`` keeping relative paths."""
+        for root, dirs, files in os.walk(base_dir):
+            dirs.sort()
+            for name in sorted(files):
+                path = os.path.join(root, name)
+                arcname = os.path.relpath(path, base_dir).replace(os.sep, "/")
+                self.write(path, arcname)
+
+    def close(self):
+        if self.fp is not None and self.mode == "w":
+            lines = [f"{n},{h},{s}" for n, h, s in self._records]
+            lines.append(f"{self.record_path},,")
+            super().writestr(self.record_path, "\n".join(lines) + "\n")
+        super().close()
