@@ -56,6 +56,23 @@ def test_bench_gbm_fit_paper_scale(benchmark, train_data):
     assert model.ensemble_.n_trees == 100
 
 
+def test_bench_gbm_fit_with_eval_set(benchmark, train_data):
+    # Early-stopping fits re-score the eval set every round; since the
+    # hot-loop overhaul that path runs on pre-binned codes
+    # (Tree.predict_binned) instead of NaN-checked float traversal.
+    X, y = train_data
+    X_tr, y_tr = X[:1800], y[:1800]
+    eval_set = (X[1800:], y[1800:])
+    model = benchmark.pedantic(
+        lambda: GBRegressor(
+            n_estimators=100, max_depth=4, early_stopping_rounds=0
+        ).fit(X_tr, y_tr, eval_set=eval_set),
+        rounds=2,
+        iterations=1,
+    )
+    assert len(model.eval_history_) == 100
+
+
 def test_bench_gbm_predict(benchmark, fitted):
     model, X = fitted
     preds = benchmark(lambda: model.predict(X))

@@ -67,17 +67,27 @@ class BinMapper:
         self.n_bins_ = n_bins
         return self
 
-    def transform(self, X: np.ndarray) -> np.ndarray:
-        """Map a raw matrix to bin codes (uint8; NaN -> ``missing_bin``)."""
+    def transform(self, X: np.ndarray, order: str = "C") -> np.ndarray:
+        """Map a raw matrix to bin codes (uint8; NaN -> ``missing_bin``).
+
+        ``order`` selects the memory layout of the output: "C" (default)
+        favours row-wise access (prediction), "F" favours the
+        column-wise gathers of histogram building in the tree grower.
+
+        Unlike ``fit``, +/-inf is accepted: it clamps to the extreme
+        bins, which routes identically to raw-threshold evaluation.
+        """
         if self.bin_edges_ is None:
             raise RuntimeError("BinMapper must be fitted before transform")
-        X = _check_matrix(X)
+        if order not in ("C", "F"):
+            raise ValueError(f"order must be 'C' or 'F', got {order!r}")
+        X = _check_matrix(X, allow_inf=True)
         if X.shape[1] != len(self.bin_edges_):
             raise ValueError(
                 f"matrix has {X.shape[1]} features, mapper was fitted on "
                 f"{len(self.bin_edges_)}"
             )
-        out = np.empty(X.shape, dtype=np.uint8)
+        out = np.empty(X.shape, dtype=np.uint8, order=order)
         for f, cut in enumerate(self.bin_edges_):
             col = X[:, f]
             codes = np.searchsorted(cut, col, side="left").astype(np.uint8)
@@ -111,10 +121,10 @@ class BinMapper:
         return float(cut[bin_index])
 
 
-def _check_matrix(X: np.ndarray) -> np.ndarray:
+def _check_matrix(X: np.ndarray, allow_inf: bool = False) -> np.ndarray:
     X = np.asarray(X, dtype=np.float64)
     if X.ndim != 2:
         raise ValueError(f"expected a 2-D matrix, got shape {X.shape}")
-    if np.isinf(X).any():
+    if not allow_inf and np.isinf(X).any():
         raise ValueError("matrix contains +/-inf; only finite values and NaN allowed")
     return X

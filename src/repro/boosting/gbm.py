@@ -8,6 +8,14 @@ The fit loop is classic Newton boosting:
    (:class:`repro.boosting.grower.TreeGrower`);
 3. add the tree (leaf values already shrunken by the learning rate);
 4. optionally early-stop on a validation set.
+
+Raw-score bookkeeping never touches the float feature matrix after
+binning: the grower reports the leaf each in-sample row landed in, so
+step 3 is a direct ``value[leaf]`` gather; out-of-sample rows (row
+subsampling) and the early-stopping eval set are binned once up front
+and routed through :meth:`Tree.predict_binned`, skipping the NaN-checked
+float traversal entirely.  Only :meth:`predict` on fresh data pays the
+raw-threshold path.
 """
 
 from __future__ import annotations
@@ -81,7 +89,7 @@ class _BaseGB:
         self.n_features_ = X.shape[1]
 
         mapper = BinMapper(max_bins=cfg.max_bins).fit(X)
-        binned = mapper.transform(X)
+        binned = mapper.transform(X, order="F")
         grower = TreeGrower(binned, mapper, cfg)
         rng = np.random.default_rng(cfg.random_state)
 
@@ -93,6 +101,7 @@ class _BaseGB:
         if has_eval:
             X_val = np.asarray(eval_set[0], dtype=np.float64)
             y_val = self._validate_targets(eval_set[1])
+            binned_val = mapper.transform(X_val)
             raw_val = np.full(X_val.shape[0], base, dtype=np.float64)
         best_loss = np.inf
         best_iter = 0
@@ -100,6 +109,7 @@ class _BaseGB:
 
         n = X.shape[0]
         d = X.shape[1]
+        leaf_buf = np.empty(n, dtype=np.int64)
         for round_idx in range(cfg.n_estimators):
             grad, hess = self._loss.gradient_hessian(raw, y)
             if cfg.subsample < 1.0:
@@ -116,12 +126,16 @@ class _BaseGB:
             else:
                 feature_mask = np.ones(d, dtype=bool)
 
-            tree = grower.grow(grad, hess, rows, feature_mask)
+            tree = grower.grow(grad, hess, rows, feature_mask, leaf_out=leaf_buf)
             ensemble.trees.append(tree)
-            raw += tree.predict(X)
+            raw[rows] += tree.value[leaf_buf[rows]]
+            if rows.size < n:
+                oob = np.ones(n, dtype=bool)
+                oob[rows] = False
+                raw[oob] += tree.predict_binned(binned[oob], mapper.missing_bin)
 
             if has_eval:
-                raw_val += tree.predict(X_val)
+                raw_val += tree.predict_binned(binned_val, mapper.missing_bin)
                 val_loss = self._loss.loss(raw_val, y_val)
                 self.eval_history_.append(val_loss)
                 if val_loss < best_loss - 1e-12:
@@ -135,6 +149,7 @@ class _BaseGB:
 
         if has_eval and cfg.early_stopping_rounds > 0 and best_iter > 0:
             ensemble.trees = ensemble.trees[:best_iter]
+            self.eval_history_ = self.eval_history_[:best_iter]
             self.best_iteration_ = best_iter
         else:
             self.best_iteration_ = len(ensemble.trees)
@@ -211,7 +226,7 @@ class GBClassifier(_BaseGB):
         return self._loss.transform(self._raw(X))
 
     def predict(self, X: np.ndarray, threshold: float = 0.5) -> np.ndarray:
-        """Class labels at the given probability threshold."""
+        """Class labels (int64 in {0, 1}) at the given probability threshold."""
         if not 0.0 < threshold < 1.0:
             raise ValueError("threshold must be in (0, 1)")
-        return self.predict_proba(X) >= threshold
+        return (self.predict_proba(X) >= threshold).astype(np.int64)

@@ -1,21 +1,40 @@
 """Histogram-based tree growing (one boosting round).
 
 Given per-sample gradients/hessians and the pre-binned feature matrix,
-the grower builds one depth-wise tree: at every node it accumulates
-per-(feature, bin) gradient/hessian histograms with a single flat
-``bincount``, scans all candidate splits vectorised, and applies the
-XGBoost gain formula
+the grower builds one depth-wise tree.  The hot loop is organised
+around two classic histogram-boosting optimisations:
+
+* **Per-feature histogram accumulation.**  Node histograms are built
+  one feature at a time with ``np.bincount`` over that feature's bin
+  codes, allocating O(bins) per feature instead of materialising
+  O(rows x features) repeated-weight temporaries.
+* **Histogram subtraction.**  After a split, only the smaller child's
+  histogram is accumulated from its rows; the sibling's histogram is
+  obtained as ``parent - child``.  Parent histograms are threaded
+  through :class:`_NodeTask`, so each level of the tree costs roughly
+  one pass over half the node's rows rather than one pass per child.
+
+At every node the grower scans all candidate splits vectorised and
+applies the XGBoost gain formula
 
     gain = 1/2 * [ GL^2/(HL+lambda) + GR^2/(HR+lambda)
                    - (GL+GR)^2/(HL+HR+lambda) ] - gamma
 
 Missing values occupy a dedicated bin and are routed to whichever side
-yields the larger gain (sparsity-aware default direction).
+yields the larger gain (sparsity-aware default direction).  The scan
+includes the "all non-missing left, missing right" candidate (raw
+threshold ``+inf``, see :meth:`BinMapper.threshold_value`) so features
+whose predictive signal lies in *being missing* still split cleanly.
+
+Each split also records its bin-space threshold (``Tree.bin_threshold``)
+and, on request, the leaf each training row lands in, so the fit loop
+can update raw predictions from leaf values directly instead of
+re-traversing the raw float matrix every round.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -40,6 +59,13 @@ class _NodeTask:
 
     ``lower``/``upper`` bound the (unshrunken) leaf values permitted in
     this subtree; they implement monotone-constraint propagation.
+    ``hist`` holds the node's ``(n_channels, n_features, stride)``
+    gradient/hessian[/count] histograms when the parent already derived
+    them (directly for the smaller child, by subtraction for its
+    sibling); ``None`` means the node accumulates its own histograms if
+    and when it is scanned.  The last channel is always an exact
+    occupancy count: a dedicated integer channel when hessians vary,
+    or the hessian channel itself when all hessians are 1.
     """
 
     node_id: int
@@ -49,6 +75,7 @@ class _NodeTask:
     hess_sum: float
     lower: float = -np.inf
     upper: float = np.inf
+    hist: np.ndarray | None = field(default=None, repr=False)
 
 
 class TreeGrower:
@@ -63,19 +90,51 @@ class TreeGrower:
         The fitted mapper (provides bin -> raw threshold translation).
     config:
         Boosting hyper-parameters.
+    use_subtraction:
+        When True (default), sibling histograms are derived as
+        ``parent - child``; when False every node accumulates its
+        histograms from scratch.  The flag exists so equivalence tests
+        can prove both paths grow identical trees.
     """
 
-    def __init__(self, binned: np.ndarray, mapper: BinMapper, config: GBConfig):
+    def __init__(
+        self,
+        binned: np.ndarray,
+        mapper: BinMapper,
+        config: GBConfig,
+        use_subtraction: bool = True,
+    ):
         if binned.dtype != np.uint8:
             raise TypeError("binned matrix must be uint8")
-        self.binned = binned
+        # Histogram building gathers one column at a time; keep a
+        # Fortran-ordered view so those gathers stay cache-friendly.
+        self.binned = binned if binned.flags.f_contiguous else np.asfortranarray(binned)
         self.mapper = mapper
         self.config = config
+        self.use_subtraction = use_subtraction
         self.n_features = binned.shape[1]
         self._stride = mapper.missing_bin + 1
+        # For nodes below this many rows the per-feature bincount loop
+        # is dispatch-bound; a single flat bincount over offset codes
+        # wins despite its O(rows x features) temporaries (which stay
+        # tiny at this size).
+        self._flat_rows_max = 1024
         self._col_offsets = (
             np.arange(self.n_features, dtype=np.int64) * self._stride
         )
+        # Precomputing the feature-offset codes costs 8x the binned
+        # matrix in resident memory, so cache them only for matrices
+        # where that is cheap (<= 64 MB); larger fits rebuild the
+        # (row-capped, few-hundred-KB) codes per flat-path call.
+        self._offset_codes: np.ndarray | None = None
+        self._cache_offset_codes = binned.size <= 8 << 20
+        # Refreshed per grow() call from the round's gradients/hessians.
+        self._n_channels = 3
+        self._scan_dtype = np.float32
+        # Scratch arrays for the batched split scan, keyed by (name,
+        # shape); reuse avoids re-faulting ~0.5 MB of fresh pages per
+        # level (large numpy allocations are mmap-backed).
+        self._scratch: dict = {}
 
     def grow(
         self,
@@ -83,6 +142,7 @@ class TreeGrower:
         hess: np.ndarray,
         rows: np.ndarray,
         feature_mask: np.ndarray,
+        leaf_out: np.ndarray | None = None,
     ) -> Tree:
         """Build one tree from the given round's gradients.
 
@@ -95,6 +155,11 @@ class TreeGrower:
         feature_mask:
             Boolean mask of features available to this tree (column
             subsampling).
+        leaf_out:
+            Optional int64 array of length ``n_samples``; entries for
+            ``rows`` are filled with the leaf node id each row reaches,
+            letting the caller update raw predictions without
+            re-traversing the tree.
 
         Returns
         -------
@@ -106,6 +171,7 @@ class TreeGrower:
         children_right: list[int] = []
         feature: list[int] = []
         threshold: list[float] = []
+        bin_threshold: list[int] = []
         missing_left: list[bool] = []
         value: list[float] = []
         cover: list[float] = []
@@ -115,74 +181,106 @@ class TreeGrower:
             children_right.append(LEAF)
             feature.append(LEAF)
             threshold.append(np.nan)
+            bin_threshold.append(LEAF)
             missing_left.append(False)
             value.append(0.0)
             cover.append(cov)
             return len(children_left) - 1
 
+        active_features = np.flatnonzero(feature_mask)
+        mask_all = bool(feature_mask.all())
+        # With unit hessians (squared error) the hessian histogram is
+        # integer-valued and therefore already an exact occupancy
+        # count; otherwise a dedicated count channel is accumulated.
+        self._n_channels = 2 if bool((hess[rows] == 1.0).all()) else 3
+        # The float32 candidate scan overflows to inf (silently
+        # rejecting every split) once a squared gradient sum leaves
+        # float32 range; bound |GL| by sum(|g|) and fall back to a
+        # float64 scan for pathologically scaled targets.
+        scale = float(np.abs(grad[rows]).sum()) + float(hess[rows].sum())
+        self._scan_dtype = np.float32 if scale < 1e15 else np.float64
         g_root = float(grad[rows].sum())
         h_root = float(hess[rows].sum())
         root = new_node(h_root)
-        stack = [_NodeTask(root, rows, 0, g_root, h_root)]
+        level = [_NodeTask(root, rows, 0, g_root, h_root)]
 
         constraints = cfg.monotone_constraints
-        while stack:
-            task = stack.pop()
-            split = None
-            if task.depth < cfg.max_depth and len(task.rows) >= 2:
-                split = self._best_split(task, grad, hess, feature_mask)
-            if split is None:
-                value[task.node_id] = self._leaf_value(
-                    task.grad_sum, task.hess_sum, task.lower, task.upper
-                )
-                continue
+        while level:
+            # Level-synchronous growth: the candidate scan for every
+            # node of the level runs as one batched set of array ops,
+            # which amortises numpy dispatch overhead that would
+            # otherwise dominate on small per-node histograms.
+            scannable = []
+            for task in level:
+                if task.depth < cfg.max_depth and len(task.rows) >= 2:
+                    if task.hist is None:
+                        task.hist = self._histograms(
+                            task.rows, grad, hess, active_features
+                        )
+                    scannable.append(task)
+            splits = (
+                self._best_splits(scannable, feature_mask, mask_all)
+                if scannable
+                else []
+            )
+            split_of = {id(t): s for t, s in zip(scannable, splits)}
 
-            f, b, miss_left, gain, gl, hl = split
-            codes = self.binned[task.rows, f]
-            left_sel = codes <= b
-            if miss_left:
-                left_sel |= codes == self.mapper.missing_bin
-            left_rows = task.rows[left_sel]
-            right_rows = task.rows[~left_sel]
+            next_level = []
+            for task in level:
+                split = split_of.get(id(task))
+                if split is None:
+                    value[task.node_id] = self._leaf_value(
+                        task.grad_sum, task.hess_sum, task.lower, task.upper
+                    )
+                    if leaf_out is not None:
+                        leaf_out[task.rows] = task.node_id
+                    task.hist = None
+                    continue
 
-            left_id = new_node(hl)
-            right_id = new_node(task.hess_sum - hl)
-            children_left[task.node_id] = left_id
-            children_right[task.node_id] = right_id
-            feature[task.node_id] = f
-            threshold[task.node_id] = self.mapper.threshold_value(f, b)
-            missing_left[task.node_id] = miss_left
+                f, b, miss_left, gain, gl, hl = split
+                codes = self.binned[:, f][task.rows]
+                left_sel = codes <= b
+                if miss_left:
+                    left_sel |= codes == self.mapper.missing_bin
+                left_rows = task.rows[left_sel]
+                right_rows = task.rows[~left_sel]
 
-            # Monotone-constraint bound propagation: a split on a
-            # constrained feature caps one side's subtree at the
-            # midpoint of the two (clipped) Newton child values.
-            left_lower = right_lower = task.lower
-            left_upper = right_upper = task.upper
-            c = constraints[f] if constraints is not None else 0
-            if c != 0:
-                lam = cfg.reg_lambda
-                wl = _clip(-gl / (hl + lam), task.lower, task.upper)
-                wr = _clip(
-                    -(task.grad_sum - gl) / (task.hess_sum - hl + lam),
-                    task.lower,
-                    task.upper,
-                )
-                mid = (wl + wr) / 2.0
-                if c > 0:
-                    left_upper = min(left_upper, mid)
-                    right_lower = max(right_lower, mid)
-                else:
-                    left_lower = max(left_lower, mid)
-                    right_upper = min(right_upper, mid)
+                left_id = new_node(hl)
+                right_id = new_node(task.hess_sum - hl)
+                children_left[task.node_id] = left_id
+                children_right[task.node_id] = right_id
+                feature[task.node_id] = f
+                threshold[task.node_id] = self.mapper.threshold_value(f, b)
+                bin_threshold[task.node_id] = b
+                missing_left[task.node_id] = miss_left
 
-            stack.append(
-                _NodeTask(
+                # Monotone-constraint bound propagation: a split on a
+                # constrained feature caps one side's subtree at the
+                # midpoint of the two (clipped) Newton child values.
+                left_lower = right_lower = task.lower
+                left_upper = right_upper = task.upper
+                c = constraints[f] if constraints is not None else 0
+                if c != 0:
+                    lam = cfg.reg_lambda
+                    wl = _clip(-gl / (hl + lam), task.lower, task.upper)
+                    wr = _clip(
+                        -(task.grad_sum - gl) / (task.hess_sum - hl + lam),
+                        task.lower,
+                        task.upper,
+                    )
+                    mid = (wl + wr) / 2.0
+                    if c > 0:
+                        left_upper = min(left_upper, mid)
+                        right_lower = max(right_lower, mid)
+                    else:
+                        left_lower = max(left_lower, mid)
+                        right_upper = min(right_upper, mid)
+
+                left_task = _NodeTask(
                     left_id, left_rows, task.depth + 1, gl, hl,
                     left_lower, left_upper,
                 )
-            )
-            stack.append(
-                _NodeTask(
+                right_task = _NodeTask(
                     right_id,
                     right_rows,
                     task.depth + 1,
@@ -191,7 +289,37 @@ class TreeGrower:
                     right_lower,
                     right_upper,
                 )
-            )
+                if self.use_subtraction and task.depth + 1 < cfg.max_depth:
+                    # Children will be scanned: accumulate only the
+                    # smaller one, derive its sibling as parent - child
+                    # (in place: the parent's histograms are not needed
+                    # any more).
+                    small, big = (
+                        (left_task, right_task)
+                        if len(left_rows) <= len(right_rows)
+                        else (right_task, left_task)
+                    )
+                    small.hist = self._histograms(
+                        small.rows, grad, hess, active_features
+                    )
+                    big_hist = np.subtract(task.hist, small.hist, out=task.hist)
+                    # Counts are integers stored in float64, so their
+                    # subtraction is exact; scrub the last-ulp residue
+                    # the float channels accumulate in bins that are
+                    # empty at this node but occupied higher up the
+                    # tree.  This keeps empty bins at exact zero at
+                    # every depth, which the split scan's occupancy
+                    # logic and duplicate-candidate tie-breaking rely
+                    # on.
+                    empty = big_hist[-1] == 0.0
+                    for channel in big_hist[:-1]:
+                        np.copyto(channel, 0.0, where=empty)
+                    big.hist = big_hist
+                task.hist = None
+
+                next_level.append(left_task)
+                next_level.append(right_task)
+            level = next_level
 
         return Tree(
             children_left=np.asarray(children_left, dtype=np.int64),
@@ -201,6 +329,7 @@ class TreeGrower:
             missing_left=np.asarray(missing_left, dtype=bool),
             value=np.asarray(value, dtype=np.float64),
             cover=np.asarray(cover, dtype=np.float64),
+            bin_threshold=np.asarray(bin_threshold, dtype=np.int64),
         )
 
     # ------------------------------------------------------------------
@@ -218,87 +347,259 @@ class TreeGrower:
         return cfg.learning_rate * newton
 
     def _histograms(
-        self, rows: np.ndarray, grad: np.ndarray, hess: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Per-(feature, bin) gradient and hessian sums for a node."""
-        codes = self.binned[rows].astype(np.int64) + self._col_offsets
-        flat = codes.ravel()
-        size = self.n_features * self._stride
-        g_rep = np.repeat(grad[rows], self.n_features)
-        h_rep = np.repeat(hess[rows], self.n_features)
-        # codes.ravel() is row-major: sample 0's features first, matching
-        # np.repeat over samples.
-        g_hist = np.bincount(flat, weights=g_rep, minlength=size)
-        h_hist = np.bincount(flat, weights=h_rep, minlength=size)
-        shape = (self.n_features, self._stride)
-        return g_hist.reshape(shape), h_hist.reshape(shape)
-
-    def _best_split(
         self,
-        task: _NodeTask,
+        rows: np.ndarray,
         grad: np.ndarray,
         hess: np.ndarray,
-        feature_mask: np.ndarray,
-    ):
-        """Scan all (feature, bin, missing-direction) candidates.
+        active_features: np.ndarray,
+    ) -> np.ndarray:
+        """Per-(feature, bin) sums: ``(n_channels, d, stride)``.
 
-        Returns ``(feature, bin, missing_left, gain, grad_left,
-        hess_left)`` or None when no candidate beats the gamma/
-        min-child-weight constraints.
+        Channels are gradient, hessian and — when hessians vary — an
+        occupancy count (exact small integers in float64), which lets
+        the subtraction trick scrub float residue out of empty bins and
+        gives the split scan exact occupancy tests at any depth.  With
+        unit hessians the hessian channel doubles as the count.
+
+        Large nodes accumulate one feature at a time (O(bins) scratch
+        per feature; features excluded by the column mask keep all-zero
+        rows).  Small nodes — where n_channels x n_features bincount
+        dispatches would dominate — use one flat bincount over
+        precomputed feature-offset codes instead; that path fills
+        masked-out features too, which is harmless because every
+        consumer is feature-mask-guarded and both paths accumulate each
+        (feature, bin) cell in identical row order.
+        """
+        stride = self._stride
+        d = self.n_features
+        nch = self._n_channels
+        # Two channels means hessians are all 1 (see grow), so the
+        # hessian histogram equals the plain occupancy count — the
+        # unweighted integer bincount path is markedly faster.
+        unit_hess = nch == 2
+        g_rows = grad[rows]
+        if rows.size <= self._flat_rows_max:
+            if self._cache_offset_codes:
+                if self._offset_codes is None:
+                    self._offset_codes = np.ascontiguousarray(
+                        self.binned.astype(np.int64) + self._col_offsets
+                    )
+                flat = self._offset_codes[rows].ravel()
+            else:
+                flat = (
+                    self.binned[rows].astype(np.int64) + self._col_offsets
+                ).ravel()
+            size = d * stride
+            hist = np.empty((nch, d, stride), dtype=np.float64)
+            hist[0] = np.bincount(
+                flat, weights=np.repeat(g_rows, d), minlength=size
+            ).reshape(d, stride)
+            if unit_hess:
+                hist[1] = np.bincount(flat, minlength=size).reshape(d, stride)
+            else:
+                hist[1] = np.bincount(
+                    flat, weights=np.repeat(hess[rows], d), minlength=size
+                ).reshape(d, stride)
+                hist[2] = np.bincount(flat, minlength=size).reshape(d, stride)
+            return hist
+        hist = np.zeros((nch, d, stride), dtype=np.float64)
+        h_rows = None if unit_hess else hess[rows]
+        binned = self.binned
+        for f in active_features:
+            codes = binned[:, f][rows]
+            hist[0, f] = np.bincount(codes, weights=g_rows, minlength=stride)
+            if unit_hess:
+                hist[1, f] = np.bincount(codes, minlength=stride)
+            else:
+                hist[1, f] = np.bincount(codes, weights=h_rows, minlength=stride)
+                hist[2, f] = np.bincount(codes, minlength=stride)
+        return hist
+
+    def _scratch_buf(self, name: str, shape: tuple, dtype=np.float64) -> np.ndarray:
+        """Reusable scratch array of the requested shape.
+
+        The leading dimension (nodes per level) is data-dependent, so
+        buffers are kept at the largest capacity seen per (name, dtype,
+        trailing dims) and sliced down — O(1) buffers per name instead
+        of one per distinct level width.
+        """
+        key = (name, shape[1:], dtype)
+        buf = self._scratch.get(key)
+        if buf is None or buf.shape[0] < shape[0]:
+            buf = np.empty(shape, dtype=dtype)
+            self._scratch[key] = buf
+        return buf if buf.shape[0] == shape[0] else buf[: shape[0]]
+
+    def _best_splits(
+        self,
+        tasks: list[_NodeTask],
+        feature_mask: np.ndarray,
+        mask_all: bool,
+    ) -> list[tuple | None]:
+        """Scan all (feature, bin, missing-direction) candidates for a
+        whole level of nodes in one batched pass.
+
+        Candidate ``b`` sends non-missing bins ``<= b`` left; ``b`` runs
+        over *every* non-missing bin, so the last bin paired with
+        "missing right" expresses the all-non-missing-left split.
+        Structural validity (each side must actually receive samples) is
+        normally subsumed by the min-child-weight bound — float residue
+        from histogram subtraction is orders of magnitude below any real
+        ``min_child_weight`` — and is checked explicitly on the exact
+        count channel only when that bound is (near) zero.
+
+        Returns, per task, ``(feature, bin, missing_left, gain,
+        grad_left, hess_left)`` or None when no candidate beats the
+        gamma/min-child-weight constraints.
         """
         cfg = self.config
         lam = cfg.reg_lambda
-        g_hist, h_hist = self._histograms(task.rows, grad, hess)
+        mcw = cfg.min_child_weight
+        k = len(tasks)
+        nch = self._n_channels
+        stride = self._stride
+        d = self.n_features
+        n_bins = stride - 1
 
-        g_miss = g_hist[:, -1]
-        h_miss = h_hist[:, -1]
-        # Cumulative sums over non-missing bins; candidate b sends bins
-        # <= b left.  The last bin is excluded (nothing would go right).
-        gl = np.cumsum(g_hist[:, :-1], axis=1)[:, :-1]
-        hl = np.cumsum(h_hist[:, :-1], axis=1)[:, :-1]
+        # The scan normally runs in float32: gain ranking tolerates
+        # ~1e-7 relative noise with no effect on model quality, and
+        # halving the memory traffic of the candidate sweep is a
+        # first-order win.  Exact float64 child sums for the winning
+        # candidate are re-derived from the node's float64 histogram
+        # afterwards.  grow() switches the dtype to float64 when the
+        # gradient scale would overflow squared float32.
+        dt = self._scan_dtype
+        hist = self._scratch_buf("hist", (k, nch, d, stride), dtype=dt)
+        for i, t in enumerate(tasks):
+            hist[i] = t.hist
 
-        g_tot = task.grad_sum
-        h_tot = task.hess_sum
-        parent_score = g_tot * g_tot / (h_tot + lam)
+        # Cumulative sums; the missing bin is the last index, so the
+        # leading columns of a full-stride cumsum are exactly the
+        # cumulative sums over non-missing bins.  Candidate b sends
+        # non-missing bins <= b left.
+        cum = self._scratch_buf("cum", (k, nch, d, stride), dtype=dt)
+        np.cumsum(hist, axis=3, out=cum)
+        gl = cum[:, 0, :, :-1]
+        hl = cum[:, 1, :, :-1]
+        g_miss = hist[:, 0, :, -1:]
+        h_miss = hist[:, 1, :, -1:]
 
-        best_gain = max(cfg.gamma, 1e-12)
-        best = None
-        for miss_left in (False, True):
-            gl_c = gl + g_miss[:, None] if miss_left else gl
-            hl_c = hl + h_miss[:, None] if miss_left else hl
-            gr_c = g_tot - gl_c
-            hr_c = h_tot - hl_c
-            valid = (
-                (hl_c >= cfg.min_child_weight)
-                & (hr_c >= cfg.min_child_weight)
-                & feature_mask[:, None]
-            )
+        # Layer 0: missing right; layer 1: missing left.  Within each
+        # node candidates flatten layer-major, preserving the tie-break
+        # order (missing-right first).  Without missing values anywhere
+        # in the level the layers coincide, so scan only one.
+        any_miss = bool((hist[:, -1, :, -1] > 0.0).any())
+        n_layers = 2 if any_miss else 1
+        score = self._scratch_buf("score", (k, n_layers, d, n_bins), dtype=dt)
+
+        g_tot = np.array([t.grad_sum for t in tasks], dtype=dt)[:, None, None]
+        h_tot = np.array([t.hess_sum for t in tasks], dtype=dt)[:, None, None]
+        # With a (near) zero min-child-weight bound, child occupancy
+        # must be decided on the exact count channel instead.
+        need_occupancy = mcw < 1e-6
+        if need_occupancy:
+            cl = cum[:, -1, :, :-1]
+            left_nonempty = cl > 0.0
+            right_nonempty = cl < cl[:, :, -1:]
+            has_miss = hist[:, -1, :, -1:] > 0.0
+
+        glm = self._scratch_buf("glm", (k, d, n_bins), dtype=dt)
+        hlm = self._scratch_buf("hlm", (k, d, n_bins), dtype=dt)
+        gr = self._scratch_buf("gr", (k, d, n_bins), dtype=dt)
+        hl_lam = self._scratch_buf("hl_lam", (k, d, n_bins), dtype=dt)
+        hr_lam = self._scratch_buf("hr_lam", (k, d, n_bins), dtype=dt)
+        valid = self._scratch_buf("valid", (k, d, n_bins), dtype=bool)
+        vtmp = self._scratch_buf("vtmp", (k, d, n_bins), dtype=bool)
+        lam_s = dt(lam)
+        mcw_s = dt(mcw)
+
+        for layer in range(n_layers):
+            if layer == 0:
+                gl_l, hl_l = gl, hl
+            else:
+                gl_l = np.add(gl, g_miss, out=glm)
+                hl_l = np.add(hl, h_miss, out=hlm)
+            s = score[:, layer]
+
+            # Child sums shifted by lambda for the gain denominators;
+            # the right side is derived from the node totals.
+            np.subtract(g_tot, gl_l, out=gr)
+            np.add(hl_l, lam_s, out=hl_lam)
+            np.subtract(h_tot + lam_s, hl_l, out=hr_lam)
+
+            if mcw > 0:
+                np.greater_equal(hl_l, mcw_s, out=valid)
+                np.less_equal(hl_l, h_tot - mcw_s, out=vtmp)
+                valid &= vtmp
+            else:
+                valid[:] = True
+            if need_occupancy:
+                if layer == 0:
+                    valid &= left_nonempty
+                    valid &= right_nonempty | has_miss
+                else:
+                    valid &= right_nonempty
+                    valid &= left_nonempty | has_miss
+            if not mask_all:
+                valid &= feature_mask[None, :, None]
+
             if cfg.monotone_constraints is not None:
-                cons = np.asarray(cfg.monotone_constraints)[:, None]
+                cons = np.asarray(cfg.monotone_constraints, dtype=dt)[None, :, None]
+                lower = np.array([t.lower for t in tasks], dtype=dt)[:, None, None]
+                upper = np.array([t.upper for t in tasks], dtype=dt)[:, None, None]
                 with np.errstate(divide="ignore", invalid="ignore"):
-                    wl = np.clip(-gl_c / (hl_c + lam), task.lower, task.upper)
-                    wr = np.clip(-gr_c / (hr_c + lam), task.lower, task.upper)
+                    wl = np.clip(-gl_l / hl_lam, lower, upper)
+                    wr = np.clip(-gr / hr_lam, lower, upper)
                 valid &= (cons == 0) | (cons * (wr - wl) >= 0)
-            # Bins beyond a feature's real bin count never receive data;
-            # their cumulative stats equal the previous bin and produce
-            # duplicate candidates only, so no extra masking is needed.
+
+            # score = GL^2/(HL+lam) + GR^2/(HR+lam); the per-node affine
+            # map 0.5 * (score - parent_score) is order-preserving and
+            # is applied only to each node's winning scalar.
             with np.errstate(divide="ignore", invalid="ignore"):
-                gain = 0.5 * (
-                    gl_c * gl_c / (hl_c + lam)
-                    + gr_c * gr_c / (hr_c + lam)
-                    - parent_score
-                )
-            gain = np.where(valid, gain, _NEG_INF)
-            flat_idx = int(np.argmax(gain))
-            f, b = divmod(flat_idx, gain.shape[1])
-            if gain[f, b] > best_gain:
-                best_gain = float(gain[f, b])
-                best = (
-                    int(f),
-                    int(b),
-                    miss_left,
-                    best_gain,
-                    float(gl_c[f, b]),
-                    float(hl_c[f, b]),
-                )
-        return best
+                np.multiply(gl_l, gl_l, out=s)
+                s /= hl_lam
+                np.multiply(gr, gr, out=gr)
+                gr /= hr_lam
+                s += gr
+            np.logical_not(valid, out=valid)
+            np.copyto(s, _NEG_INF, where=valid)
+
+        flat = score.reshape(k, -1)
+        best_idx = np.argmax(flat, axis=1)
+        best_score = flat[np.arange(k), best_idx]
+
+        min_gain = max(cfg.gamma, 1e-12)
+        results: list[tuple | None] = []
+        for i, task in enumerate(tasks):
+            if not np.isfinite(float(best_score[i])):
+                results.append(None)
+                continue
+            m, rest = divmod(int(best_idx[i]), d * n_bins)
+            f, b = divmod(rest, n_bins)
+            # The scan dtype only *ranks* candidates; the winner's
+            # child sums and its gain — including the gamma/min-gain
+            # accept decision — are re-derived in float64 from the
+            # node's own histogram so near-threshold splits are not
+            # decided by scan rounding noise.
+            node_hist = task.hist
+            grad_left = float(node_hist[0, f, : b + 1].sum())
+            hess_left = float(node_hist[1, f, : b + 1].sum())
+            if m:
+                grad_left += float(node_hist[0, f, -1])
+                hess_left += float(node_hist[1, f, -1])
+            g_tot_i = task.grad_sum
+            h_tot_i = task.hess_sum
+            grad_right = g_tot_i - grad_left
+            hess_right = h_tot_i - hess_left
+            best_gain = 0.5 * (
+                grad_left * grad_left / (hess_left + lam)
+                + grad_right * grad_right / (hess_right + lam)
+                - g_tot_i * g_tot_i / (h_tot_i + lam)
+            )
+            if not best_gain > min_gain or not np.isfinite(best_gain):
+                results.append(None)
+                continue
+            results.append(
+                (int(f), int(b), bool(m), best_gain, grad_left, hess_left)
+            )
+        return results

@@ -28,7 +28,7 @@ _KINDS = {"regressor": GBRegressor, "classifier": GBClassifier}
 
 
 def _tree_to_dict(tree: Tree) -> dict:
-    return {
+    doc = {
         "children_left": tree.children_left.tolist(),
         "children_right": tree.children_right.tolist(),
         "feature": tree.feature.tolist(),
@@ -38,9 +38,13 @@ def _tree_to_dict(tree: Tree) -> dict:
         "value": tree.value.tolist(),
         "cover": tree.cover.tolist(),
     }
+    if tree.bin_threshold is not None:
+        doc["bin_threshold"] = tree.bin_threshold.tolist()
+    return doc
 
 
 def _tree_from_dict(doc: dict) -> Tree:
+    bin_threshold = doc.get("bin_threshold")
     return Tree(
         children_left=np.asarray(doc["children_left"], dtype=np.int64),
         children_right=np.asarray(doc["children_right"], dtype=np.int64),
@@ -51,6 +55,11 @@ def _tree_from_dict(doc: dict) -> Tree:
         missing_left=np.asarray(doc["missing_left"], dtype=bool),
         value=np.asarray(doc["value"], dtype=np.float64),
         cover=np.asarray(doc["cover"], dtype=np.float64),
+        bin_threshold=(
+            None
+            if bin_threshold is None
+            else np.asarray(bin_threshold, dtype=np.int64)
+        ),
     )
 
 

@@ -9,6 +9,11 @@ holds its (already shrunken) leaf weight.  Internal nodes split on
 ``feature[i]`` with the rule ``x <= threshold[i] -> left``; NaN goes to
 ``children_left`` when ``missing_left[i]`` else to ``children_right``.
 ``cover[i]`` is the sum of training hessians that reached the node.
+
+Trees grown by :class:`repro.boosting.grower.TreeGrower` additionally
+carry ``bin_threshold[i]``, the split threshold in bin-code space,
+which lets :meth:`Tree.predict_binned` route pre-binned uint8 matrices
+without any NaN checks or float comparisons (the fit-time fast path).
 """
 
 from __future__ import annotations
@@ -34,12 +39,17 @@ class Tree:
     missing_left: np.ndarray
     value: np.ndarray
     cover: np.ndarray
+    #: Split threshold in bin-code space (LEAF for leaves); optional —
+    #: only trees grown from binned data carry it.
+    bin_threshold: np.ndarray | None = None
 
     def __post_init__(self):
         n = len(self.children_left)
         for name in ("children_right", "feature", "threshold", "missing_left", "value", "cover"):
             if len(getattr(self, name)) != n:
                 raise ValueError(f"node array {name!r} length mismatch")
+        if self.bin_threshold is not None and len(self.bin_threshold) != n:
+            raise ValueError("node array 'bin_threshold' length mismatch")
         if n == 0:
             raise ValueError("a tree needs at least one node")
 
@@ -99,6 +109,40 @@ class Tree:
             xv = X[idx, self.feature[nd]]
             go_left = np.where(
                 np.isnan(xv), self.missing_left[nd], xv <= self.threshold[nd]
+            )
+            node[idx] = np.where(
+                go_left, self.children_left[nd], self.children_right[nd]
+            )
+            active[idx] = self.children_left[node[idx]] != LEAF
+        return self.value[node]
+
+    def predict_binned(self, binned: np.ndarray, missing_bin: int) -> np.ndarray:
+        """Leaf values for every row of a pre-binned uint8 matrix.
+
+        Routing happens entirely in bin-code space (``code <=
+        bin_threshold`` goes left; ``missing_bin`` follows the learned
+        default direction), which is exactly equivalent to raw-threshold
+        routing for matrices binned by the mapper the tree was grown
+        with, but needs no NaN handling.
+        """
+        if self.bin_threshold is None:
+            raise ValueError(
+                "tree has no bin thresholds; it was not grown from binned data"
+            )
+        binned = np.asarray(binned)
+        if binned.ndim != 2:
+            raise ValueError(f"expected 2-D input, got shape {binned.shape}")
+        n = binned.shape[0]
+        node = np.zeros(n, dtype=np.int64)
+        active = self.children_left[node] != LEAF
+        while active.any():
+            idx = np.flatnonzero(active)
+            nd = node[idx]
+            codes = binned[idx, self.feature[nd]]
+            go_left = np.where(
+                codes == missing_bin,
+                self.missing_left[nd],
+                codes <= self.bin_threshold[nd],
             )
             node[idx] = np.where(
                 go_left, self.children_left[nd], self.children_right[nd]

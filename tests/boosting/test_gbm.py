@@ -96,6 +96,16 @@ class TestRegressor:
         model.fit(X[:400], y[:400], eval_set=(X[400:], y[400:]))
         assert len(model.eval_history_) == 20
 
+    def test_eval_history_truncated_with_ensemble(self, regression_data):
+        # After early stopping rewinds to best_iteration_, the recorded
+        # history must not keep the post-best entries.
+        X, y = regression_data
+        model = GBRegressor(n_estimators=300, early_stopping_rounds=5)
+        model.fit(X[:400], y[:400], eval_set=(X[400:], y[400:]))
+        assert model.best_iteration_ < 300
+        assert len(model.eval_history_) == model.best_iteration_
+        assert model.eval_history_[-1] == min(model.eval_history_)
+
     def test_constant_target_predicts_constant(self):
         X = np.random.default_rng(0).normal(size=(50, 3))
         y = np.full(50, 7.0)
@@ -170,6 +180,22 @@ class TestClassifier:
         model = GBClassifier(n_estimators=20).fit(X, y)
         proba = model.predict_proba(X)
         assert proba.min() >= 0.0 and proba.max() <= 1.0
+
+    def test_predict_returns_int_labels(self, classification_data):
+        # The docstring promises class labels, not booleans.
+        X, y = classification_data
+        model = GBClassifier(n_estimators=20).fit(X, y)
+        pred = model.predict(X)
+        assert pred.dtype == np.int64
+        assert set(np.unique(pred)) <= {0, 1}
+        assert np.array_equal(pred, (model.predict_proba(X) >= 0.5).astype(np.int64))
+
+    def test_predict_int_labels_with_bool_targets(self, classification_data):
+        X, y = classification_data
+        model = GBClassifier(n_estimators=10).fit(X, y.astype(bool))
+        pred = model.predict(X)
+        assert pred.dtype == np.int64
+        assert float(np.mean(pred == y.astype(np.int64))) > 0.7
 
     def test_threshold_shifts_predictions(self, classification_data):
         X, y = classification_data

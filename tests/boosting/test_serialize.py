@@ -91,6 +91,18 @@ class TestRoundTrip:
         restored = _tree_from_dict(doc)
         assert restored.threshold[0] == np.inf
         assert np.isnan(restored.threshold[1])
+        assert restored.bin_threshold is None  # absent -> stays absent
+
+    def test_bin_thresholds_round_trip(self, fitted_regressor):
+        # Grown trees carry bin-space thresholds; the binned prediction
+        # fast path must survive a save/load cycle.
+        from repro.boosting.serialize import _tree_from_dict, _tree_to_dict
+
+        model, _ = fitted_regressor
+        for tree in model.ensemble_.trees[:3]:
+            assert tree.bin_threshold is not None
+            restored = _tree_from_dict(json.loads(json.dumps(_tree_to_dict(tree))))
+            assert np.array_equal(restored.bin_threshold, tree.bin_threshold)
 
 
 class TestValidation:

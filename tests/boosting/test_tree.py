@@ -109,6 +109,55 @@ class TestPrediction:
             make_stump().predict(np.array([1.0]))
 
 
+class TestBinnedPrediction:
+    @staticmethod
+    def make_binned_stump(missing_left=False):
+        """Stump over bin codes: code <= 2 -> left, missing bin = 5."""
+        return Tree(
+            children_left=np.array([1, -1, -1]),
+            children_right=np.array([2, -1, -1]),
+            feature=np.array([0, -1, -1]),
+            threshold=np.array([0.5, np.nan, np.nan]),
+            missing_left=np.array([missing_left, False, False]),
+            value=np.array([0.0, -1.0, 1.0]),
+            cover=np.array([10.0, 4.0, 6.0]),
+            bin_threshold=np.array([2, -1, -1]),
+        )
+
+    def test_binned_routing(self):
+        tree = self.make_binned_stump()
+        codes = np.array([[0], [2], [3], [4]], dtype=np.uint8)
+        assert tree.predict_binned(codes, 5).tolist() == [-1.0, -1.0, 1.0, 1.0]
+
+    def test_missing_bin_follows_default_direction(self):
+        codes = np.array([[5]], dtype=np.uint8)
+        assert self.make_binned_stump(False).predict_binned(codes, 5)[0] == 1.0
+        assert self.make_binned_stump(True).predict_binned(codes, 5)[0] == -1.0
+
+    def test_tree_without_bin_thresholds_rejected(self):
+        with pytest.raises(ValueError, match="bin thresholds"):
+            make_stump().predict_binned(np.zeros((1, 1), dtype=np.uint8), 5)
+
+    def test_1d_input_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            self.make_binned_stump().predict_binned(
+                np.zeros(3, dtype=np.uint8), 5
+            )
+
+    def test_bin_threshold_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="bin_threshold"):
+            Tree(
+                children_left=np.array([-1]),
+                children_right=np.array([-1]),
+                feature=np.array([-1]),
+                threshold=np.array([np.nan]),
+                missing_left=np.array([False]),
+                value=np.array([1.0]),
+                cover=np.array([1.0]),
+                bin_threshold=np.array([-1, -1]),
+            )
+
+
 class TestEnsemble:
     def test_additivity(self):
         ens = TreeEnsemble(base_score=5.0, trees=[make_stump(), make_stump()])
