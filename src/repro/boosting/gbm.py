@@ -45,6 +45,9 @@ class _BaseGB:
         self.eval_history_: list[float] = []
         self._loss: Loss = self._make_loss()
         self.n_features_: int | None = None
+        #: The fitted bin mapper; consumers such as the TreeSHAP
+        #: explainer use it to route samples in bin-code space.
+        self.mapper_: BinMapper | None = None
 
     def _make_loss(self) -> Loss:  # pragma: no cover - abstract hook
         raise NotImplementedError
@@ -89,6 +92,7 @@ class _BaseGB:
         self.n_features_ = X.shape[1]
 
         mapper = BinMapper(max_bins=cfg.max_bins).fit(X)
+        self.mapper_ = mapper
         binned = mapper.transform(X, order="F")
         grower = TreeGrower(binned, mapper, cfg)
         rng = np.random.default_rng(cfg.random_state)

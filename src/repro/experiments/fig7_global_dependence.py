@@ -37,6 +37,8 @@ def run_fig7(
     test_idx = result.test_idx[:_MAX_EXPLAIN]
     X = samples.X[test_idx]
 
+    # One batched TreeSHAP pass over the population block (routed in
+    # bin-code space via the model's fitted BinMapper).
     explainer = TreeShapExplainer(result.model)
     shap = explainer.shap_values(X)
     names = list(samples.feature_names)

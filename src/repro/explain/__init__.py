@@ -2,15 +2,24 @@
 
 The paper couples XGBoost with the SHAP TreeExplainer to produce local
 (per-patient) and global (population) feature attributions.  This package
-re-implements that machinery:
+re-implements that machinery with two interchangeable engines:
 
-``TreeShapExplainer``
-    Exact polynomial-time *path-dependent* TreeSHAP (Lundberg et al.,
-    Algorithm 2) over :class:`repro.boosting.TreeEnsemble`.
+``TreeShapExplainer`` / ``TreeShapInteractionExplainer``
+    The production engines: exact polynomial-time *path-dependent*
+    TreeSHAP (Lundberg et al., Algorithm 2), batched — each tree's
+    decision structure is preprocessed once
+    (:class:`~repro.explain.structure.TreeStructure`) and whole
+    ``(n_samples, n_features)`` matrices are answered with vectorized
+    EXTEND/UNWIND array operations, optionally routing samples in
+    bin-code space through the model's fitted ``BinMapper``.
+``ReferenceTreeShapExplainer`` / ``ReferenceTreeShapInteractionExplainer``
+    The original recursive per-(sample, tree) implementation, kept as
+    the reference oracle: the equivalence suite proves the batched
+    engines match it (and brute force) to strict float tolerance.
 ``brute_force_shap``
-    Exponential-time reference implementation of the same value function
-    (subset enumeration), used to property-test the fast algorithm.
-``LocalExplanation`` / ``top_k_features``
+    Exponential-time reference of the same value function (subset
+    enumeration), used to property-test both fast engines.
+``LocalExplanation`` / ``top_k_features`` / ``local_reports``
     Per-patient attribution reports (paper Fig. 6).
 ``GlobalDependence`` / ``dependence_curve`` / ``detect_threshold``
     Population-level value-vs-SV curves and the automatic cutoff
@@ -18,6 +27,11 @@ re-implements that machinery:
 """
 
 from repro.explain.treeshap import TreeShapExplainer
+from repro.explain.reference import (
+    ReferenceTreeShapExplainer,
+    ReferenceTreeShapInteractionExplainer,
+)
+from repro.explain.structure import TreeStructure, tree_expected_value
 from repro.explain.exact import brute_force_shap, tree_value_function
 from repro.explain.sampling import PermutationShapEstimator
 from repro.explain.interactions import TreeShapInteractionExplainer
@@ -28,11 +42,16 @@ from repro.explain.reports import (
     dependence_curve,
     detect_threshold,
     global_importance,
+    local_reports,
     top_k_features,
 )
 
 __all__ = [
     "TreeShapExplainer",
+    "ReferenceTreeShapExplainer",
+    "ReferenceTreeShapInteractionExplainer",
+    "TreeStructure",
+    "tree_expected_value",
     "brute_force_shap",
     "tree_value_function",
     "PermutationShapEstimator",
@@ -43,5 +62,6 @@ __all__ = [
     "dependence_curve",
     "detect_threshold",
     "global_importance",
+    "local_reports",
     "top_k_features",
 ]

@@ -22,6 +22,7 @@ import numpy as np
 __all__ = [
     "LocalExplanation",
     "top_k_features",
+    "local_reports",
     "GlobalDependence",
     "dependence_curve",
     "detect_threshold",
@@ -75,7 +76,9 @@ class LocalExplanation:
         for name, contrib, value in zip(
             self.features, self.contributions, self.values
         ):
-            arrow = "+" if contrib > 0 else "-"
+            # Exactly-zero contributions are neutral (consistent with
+            # positive()/negative(), which exclude them).
+            arrow = "+" if contrib > 0 else ("-" if contrib < 0 else "=")
             shown = "missing" if np.isnan(value) else f"{value:g}"
             lines.append(f"  [{arrow}] {name} = {shown}: {contrib:+.4f}")
         return "\n".join(lines)
@@ -110,6 +113,38 @@ def top_k_features(
     )
 
 
+def local_reports(
+    shap_matrix: np.ndarray,
+    X: np.ndarray,
+    feature_names: list[str],
+    expected_value: float,
+    k: int = 5,
+) -> list[LocalExplanation]:
+    """Top-k local reports for a whole batch from one SHAP matrix.
+
+    Companion of the batched
+    :meth:`~repro.explain.treeshap.TreeShapExplainer.shap_values`: the
+    per-sample predictions are recovered from the efficiency axiom
+    (``expected_value + row.sum()``), so a cohort's reports need no
+    second model pass.
+    """
+    shap_matrix = np.asarray(shap_matrix, dtype=np.float64)
+    X = np.asarray(X, dtype=np.float64)
+    if shap_matrix.ndim != 2 or shap_matrix.shape != X.shape:
+        raise ValueError(
+            f"shap matrix shape {shap_matrix.shape} does not match "
+            f"X shape {X.shape}"
+        )
+    predictions = expected_value + shap_matrix.sum(axis=1)
+    return [
+        top_k_features(
+            shap_matrix[i], X[i], feature_names,
+            float(predictions[i]), expected_value, k=k,
+        )
+        for i in range(X.shape[0])
+    ]
+
+
 @dataclass(frozen=True)
 class GlobalDependence:
     """SV-vs-value summary of one feature across a population.
@@ -137,6 +172,25 @@ class GlobalDependence:
     counts: np.ndarray
     threshold: float | None
 
+    def flip_direction(self) -> str | None:
+        """Orientation of the sign change at ``threshold``.
+
+        ``"negative_to_positive"`` when the contribution turns positive
+        at values >= threshold (the paper's Fig. 7 orientation),
+        ``"positive_to_negative"`` for the opposite flip, None when no
+        threshold was detected.
+        """
+        if self.threshold is None:
+            return None
+        signs = np.sign(self.mean_shap)
+        after = np.flatnonzero((self.values >= self.threshold) & (signs != 0))
+        if after.size == 0:  # defensive; cannot happen for detected thresholds
+            return None
+        return (
+            "negative_to_positive" if signs[after[0]] > 0
+            else "positive_to_negative"
+        )
+
     def render(self) -> str:
         """Plain-text rendering of the dependence curve."""
         lines = [f"global dependence for {self.feature!r}"]
@@ -145,7 +199,15 @@ class GlobalDependence:
             sign = "+" if s >= 0 else "-"
             lines.append(f"  value {v:g} (n={c}): {s:+.4f} {sign}{bar}")
         if self.threshold is not None:
-            lines.append(f"  detected threshold: >= {self.threshold:g}")
+            flip = (
+                "flips - to +"
+                if self.flip_direction() == "negative_to_positive"
+                else "flips + to -"
+            )
+            lines.append(
+                f"  detected threshold: >= {self.threshold:g} "
+                f"(contribution {flip})"
+            )
         return "\n".join(lines)
 
 

@@ -1,184 +1,122 @@
-"""Exact path-dependent TreeSHAP (Lundberg et al. 2018, Algorithm 2).
+"""Batched exact path-dependent TreeSHAP (Lundberg et al. 2018, Alg. 2).
 
 For one tree and one sample, Shapley values of the tree's conditional-
 expectation value function are computed in ``O(L * D^2)`` by maintaining,
 along each root-to-leaf path, the weighted fractions of feature subsets
 that flow down the path ("EXTEND"/"UNWIND" bookkeeping).  Ensemble SHAP
-values are sums over trees (Shapley values are additive across additive
-model components), plus the ensemble ``base_score`` folded into the
-expected value.
+values are sums over trees, plus the ensemble ``base_score`` folded into
+the expected value.
 
-The implementation follows the published algorithm faithfully; the
-reference/property tests compare it against brute-force subset
-enumeration (:mod:`repro.explain.exact`) on small trees.
+This module holds the *batched* engine: each tree's decision structure
+is preprocessed once into :class:`repro.explain.structure.TreeStructure`
+(root-to-leaf path feature/cover-fraction arrays, duplicate-feature
+merge, null-entry padding), every sample's go-left decision at every
+internal node is evaluated in one vectorized pass (optionally in bin-code
+space through a fitted :class:`repro.boosting.binning.BinMapper` — the
+same fast path :meth:`Tree.predict_binned` uses), and the EXTEND/UNWIND
+recurrences then run as NumPy array operations across an entire
+``(n_samples, n_leaves)`` panel at once instead of one recursive Python
+pass per (sample, tree).
+
+Correctness anchors:
+
+* the recursive oracle in :mod:`repro.explain.reference`
+  (``ReferenceTreeShapExplainer``) — matched to strict float tolerance;
+* brute-force subset enumeration in :mod:`repro.explain.exact`;
+
+both exercised over NaN routing, duplicated path features, permuted
+node layouts and single-node trees in
+``tests/explain/test_batched_equivalence.py``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.boosting.tree import LEAF, Tree, TreeEnsemble
+from repro.boosting.tree import TreeEnsemble
+from repro.explain.structure import (
+    TreeStructure,
+    node_decisions,
+    node_decisions_binned,
+)
 
 __all__ = ["TreeShapExplainer"]
 
 
-class _Path:
-    """The subset-weight path of Algorithm 2 (parallel arrays).
+def _extend_weights(one: np.ndarray, zero: np.ndarray) -> np.ndarray:
+    """EXTEND the subset-weight recurrence across a (samples, leaves) panel.
 
-    ``feature[i]``, ``zero_fraction[i]``, ``one_fraction[i]`` describe
-    the i-th split on the current root-to-node path; ``pweight[i]`` is
-    the summed weight of subsets of size i flowing down.
+    ``one`` is ``(n, L, m)`` per-sample one fractions (0/1 floats),
+    ``zero`` is ``(L, m)`` zero fractions.  Returns the ``(n, L, m+1)``
+    path-weight tensor: position ``k`` holds the summed weight of
+    feature subsets of size ``k`` flowing down each leaf's path (index 0
+    is Algorithm 2's dummy root entry).
     """
-
-    __slots__ = ("feature", "zero", "one", "weight", "length")
-
-    def __init__(self, capacity: int):
-        self.feature = np.empty(capacity, dtype=np.int64)
-        self.zero = np.empty(capacity, dtype=np.float64)
-        self.one = np.empty(capacity, dtype=np.float64)
-        self.weight = np.empty(capacity, dtype=np.float64)
-        self.length = 0
-
-    def copy(self) -> "_Path":
-        clone = _Path(len(self.feature))
-        n = self.length
-        clone.feature[:n] = self.feature[:n]
-        clone.zero[:n] = self.zero[:n]
-        clone.one[:n] = self.one[:n]
-        clone.weight[:n] = self.weight[:n]
-        clone.length = n
-        return clone
-
-    def extend(self, zero_fraction: float, one_fraction: float, feature: int):
-        m = self.length
-        self.feature[m] = feature
-        self.zero[m] = zero_fraction
-        self.one[m] = one_fraction
-        self.weight[m] = 1.0 if m == 0 else 0.0
-        for i in range(m - 1, -1, -1):
-            self.weight[i + 1] += one_fraction * self.weight[i] * (i + 1) / (m + 1)
-            self.weight[i] = zero_fraction * self.weight[i] * (m - i) / (m + 1)
-        self.length = m + 1
-
-    def unwind(self, index: int):
-        m = self.length - 1
-        one = self.one[index]
-        zero = self.zero[index]
-        n = self.weight[m]
-        for i in range(m - 1, -1, -1):
-            if one != 0.0:
-                t = self.weight[i]
-                self.weight[i] = n * (m + 1) / ((i + 1) * one)
-                n = t - self.weight[i] * zero * (m - i) / (m + 1)
-            else:
-                self.weight[i] = self.weight[i] * (m + 1) / (zero * (m - i))
-        for i in range(index, m):
-            self.feature[i] = self.feature[i + 1]
-            self.zero[i] = self.zero[i + 1]
-            self.one[i] = self.one[i + 1]
-        self.length = m
-
-    def unwound_sum(self, index: int) -> float:
-        """Sum of weights after a hypothetical unwind of ``index``."""
-        m = self.length - 1
-        one = self.one[index]
-        zero = self.zero[index]
-        total = 0.0
-        if one != 0.0:
-            n = self.weight[m]
-            for i in range(m - 1, -1, -1):
-                tmp = n * (m + 1) / ((i + 1) * one)
-                total += tmp
-                n = self.weight[i] - tmp * zero * (m - i) / (m + 1)
-        else:
-            for i in range(m - 1, -1, -1):
-                total += self.weight[i] * (m + 1) / (zero * (m - i))
-        return total
+    n, L, m = one.shape
+    weights = np.zeros((n, L, m + 1), dtype=np.float64)
+    weights[..., 0] = 1.0
+    for d in range(1, m + 1):
+        o_d = one[..., d - 1]
+        z_d = zero[:, d - 1]
+        for i in range(d - 1, -1, -1):
+            weights[..., i + 1] += o_d * weights[..., i] * ((i + 1) / (d + 1))
+            weights[..., i] *= z_d * ((d - i) / (d + 1))
+    return weights
 
 
-def _tree_shap(tree: Tree, x: np.ndarray, phi: np.ndarray) -> None:
-    """Accumulate one tree's SHAP values for sample ``x`` into ``phi``."""
-    max_depth = tree.max_depth() + 2
+def _unwound_sums(
+    weights: np.ndarray, one_e: np.ndarray, zero_e: np.ndarray
+) -> np.ndarray:
+    """Summed weights after hypothetically UNWINDing one path entry.
 
-    def hot_cold(node: int) -> tuple[int, int]:
-        v = x[tree.feature[node]]
-        if np.isnan(v):
-            go_left = bool(tree.missing_left[node])
-        else:
-            go_left = bool(v <= tree.threshold[node])
-        left = int(tree.children_left[node])
-        right = int(tree.children_right[node])
-        return (left, right) if go_left else (right, left)
-
-    def recurse(node: int, path: _Path, zero_fraction: float,
-                one_fraction: float, feature: int) -> None:
-        path = path.copy()
-        path.extend(zero_fraction, one_fraction, feature)
-        if tree.children_left[node] == LEAF:
-            value = tree.value[node]
-            for i in range(1, path.length):
-                w = path.unwound_sum(i)
-                phi[path.feature[i]] += (
-                    w * (path.one[i] - path.zero[i]) * value
-                )
-            return
-
-        hot, cold = hot_cold(node)
-        split_feature = int(tree.feature[node])
-        cover = tree.cover[node]
-        hot_zero = tree.cover[hot] / cover
-        cold_zero = tree.cover[cold] / cover
-        incoming_zero, incoming_one = 1.0, 1.0
-        # If this feature already appeared on the path, undo its entry
-        # and carry its fractions (each feature appears at most once).
-        for i in range(1, path.length):
-            if path.feature[i] == split_feature:
-                incoming_zero = path.zero[i]
-                incoming_one = path.one[i]
-                path.unwind(i)
-                break
-        recurse(hot, path, incoming_zero * hot_zero, incoming_one, split_feature)
-        recurse(cold, path, incoming_zero * cold_zero, 0.0, split_feature)
-
-    root_path = _Path(max_depth + 1)
-    recurse(0, root_path, 1.0, 1.0, -1)
+    ``weights`` is ``(n, L, M+1)``; ``one_e``/``zero_e`` are the entry's
+    fractions, shapes ``(n, L)`` and ``(L,)``.  Both the hot
+    (``one == 1``) and cold (``one == 0``) closed forms are evaluated
+    vectorized and selected per element.
+    """
+    M = weights.shape[-1] - 1
+    nvec = weights[..., M].copy()
+    total_hot = np.zeros_like(nvec)
+    for i in range(M - 1, -1, -1):
+        tmp = nvec * ((M + 1) / (i + 1))
+        total_hot += tmp
+        nvec = weights[..., i] - tmp * zero_e * ((M - i) / (M + 1))
+    coef = (M + 1) / (M - np.arange(M, dtype=np.float64))
+    total_cold = (weights[..., :M] @ coef) / zero_e
+    return np.where(one_e == 1.0, total_hot, total_cold)
 
 
-def _tree_expected_value(tree: Tree) -> float:
-    """Cover-weighted mean leaf value (the tree's baseline prediction)."""
-    expected = np.zeros(tree.n_nodes, dtype=np.float64)
-    # Process nodes in reverse (children have larger indices than their
-    # parent in the grower's layout).
-    for node in range(tree.n_nodes - 1, -1, -1):
-        if tree.children_left[node] == LEAF:
-            expected[node] = tree.value[node]
-        else:
-            left = tree.children_left[node]
-            right = tree.children_right[node]
-            cov = tree.cover[node]
-            expected[node] = (
-                tree.cover[left] * expected[left]
-                + tree.cover[right] * expected[right]
-            ) / cov
-    return float(expected[0])
+def _plain_deltas(
+    struct: TreeStructure, one: np.ndarray, weights: np.ndarray
+) -> np.ndarray:
+    """Per-(sample, leaf, entry) unconditioned SHAP deltas."""
+    delta = np.empty_like(one)
+    for e in range(one.shape[-1]):
+        total = _unwound_sums(weights, one[..., e], struct.zeros[:, e])
+        delta[..., e] = (
+            total * (one[..., e] - struct.zeros[:, e]) * struct.leaf_values
+        )
+    return delta
 
 
-class TreeShapExplainer:
-    """Exact TreeSHAP over a fitted ensemble.
+def _accumulate_tree(
+    struct: TreeStructure, decisions: np.ndarray, phi: np.ndarray
+) -> None:
+    """Add one tree's SHAP values for all samples into ``phi``."""
+    one = struct.hot_fractions(decisions)
+    weights = _extend_weights(one, struct.zeros)
+    n, L, m = one.shape
+    delta = _plain_deltas(struct, one, weights)
+    phi[:, struct.used] += delta.reshape(n, L * m) @ struct.scatter
 
-    Parameters
-    ----------
-    model:
-        Either a :class:`~repro.boosting.tree.TreeEnsemble` or a fitted
-        estimator exposing ``ensemble_`` (``GBRegressor``,
-        ``GBClassifier``).
 
-    Notes
-    -----
-    Attributions are on the *raw score* scale (log-odds for the
-    classifier), matching the behaviour of ``shap.TreeExplainer`` with
-    default arguments: ``expected_value + shap_values(x).sum() ==
-    raw_prediction(x)`` exactly (the efficiency axiom, property-tested).
+class _PreprocessedExplainer:
+    """Shared model intake for the batched explainers.
+
+    Extracts the ensemble, builds one :class:`TreeStructure` per tree,
+    records the fitted feature count (strict input validation) and the
+    fitted ``BinMapper`` (bin-space routing fast path), and provides the
+    per-tree decision-matrix dispatch.
     """
 
     def __init__(self, model):
@@ -190,25 +128,93 @@ class TreeShapExplainer:
         if ensemble.n_trees == 0:
             raise ValueError("cannot explain an empty ensemble")
         self.ensemble = ensemble
-        self.expected_value = ensemble.base_score + sum(
-            _tree_expected_value(t) for t in ensemble.trees
+        #: Feature count the model was fitted on (None for bare ensembles).
+        self.n_features_ = getattr(model, "n_features_", None)
+        #: The BinMapper the trees were grown with, enabling bin-space
+        #: routing; None falls back to raw thresholds.  Must be the
+        #: fitted model's own mapper — codes from any other mapper are
+        #: meaningless against the trees' ``bin_threshold``.
+        self.bin_mapper = getattr(model, "mapper_", None)
+        self._structures = [TreeStructure(t) for t in ensemble.trees]
+        self._min_features = max(
+            (s.min_features for s in self._structures), default=0
+        )
+        self._binnable = all(
+            t.bin_threshold is not None for t in ensemble.trees
+        )
+
+    def _check_columns(self, n_columns: int) -> None:
+        if self.n_features_ is not None and n_columns != self.n_features_:
+            raise ValueError(
+                f"X has {n_columns} feature columns, but the explained "
+                f"model was fitted on {self.n_features_} features"
+            )
+        if n_columns < self._min_features:
+            raise ValueError(
+                f"X has {n_columns} feature columns, but the ensemble "
+                f"splits on feature index {self._min_features - 1}"
+            )
+
+    def _decisions_for(self, X: np.ndarray):
+        """Per-tree go-left decision factory (binned when possible)."""
+        if self.bin_mapper is not None and self._binnable:
+            # F order: the per-tree decision matrices gather columns.
+            binned = self.bin_mapper.transform(X, order="F")
+            missing_bin = self.bin_mapper.missing_bin
+            return lambda tree: node_decisions_binned(
+                tree, binned, missing_bin
+            )
+        return lambda tree: node_decisions(tree, X)
+
+
+class TreeShapExplainer(_PreprocessedExplainer):
+    """Exact batched TreeSHAP over a fitted ensemble.
+
+    Parameters
+    ----------
+    model:
+        Either a :class:`~repro.boosting.tree.TreeEnsemble` or a fitted
+        estimator exposing ``ensemble_`` (``GBRegressor``,
+        ``GBClassifier``).  Fitted estimators also contribute their
+        recorded feature count (strict input validation) and their
+        ``mapper_`` (bin-space routing fast path).
+
+    Notes
+    -----
+    Attributions are on the *raw score* scale (log-odds for the
+    classifier), matching ``shap.TreeExplainer`` with default arguments:
+    ``expected_value + shap_values(x).sum() == raw_prediction(x)``
+    exactly (the efficiency axiom, property-tested).
+    """
+
+    def __init__(self, model):
+        super().__init__(model)
+        self.expected_value = self.ensemble.base_score + sum(
+            s.expected_value for s in self._structures
         )
 
     def shap_values(self, X: np.ndarray) -> np.ndarray:
         """SHAP values, shape ``(n_samples, n_features)``.
 
-        ``X`` may contain NaN (routed by each split's default
-        direction, like prediction).
+        ``X`` may contain NaN (routed by each split's default direction,
+        like prediction).  When the model's fitted ``BinMapper`` is
+        available and every tree carries bin thresholds, sample routing
+        runs in bin-code space — exactly equivalent to raw-threshold
+        routing, but free of NaN checks.
         """
         X = np.asarray(X, dtype=np.float64)
         if X.ndim == 1:
             X = X[None, :]
         if X.ndim != 2:
             raise ValueError(f"expected 2-D input, got shape {X.shape}")
+        self._check_columns(X.shape[1])
+
+        decisions_for = self._decisions_for(X)
         phi = np.zeros(X.shape, dtype=np.float64)
-        for tree in self.ensemble.trees:
-            for i in range(X.shape[0]):
-                _tree_shap(tree, X[i], phi[i])
+        for struct in self._structures:
+            if struct.n_entries == 0:
+                continue
+            _accumulate_tree(struct, decisions_for(struct.tree), phi)
         return phi
 
     def shap_values_single(self, x: np.ndarray) -> np.ndarray:

@@ -1,0 +1,348 @@
+"""Equivalence suite: batched TreeSHAP engine vs the recursive oracle.
+
+The batched engine (:class:`TreeShapExplainer`,
+:class:`TreeShapInteractionExplainer`) must reproduce the recursive
+reference (:mod:`repro.explain.reference`) and brute-force subset
+enumeration to strict float tolerance across the awkward cases: NaN
+routing, a feature repeated along one root-to-leaf path, single-node
+trees, permuted node layouts, and the bin-space routing fast path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.boosting import GBClassifier, GBRegressor, Tree, TreeEnsemble
+from repro.boosting.serialize import model_from_dict, model_to_dict
+from repro.explain import (
+    ReferenceTreeShapExplainer,
+    ReferenceTreeShapInteractionExplainer,
+    TreeShapExplainer,
+    TreeShapInteractionExplainer,
+    brute_force_shap,
+    tree_expected_value,
+)
+
+from tests.boosting.test_tree import make_depth2, make_stump
+
+
+def repeated_feature_tree() -> Tree:
+    """Feature 0 split twice along the leftmost root-to-leaf path."""
+    return Tree(
+        children_left=np.array([1, 3, 5, -1, -1, -1, -1]),
+        children_right=np.array([2, 4, 6, -1, -1, -1, -1]),
+        feature=np.array([0, 0, 1, -1, -1, -1, -1]),
+        threshold=np.array([0.0, -1.0, 1.0, np.nan, np.nan, np.nan, np.nan]),
+        missing_left=np.array([True, False, True, False, False, False, False]),
+        value=np.array([0.0, 0.0, 0.0, 10.0, 20.0, 30.0, 40.0]),
+        cover=np.array([16.0, 9.0, 7.0, 4.0, 5.0, 3.0, 4.0]),
+    )
+
+
+def single_node_tree(value: float = 2.5) -> Tree:
+    """A tree that is just one leaf (no splits at all)."""
+    return Tree(
+        children_left=np.array([-1]),
+        children_right=np.array([-1]),
+        feature=np.array([-1]),
+        threshold=np.array([np.nan]),
+        missing_left=np.array([False]),
+        value=np.array([value]),
+        cover=np.array([10.0]),
+    )
+
+
+def permute_tree(tree: Tree, perm: list[int]) -> Tree:
+    """Relabel node indices (``perm[old] = new``; the root must stay 0)."""
+    assert perm[0] == 0
+    perm = np.asarray(perm)
+    n = tree.n_nodes
+
+    def remap_children(children):
+        out = np.full(n, -1, dtype=np.int64)
+        for old in range(n):
+            child = children[old]
+            out[perm[old]] = -1 if child == -1 else perm[child]
+        return out
+
+    def reorder(arr):
+        out = np.empty_like(arr)
+        out[perm] = arr
+        return out
+
+    return Tree(
+        children_left=remap_children(tree.children_left),
+        children_right=remap_children(tree.children_right),
+        feature=reorder(tree.feature),
+        threshold=reorder(tree.threshold),
+        missing_left=reorder(tree.missing_left),
+        value=reorder(tree.value),
+        cover=reorder(tree.cover),
+        bin_threshold=(
+            None if tree.bin_threshold is None else reorder(tree.bin_threshold)
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def fitted_regressor():
+    rng = np.random.default_rng(5)
+    X = rng.normal(size=(400, 6))
+    X[rng.random(X.shape) < 0.2] = np.nan
+    y = (
+        2.0 * np.nan_to_num(X[:, 0])
+        + np.nan_to_num(X[:, 1]) * np.nan_to_num(X[:, 2])
+        + rng.normal(0, 0.1, 400)
+    )
+    model = GBRegressor(
+        n_estimators=30, max_depth=4, subsample=0.9, colsample_bytree=0.8
+    )
+    model.fit(X, y)
+    return model, X
+
+
+@pytest.fixture(scope="module")
+def fitted_classifier():
+    rng = np.random.default_rng(8)
+    X = rng.normal(size=(300, 4))
+    X[rng.random(X.shape) < 0.1] = np.nan
+    y = np.nan_to_num(X[:, 0]) + np.nan_to_num(X[:, 1]) > 0
+    model = GBClassifier(
+        n_estimators=15, max_depth=3, subsample=1.0, colsample_bytree=1.0
+    )
+    model.fit(X, y)
+    return model, X
+
+
+class TestBatchedMatchesReference:
+    def test_regressor_with_missing_values(self, fitted_regressor):
+        model, X = fitted_regressor
+        batched = TreeShapExplainer(model)
+        reference = ReferenceTreeShapExplainer(model)
+        assert batched.expected_value == pytest.approx(
+            reference.expected_value, abs=1e-12
+        )
+        assert np.allclose(
+            batched.shap_values(X[:60]), reference.shap_values(X[:60]),
+            atol=1e-12,
+        )
+
+    def test_classifier(self, fitted_classifier):
+        model, X = fitted_classifier
+        assert np.allclose(
+            TreeShapExplainer(model).shap_values(X[:40]),
+            ReferenceTreeShapExplainer(model).shap_values(X[:40]),
+            atol=1e-12,
+        )
+
+    def test_efficiency_axiom_on_batch(self, fitted_regressor):
+        model, X = fitted_regressor
+        explainer = TreeShapExplainer(model)
+        phi = explainer.shap_values(X)
+        assert np.allclose(
+            phi.sum(axis=1) + explainer.expected_value,
+            model.predict(X),
+            atol=1e-9,
+        )
+
+
+class TestRepeatedPathFeature:
+    @pytest.mark.parametrize(
+        "x", [[-2.0, 0.0], [-0.5, 0.0], [0.5, 2.0], [-1.0, 1.0],
+              [0.0, 0.0], [np.nan, 0.5], [0.5, np.nan], [np.nan, np.nan]]
+    )
+    def test_matches_reference_and_brute_force(self, x):
+        ens = TreeEnsemble(base_score=0.0, trees=[repeated_feature_tree()])
+        x = np.asarray(x, dtype=np.float64)
+        fast = TreeShapExplainer(ens).shap_values_single(x)
+        slow = ReferenceTreeShapExplainer(ens).shap_values_single(x)
+        brute = brute_force_shap(ens, x, 2)
+        assert np.allclose(fast, slow, atol=1e-12)
+        assert np.allclose(fast, brute, atol=1e-12)
+
+
+class TestSingleNodeTree:
+    def test_contributes_only_to_expected_value(self):
+        ens = TreeEnsemble(
+            base_score=0.5,
+            trees=[single_node_tree(2.5), make_stump(left=-1.0, right=1.0)],
+        )
+        explainer = TreeShapExplainer(ens)
+        x = np.array([2.0, 0.0])
+        phi = explainer.shap_values_single(x)
+        stump_only = TreeShapExplainer(
+            TreeEnsemble(0.0, [make_stump(left=-1.0, right=1.0)])
+        ).shap_values_single(x)
+        assert np.allclose(phi, stump_only, atol=1e-12)
+        pred = ens.predict_raw(x[None, :])[0]
+        assert phi.sum() + explainer.expected_value == pytest.approx(pred)
+
+    def test_all_single_node_ensemble(self):
+        ens = TreeEnsemble(base_score=1.0, trees=[single_node_tree(3.0)])
+        explainer = TreeShapExplainer(ens)
+        phi = explainer.shap_values(np.zeros((4, 3)))
+        assert np.allclose(phi, 0.0)
+        assert explainer.expected_value == pytest.approx(4.0)
+
+
+class TestPermutedNodeLayout:
+    """Regression: nothing may assume children-after-parent ordering."""
+
+    # Puts internal children at *higher* indices than their own leaf
+    # children, which broke the old reverse-index expected-value pass.
+    PERM_DEPTH2 = [0, 6, 5, 1, 2, 3, 4]
+
+    def test_expected_value_is_layout_invariant(self):
+        tree = make_depth2()
+        permuted = permute_tree(tree, self.PERM_DEPTH2)
+        expected = (4 * 10.0 + 4 * 20.0 + 4 * 30.0 + 4 * 40.0) / 16.0
+        assert tree_expected_value(tree) == pytest.approx(expected)
+        assert tree_expected_value(permuted) == pytest.approx(expected)
+
+    def test_old_reverse_index_pass_was_wrong(self):
+        # The pre-fix implementation, kept inline to document the bug.
+        tree = permute_tree(make_depth2(), self.PERM_DEPTH2)
+        expected = np.zeros(tree.n_nodes)
+        for node in range(tree.n_nodes - 1, -1, -1):
+            if tree.children_left[node] == -1:
+                expected[node] = tree.value[node]
+            else:
+                left, right = tree.children_left[node], tree.children_right[node]
+                expected[node] = (
+                    tree.cover[left] * expected[left]
+                    + tree.cover[right] * expected[right]
+                ) / tree.cover[node]
+        assert expected[0] != pytest.approx(25.0)
+
+    @pytest.mark.parametrize("x", [[-1.0, -2.0], [1.0, 2.0], [0.5, np.nan]])
+    def test_shap_values_are_layout_invariant(self, x):
+        x = np.asarray(x, dtype=np.float64)
+        original = TreeEnsemble(0.0, [make_depth2()])
+        permuted = TreeEnsemble(
+            0.0, [permute_tree(make_depth2(), self.PERM_DEPTH2)]
+        )
+        phi_orig = TreeShapExplainer(original).shap_values_single(x)
+        phi_perm = TreeShapExplainer(permuted).shap_values_single(x)
+        assert np.allclose(phi_orig, phi_perm, atol=1e-12)
+        assert np.allclose(
+            phi_perm,
+            ReferenceTreeShapExplainer(permuted).shap_values_single(x),
+            atol=1e-12,
+        )
+
+    def test_deserialized_model_explains_identically(self, fitted_regressor):
+        model, X = fitted_regressor
+        restored = model_from_dict(model_to_dict(model))
+        a = TreeShapExplainer(model).shap_values(X[:10])
+        b = TreeShapExplainer(restored).shap_values(X[:10])
+        assert np.allclose(a, b, atol=1e-12)
+
+
+class TestColumnValidation:
+    def test_too_few_columns_rejected(self, fitted_regressor):
+        model, X = fitted_regressor
+        with pytest.raises(ValueError, match="fitted on 6 features"):
+            TreeShapExplainer(model).shap_values(X[:5, :4])
+
+    def test_extra_columns_rejected(self, fitted_regressor):
+        model, X = fitted_regressor
+        wide = np.hstack([X[:5], np.zeros((5, 2))])
+        with pytest.raises(ValueError, match="8 feature columns"):
+            TreeShapExplainer(model).shap_values(wide)
+
+    def test_single_sample_wrong_length_rejected(self, fitted_regressor):
+        model, _ = fitted_regressor
+        with pytest.raises(ValueError):
+            TreeShapExplainer(model).shap_values_single(np.zeros(3))
+
+    def test_bare_ensemble_requires_feature_span(self):
+        ens = TreeEnsemble(0.0, [make_depth2()])  # splits on features 0, 1
+        explainer = TreeShapExplainer(ens)
+        with pytest.raises(ValueError, match="feature index 1"):
+            explainer.shap_values(np.zeros((2, 1)))
+        # Extra columns are fine without a recorded feature count.
+        assert explainer.shap_values(np.zeros((2, 4))).shape == (2, 4)
+
+    def test_interaction_explainer_validates_too(self, fitted_regressor):
+        model, X = fitted_regressor
+        explainer = TreeShapInteractionExplainer(model)
+        with pytest.raises(ValueError, match="fitted on 6 features"):
+            explainer.shap_interaction_values(X[0, :4], 6)
+        with pytest.raises(ValueError, match="n_features"):
+            TreeShapInteractionExplainer(
+                TreeEnsemble(0.0, [make_depth2()])
+            ).shap_interaction_values(np.zeros(3), 1)
+
+
+class TestBinnedFastPath:
+    def test_bitwise_equal_to_raw_routing(self, fitted_regressor):
+        model, X = fitted_regressor
+        with_mapper = TreeShapExplainer(model)  # picks up model.mapper_
+        raw_only = TreeShapExplainer(model.ensemble_)
+        assert with_mapper.bin_mapper is model.mapper_
+        assert raw_only.bin_mapper is None
+        assert np.array_equal(
+            with_mapper.shap_values(X[:80]), raw_only.shap_values(X[:80])
+        )
+
+    def test_attached_mapper_on_bare_ensemble(self, fitted_regressor):
+        # A bare ensemble has no mapper; attaching the one the trees
+        # were grown with turns on bin-space routing, bitwise-equal.
+        model, X = fitted_regressor
+        raw = TreeShapExplainer(model.ensemble_)
+        expected = raw.shap_values(X[:30])
+        binned = TreeShapExplainer(model.ensemble_)
+        binned.bin_mapper = model.mapper_
+        assert np.array_equal(binned.shap_values(X[:30]), expected)
+
+    def test_deserialized_model_falls_back_to_raw(self, fitted_regressor):
+        model, X = fitted_regressor
+        restored = model_from_dict(model_to_dict(model))
+        explainer = TreeShapExplainer(restored)
+        assert explainer.bin_mapper is None
+        assert np.array_equal(
+            explainer.shap_values(X[:10]),
+            TreeShapExplainer(model).shap_values(X[:10]),
+        )
+
+
+class TestInteractionsBatched:
+    def test_matches_reference_matrices(self, fitted_regressor):
+        model, X = fitted_regressor
+        batched = TreeShapInteractionExplainer(model)
+        reference = ReferenceTreeShapInteractionExplainer(model)
+        rows = X[:6]
+        matrices = batched.shap_interaction_values_batch(rows)
+        for i in range(rows.shape[0]):
+            assert np.allclose(
+                matrices[i],
+                reference.shap_interaction_values(rows[i], X.shape[1]),
+                atol=1e-10,
+            )
+
+    def test_single_sample_api_matches_batch(self, fitted_regressor):
+        model, X = fitted_regressor
+        explainer = TreeShapInteractionExplainer(model)
+        single = explainer.shap_interaction_values(X[3], X.shape[1])
+        batch = explainer.shap_interaction_values_batch(X[3:4])[0]
+        assert np.array_equal(single, batch)
+
+    def test_rows_sum_to_batched_shap(self, fitted_regressor):
+        model, X = fitted_regressor
+        matrices = TreeShapInteractionExplainer(
+            model
+        ).shap_interaction_values_batch(X[:8])
+        phi = TreeShapExplainer(model).shap_values(X[:8])
+        assert np.allclose(matrices.sum(axis=2), phi, atol=1e-10)
+        assert np.allclose(matrices, matrices.transpose(0, 2, 1), atol=1e-12)
+
+    def test_repeated_feature_tree_interactions(self):
+        ens = TreeEnsemble(0.0, [repeated_feature_tree()])
+        batched = TreeShapInteractionExplainer(ens)
+        reference = ReferenceTreeShapInteractionExplainer(ens)
+        for raw in ([-2.0, 0.0], [-0.5, 2.0], [np.nan, 0.5]):
+            x = np.asarray(raw)
+            assert np.allclose(
+                batched.shap_interaction_values(x, 2),
+                reference.shap_interaction_values(x, 2),
+                atol=1e-12,
+            )

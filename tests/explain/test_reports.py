@@ -6,6 +6,7 @@ import pytest
 from repro.explain import (
     dependence_curve,
     detect_threshold,
+    local_reports,
     top_k_features,
 )
 
@@ -35,6 +36,18 @@ class TestTopK:
         expl = top_k_features(shap, np.array([np.nan]), ["a"], 0.0, 0.0, k=1)
         assert "missing" in expl.render()
 
+    def test_render_zero_contribution_is_neutral(self):
+        # Exactly-zero contributions must not carry the negative arrow;
+        # they are excluded from positive()/negative() and render as [=].
+        shap = np.array([0.5, 0.0])
+        expl = top_k_features(shap, np.zeros(2), ["a", "b"], 0.0, 0.0, k=2)
+        rendered = expl.render()
+        assert "[=] b" in rendered
+        assert "[-]" not in rendered
+        assert "[+] a" in rendered
+        assert expl.positive() == [("a", 0.5)]
+        assert expl.negative() == []
+
     def test_length_mismatch_rejected(self):
         with pytest.raises(ValueError):
             top_k_features(np.zeros(2), np.zeros(3), ["a", "b"], 0.0, 0.0)
@@ -46,6 +59,23 @@ class TestTopK:
     def test_k_larger_than_features_ok(self):
         expl = top_k_features(np.zeros(2), np.zeros(2), ["a", "b"], 0.0, 0.0, k=10)
         assert len(expl.features) == 2
+
+
+class TestLocalReports:
+    def test_batch_of_reports_with_efficiency_predictions(self):
+        shap = np.array([[0.3, -0.1], [-0.2, 0.4]])
+        X = np.array([[1.0, 2.0], [3.0, 4.0]])
+        reports = local_reports(shap, X, ["a", "b"], expected_value=1.0, k=2)
+        assert len(reports) == 2
+        assert reports[0].prediction == pytest.approx(1.2)
+        assert reports[1].prediction == pytest.approx(1.2)
+        assert reports[0].features == ("a", "b")
+        assert reports[1].features == ("b", "a")
+        assert all(r.expected_value == 1.0 for r in reports)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="does not match"):
+            local_reports(np.zeros((2, 3)), np.zeros((2, 2)), ["a", "b"], 0.0)
 
 
 class TestDetectThreshold:
@@ -122,3 +152,64 @@ class TestDependenceCurve:
         shap = np.array([-0.2, -0.1, 0.2, 0.4])
         text = dependence_curve(shap, x, "item").render()
         assert "threshold" in text
+
+    def test_mass_concentrated_on_one_value(self):
+        # 970 of 1000 samples share one raw value: every interior
+        # quantile edge lands on that value, the edge set deduplicates
+        # to [min, max], and the curve degrades to a single bucket —
+        # without dropping samples, empty bins, or NaN means.
+        x = np.concatenate([np.zeros(970), np.linspace(1.0, 30.0, 30)])
+        shap = np.where(x > 0, 0.2, -0.1)
+        curve = dependence_curve(shap, x, "steps", max_points=25)
+        assert curve.counts.tolist() == [1000]
+        assert curve.values[0] == pytest.approx(x.mean())
+        assert curve.mean_shap[0] == pytest.approx(shap.mean())
+        assert curve.threshold is None
+
+    def test_many_distinct_values_collapsing_to_few_edges(self):
+        # >25 distinct values whose quantiles nearly all coincide: the
+        # unique() pass shrinks the edge set to a handful of buckets.
+        x = np.concatenate([np.full(200, 5.0), np.full(200, 6.0),
+                            np.linspace(0, 1, 26)])
+        shap = 0.01 * x
+        curve = dependence_curve(shap, x, "item", max_points=25)
+        assert curve.counts.sum() == x.size
+        assert (curve.counts > 0).all()
+        assert len(curve.values) < 25
+        assert np.isfinite(curve.mean_shap).all()
+
+    def test_bucketed_curve_is_deterministic(self, rng):
+        x = rng.normal(size=400)
+        shap = 0.1 * x
+        a = dependence_curve(shap, x, "steps", max_points=10)
+        b = dependence_curve(shap, x, "steps", max_points=10)
+        assert np.array_equal(a.values, b.values)
+        assert np.array_equal(a.mean_shap, b.mean_shap)
+        assert np.array_equal(a.counts, b.counts)
+
+
+class TestFlipDirection:
+    def test_negative_to_positive(self):
+        # Paper orientation (Fig. 7): contribution turns positive at >= 3.
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        shap = np.array([-0.2, -0.1, 0.2, 0.4])
+        curve = dependence_curve(shap, x, "item")
+        assert curve.threshold == 3.0
+        assert curve.flip_direction() == "negative_to_positive"
+        assert "flips - to +" in curve.render()
+
+    def test_positive_to_negative(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        shap = np.array([0.4, 0.2, -0.1, -0.3])
+        curve = dependence_curve(shap, x, "item")
+        assert curve.threshold == 3.0
+        assert curve.flip_direction() == "positive_to_negative"
+        assert "flips + to -" in curve.render()
+        assert "flips - to +" not in curve.render()
+
+    def test_no_threshold_has_no_direction(self):
+        x = np.array([1.0, 2.0])
+        curve = dependence_curve(np.array([0.1, 0.5]), x, "item")
+        assert curve.threshold is None
+        assert curve.flip_direction() is None
+        assert "flips" not in curve.render()

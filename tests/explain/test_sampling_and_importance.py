@@ -23,6 +23,29 @@ def model_and_data():
 
 
 class TestPermutationEstimator:
+    def test_deterministic_for_a_fixed_seed(self, model_and_data):
+        # The estimator reseeds its generator per call, so repeated calls
+        # and fresh instances with the same seed agree bit-for-bit.
+        model, X = model_and_data
+        est = PermutationShapEstimator(model, n_permutations=50, seed=3)
+        first = est.shap_values_single(X[0], X.shape[1])
+        second = est.shap_values_single(X[0], X.shape[1])
+        fresh = PermutationShapEstimator(
+            model, n_permutations=50, seed=3
+        ).shap_values_single(X[0], X.shape[1])
+        assert np.array_equal(first, second)
+        assert np.array_equal(first, fresh)
+
+    def test_different_seeds_differ(self, model_and_data):
+        model, X = model_and_data
+        a = PermutationShapEstimator(
+            model, n_permutations=20, seed=0
+        ).shap_values_single(X[0], X.shape[1])
+        b = PermutationShapEstimator(
+            model, n_permutations=20, seed=1
+        ).shap_values_single(X[0], X.shape[1])
+        assert not np.array_equal(a, b)
+
     def test_converges_to_exact_treeshap(self, model_and_data):
         model, X = model_and_data
         exact = TreeShapExplainer(model).shap_values_single(X[0])
