@@ -1,0 +1,144 @@
+"""Serving bench — repeated-cohort scoring through ``repro.serve``.
+
+The serving workload the ROADMAP targets: a fitted model answers a
+stream of per-visit requests (predict + top-5 attribution report), where
+the same patients recur across visits.  The naive path — what a caller
+would write without the serve subsystem — issues one ``predict`` and one
+``shap_values`` per request against single-row matrices; the service
+micro-batches requests into single engine calls and serves recurring
+rows from the exact (bin-code-keyed) result cache.
+
+The acceptance target is a >= 5x throughput win for repeated-cohort
+traffic; in practice micro-batching alone clears it and the cache adds
+an order of magnitude on top.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import record
+from repro.explain import TreeShapExplainer, local_reports
+from repro.serve import ModelRegistry, ScoreRequest, ScoringService
+
+#: Visits per patient in the request stream (each distinct row recurs).
+REVISITS = 4
+#: Requests per service micro-batch (a realistic queue drain size).
+MICRO_BATCH = 64
+
+
+def _naive_pass(model, explainer, stream, feature_names):
+    """Per-request scoring: one predict + one explain call per visit."""
+    out = []
+    for row in stream:
+        prediction = model.predict(row[None, :])[0]
+        phi = explainer.shap_values(row[None, :])
+        report = local_reports(
+            phi, row[None, :], feature_names, explainer.expected_value
+        )[0]
+        out.append((prediction, report))
+    return out
+
+
+def _service_pass(service, stream):
+    """Micro-batched scoring of the same stream."""
+    out = []
+    for start in range(0, len(stream), MICRO_BATCH):
+        block = stream[start : start + MICRO_BATCH]
+        results = service.score_batch(
+            [ScoreRequest(row=row, explain=True) for row in block]
+        )
+        out.extend((r.prediction, r.explanation) for r in results)
+    return out
+
+
+def test_serve_repeated_cohort_throughput(ctx, results_dir, tmp_path):
+    samples = ctx.samples("sppb", "dd", with_fi=True)
+    result = ctx.result("sppb", "dd", with_fi=True)
+    feature_names = list(samples.feature_names)
+
+    # The recurring cohort: held-out patients visiting REVISITS times.
+    cohort_rows = samples.X[result.test_idx]
+    stream = [row for _ in range(REVISITS) for row in cohort_rows]
+
+    registry = ModelRegistry(tmp_path / "registry")
+    registry.publish("sppb", result.model, metadata={"features": feature_names})
+    service = ScoringService.from_registry(registry, "sppb")
+    naive_explainer = TreeShapExplainer(result.model)
+
+    t0 = time.perf_counter()
+    served = _service_pass(service, stream)
+    t_service = time.perf_counter() - t0
+
+    # The per-request path is slow enough that (like the Fig. 6 bench)
+    # it is timed on a one-visit slice and compared per request.
+    n_naive = len(cohort_rows)
+    t0 = time.perf_counter()
+    naive = _naive_pass(
+        result.model, naive_explainer, stream[:n_naive], feature_names
+    )
+    t_naive = time.perf_counter() - t0
+
+    # Same answers: raw scores bitwise equal to predict(); attribution
+    # reports agree to float tolerance (the batched engine's reductions
+    # run in a different summation order than 1-row calls, so cross-
+    # batch-shape SHAP values match to ~1e-12, not bitwise — same-shape
+    # bitwise equality is covered in tests/serve/test_registry.py).
+    assert len(served) == len(stream)
+    for (p_served, e_served), (p_naive, e_naive) in zip(served, naive):
+        assert p_served == p_naive
+        assert e_served.features == e_naive.features
+        assert np.allclose(
+            e_served.contributions, e_naive.contributions, atol=1e-10
+        )
+
+    n = len(stream)
+    speedup = (t_naive / n_naive) / (t_service / n)
+    cache = service.cache_stats
+    record(
+        results_dir,
+        "serve_throughput",
+        (
+            "SERVE bench (micro-batched + cached vs per-request scoring)\n"
+            f"  model: {result.model.ensemble_.n_trees} trees, "
+            f"{len(cohort_rows)} distinct patients x {REVISITS} visits "
+            f"= {n} requests (predict + top-5 SHAP report each)\n"
+            f"  naive per-request: {t_naive:.3f}s for {n_naive} requests "
+            f"({n_naive / t_naive:.0f} req/s)\n"
+            f"  scoring service:   {t_service:.3f}s for {n} requests "
+            f"({n / t_service:.0f} req/s), cache hit rate "
+            f"{100 * cache.hit_rate:.0f}%\n"
+            f"  per-request speedup: {speedup:.1f}x (target >= 5x)"
+        ),
+    )
+    assert speedup >= 5.0
+
+
+def test_serve_cache_hot_latency(ctx, results_dir, tmp_path):
+    """A fully warmed cache answers a whole cohort in near-zero time."""
+    samples = ctx.samples("sppb", "dd", with_fi=True)
+    result = ctx.result("sppb", "dd", with_fi=True)
+    rows = samples.X[result.test_idx]
+
+    service = ScoringService(
+        result.model, feature_names=list(samples.feature_names)
+    )
+    service.score_rows(rows, explain=True)  # warm
+    t0 = time.perf_counter()
+    results = service.score_rows(rows, explain=True)
+    t_hot = time.perf_counter() - t0
+
+    assert all(r.cached for r in results)
+    cold = service.stats.total_seconds - t_hot
+    record(
+        results_dir,
+        "serve_cache_hot",
+        (
+            "SERVE cache-hot latency\n"
+            f"  {rows.shape[0]} explained visits: cold {cold * 1e3:.1f} ms, "
+            f"hot {t_hot * 1e3:.1f} ms "
+            f"({rows.shape[0] / max(t_hot, 1e-9):.0f} req/s hot)"
+        ),
+    )
+    # The hot pass must be dramatically cheaper than the cold pass.
+    assert t_hot < cold

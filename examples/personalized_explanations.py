@@ -43,7 +43,7 @@ def main() -> None:
     print(render_fig7(curve))
     if curve.threshold is not None:
         print(
-            f"\nThe model re-discovered an expert-style cutoff at "
+            "\nThe model re-discovered an expert-style cutoff at "
             f">= {curve.threshold:g} without any manual threshold "
             "engineering (cf. paper Fig. 7, threshold >= 3)."
         )

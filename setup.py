@@ -1,11 +1,26 @@
-"""Legacy setup shim.
+"""Classic setuptools entry point.
 
-The offline environment has setuptools but not ``wheel``, so PEP 660
-editable installs fail; this shim lets ``pip install -e .`` fall back to
-the classic ``setup.py develop`` code path.  All metadata lives in
-``pyproject.toml``.
+Metadata lives here (not pyproject.toml) on purpose: a pyproject build
+system triggers pip's build isolation, which needs network access to
+fetch the backend — and this project must install in offline
+environments.  With only setup.py present, ``pip install -e .`` falls
+back to the legacy ``setup.py develop`` path using the already-installed
+setuptools (plus the bundled wheel shim; see
+``tools/install_wheel_shim.py``).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of Ferrari et al. (EDBT/ICDT 2020 workshops): "
+        "data-driven vs knowledge-driven inference of health outcomes, "
+        "with batched TreeSHAP and a model-serving subsystem"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "networkx"],
+)

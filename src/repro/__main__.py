@@ -1,10 +1,12 @@
-"""Command-line entry point: regenerate the paper's tables and figures.
+"""Command-line entry point: experiments, plus the serving driver.
 
 Usage::
 
     python -m repro fig4                 # one experiment, paper scale
     python -m repro all --small          # everything, 50-patient cohort
     python -m repro qa --out results/    # also write the artefact files
+    python -m repro serve publish ...    # model registry + scoring
+    python -m repro serve score ...      # (see repro.serve.driver)
 
 Experiments: fig1, fig4, table1, fig5, fig6, fig7, qa, abl1, abl2, abl3, all.
 """
@@ -74,7 +76,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=[*EXPERIMENTS, "all"],
-        help="which artefact to regenerate",
+        help="which artefact to regenerate ('serve' dispatches to the "
+        "scoring driver instead; see python -m repro serve --help)",
     )
     parser.add_argument("--seed", type=int, default=7, help="cohort/protocol seed")
     parser.add_argument(
@@ -93,7 +96,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "serve":
+        # The serving driver owns its own subcommand parser.
+        from repro.serve.driver import main as serve_main
+
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
+    if args.out is not None:
+        try:
+            args.out.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            print(f"error: cannot create --out {args.out}: {exc}", file=sys.stderr)
+            return 2
     ctx = ExperimentContext(
         seed=args.seed,
         n_folds=2 if args.small else 3,
@@ -106,7 +121,6 @@ def main(argv: list[str] | None = None) -> int:
         print(text)
         print()
         if args.out is not None:
-            args.out.mkdir(parents=True, exist_ok=True)
             (args.out / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
     return 0
 

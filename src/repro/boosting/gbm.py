@@ -171,6 +171,33 @@ class _BaseGB:
             )
         return self.ensemble_.predict_raw(X)
 
+    def _raw_binned(self, binned: np.ndarray) -> np.ndarray:
+        if self.ensemble_ is None:
+            raise RuntimeError("estimator is not fitted; call fit() first")
+        if self.mapper_ is None:
+            raise RuntimeError(
+                "estimator has no fitted BinMapper (mapper_); models "
+                "restored from format-v1 documents must use predict()"
+            )
+        binned = np.asarray(binned)
+        if binned.ndim != 2 or binned.shape[1] != self.n_features_:
+            raise ValueError(
+                f"expected shape (n, {self.n_features_}), got {binned.shape}"
+            )
+        return self.ensemble_.predict_raw_binned(binned, self.mapper_.missing_bin)
+
+    def bin(self, X: np.ndarray, order: str = "C") -> np.ndarray:
+        """Quantize raw rows with the fitted mapper (codes for ``*_binned``).
+
+        The returned uint8 codes are the model's exact quantized view of
+        ``X``: two rows with equal codes are indistinguishable to every
+        tree, which is what makes them usable as cache keys in
+        :mod:`repro.serve`.
+        """
+        if self.mapper_ is None:
+            raise RuntimeError("estimator has no fitted BinMapper (mapper_)")
+        return self.mapper_.transform(np.asarray(X, dtype=np.float64), order=order)
+
     def feature_importances(self) -> np.ndarray:
         """Cover-weighted split importance per feature (sums to 1)."""
         if self.ensemble_ is None or self.n_features_ is None:
@@ -201,6 +228,15 @@ class GBRegressor(_BaseGB):
         """Point predictions."""
         return self._raw(X)
 
+    def predict_binned(self, binned: np.ndarray) -> np.ndarray:
+        """Point predictions from pre-binned codes (see :meth:`bin`).
+
+        Bitwise-identical to :meth:`predict` on the raw rows the codes
+        were quantized from, but NaN-free and reusable across repeated
+        requests — the serving hot path.
+        """
+        return self._raw_binned(binned)
+
 
 class GBClassifier(_BaseGB):
     """Second-order gradient boosting for binary classification.
@@ -229,8 +265,29 @@ class GBClassifier(_BaseGB):
         """P(class = 1) per row."""
         return self._loss.transform(self._raw(X))
 
+    def predict_proba_binned(self, binned: np.ndarray) -> np.ndarray:
+        """P(class = 1) from pre-binned codes (see :meth:`bin`)."""
+        return self._loss.transform(self._raw_binned(binned))
+
+    def proba_from_raw(self, raw: np.ndarray) -> np.ndarray:
+        """Map raw scores (log-odds) to P(class = 1).
+
+        Lets consumers that already hold raw scores — the serving layer
+        caches them, TreeSHAP reconstructs them via the efficiency axiom
+        — recover probabilities without another tree traversal.
+        """
+        return self._loss.transform(np.asarray(raw, dtype=np.float64))
+
     def predict(self, X: np.ndarray, threshold: float = 0.5) -> np.ndarray:
         """Class labels (int64 in {0, 1}) at the given probability threshold."""
         if not 0.0 < threshold < 1.0:
             raise ValueError("threshold must be in (0, 1)")
         return (self.predict_proba(X) >= threshold).astype(np.int64)
+
+    def predict_binned(
+        self, binned: np.ndarray, threshold: float = 0.5
+    ) -> np.ndarray:
+        """Class labels from pre-binned codes (see :meth:`bin`)."""
+        if not 0.0 < threshold < 1.0:
+            raise ValueError("threshold must be in (0, 1)")
+        return (self.predict_proba_binned(binned) >= threshold).astype(np.int64)

@@ -15,14 +15,26 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.boosting.binning import BinMapper
 from repro.boosting.config import GBConfig
 from repro.boosting.gbm import GBClassifier, GBRegressor
 from repro.boosting.tree import Tree, TreeEnsemble
 
-__all__ = ["model_to_dict", "model_from_dict", "save_model", "load_model"]
+__all__ = [
+    "model_to_dict",
+    "model_from_dict",
+    "save_model",
+    "load_model",
+    "mapper_to_dict",
+    "mapper_from_dict",
+]
 
-#: Format version written into every document.
-FORMAT_VERSION = 1
+#: Format version written into every document.  Version 2 added the
+#: fitted ``BinMapper`` (``mapper_``); version-1 documents are still
+#: readable but their models fall back to raw-threshold prediction.
+FORMAT_VERSION = 2
+
+_READABLE_VERSIONS = frozenset({1, FORMAT_VERSION})
 
 _KINDS = {"regressor": GBRegressor, "classifier": GBClassifier}
 
@@ -78,6 +90,32 @@ def _decode_float(v) -> float:
     return float(v)
 
 
+def mapper_to_dict(mapper: BinMapper) -> dict:
+    """Serialise a fitted :class:`BinMapper` to a dict.
+
+    Bin edges are finite floats by construction (``fit`` rejects inf and
+    ignores NaN), so plain JSON numbers round-trip them bitwise via
+    Python's shortest-repr float encoding.
+    """
+    if mapper.bin_edges_ is None or mapper.n_bins_ is None:
+        raise ValueError("mapper is not fitted; nothing to serialise")
+    return {
+        "max_bins": mapper.max_bins,
+        "bin_edges": [edges.tolist() for edges in mapper.bin_edges_],
+        "n_bins": mapper.n_bins_.tolist(),
+    }
+
+
+def mapper_from_dict(doc: dict) -> BinMapper:
+    """Rebuild a fitted :class:`BinMapper` from :func:`mapper_to_dict`."""
+    mapper = BinMapper(max_bins=int(doc["max_bins"]))
+    mapper.bin_edges_ = [
+        np.asarray(edges, dtype=np.float64) for edges in doc["bin_edges"]
+    ]
+    mapper.n_bins_ = np.asarray(doc["n_bins"], dtype=np.int64)
+    return mapper
+
+
 def model_to_dict(model) -> dict:
     """Serialise a fitted ``GBRegressor``/``GBClassifier`` to a dict."""
     if isinstance(model, GBRegressor):
@@ -95,6 +133,12 @@ def model_to_dict(model) -> dict:
         "n_features": model.n_features_,
         "best_iteration": model.best_iteration_,
         "base_score": model.ensemble_.base_score,
+        # The fitted BinMapper completes the round trip: without it a
+        # reloaded model silently loses the binned predict/explain fast
+        # paths (predict_binned, bin-space TreeSHAP routing).
+        "mapper": (
+            None if model.mapper_ is None else mapper_to_dict(model.mapper_)
+        ),
         "trees": [_tree_to_dict(t) for t in model.ensemble_.trees],
     }
 
@@ -102,10 +146,10 @@ def model_to_dict(model) -> dict:
 def model_from_dict(doc: dict):
     """Rebuild a fitted estimator from :func:`model_to_dict` output."""
     version = doc.get("format_version")
-    if version != FORMAT_VERSION:
+    if version not in _READABLE_VERSIONS:
         raise ValueError(
             f"unsupported model format version {version!r} "
-            f"(expected {FORMAT_VERSION})"
+            f"(expected one of {sorted(_READABLE_VERSIONS)})"
         )
     kind = doc.get("kind")
     if kind not in _KINDS:
@@ -120,6 +164,8 @@ def model_from_dict(doc: dict):
     model.best_iteration_ = (
         None if doc["best_iteration"] is None else int(doc["best_iteration"])
     )
+    mapper_doc = doc.get("mapper")
+    model.mapper_ = None if mapper_doc is None else mapper_from_dict(mapper_doc)
     model.ensemble_ = TreeEnsemble(
         base_score=float(doc["base_score"]),
         trees=[_tree_from_dict(t) for t in doc["trees"]],

@@ -174,6 +174,27 @@ class TreeEnsemble:
             out += tree.predict(X)
         return out
 
+    def predict_raw_binned(
+        self,
+        binned: np.ndarray,
+        missing_bin: int,
+        n_trees: int | None = None,
+    ) -> np.ndarray:
+        """Raw predictions from a pre-binned uint8 matrix.
+
+        Every tree must carry ``bin_threshold`` (true for grown and
+        format-v2 deserialized trees); routing is the NaN-free bin-space
+        path of :meth:`Tree.predict_binned`.
+        """
+        binned = np.asarray(binned)
+        if binned.ndim != 2:
+            raise ValueError(f"expected 2-D input, got shape {binned.shape}")
+        out = np.full(binned.shape[0], self.base_score, dtype=np.float64)
+        use = self.trees if n_trees is None else self.trees[:n_trees]
+        for tree in use:
+            out += tree.predict_binned(binned, missing_bin)
+        return out
+
     @property
     def n_trees(self) -> int:
         """Number of trees in the ensemble."""

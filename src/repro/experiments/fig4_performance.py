@@ -7,7 +7,6 @@ Right block: accuracy and per-class precision/recall/F1 for Falls.
 from __future__ import annotations
 
 from repro.experiments.context import ExperimentContext, default_context
-from repro.learning.metrics import ClassificationReport, RegressionReport
 
 __all__ = ["run_fig4", "render_fig4"]
 

@@ -72,10 +72,10 @@ def tree_expected_value(tree: Tree) -> float:
     expected = np.array(tree.value, dtype=np.float64, copy=True)
     left, right, cover = tree.children_left, tree.children_right, tree.cover
     for node in reversed(_bfs_order(tree)):
-        l, r = left[node], right[node]
-        if l != LEAF:
+        lc, rc = left[node], right[node]
+        if lc != LEAF:
             expected[node] = (
-                cover[l] * expected[l] + cover[r] * expected[r]
+                cover[lc] * expected[lc] + cover[rc] * expected[rc]
             ) / cover[node]
     return float(expected[0])
 
@@ -222,12 +222,12 @@ class TreeStructure:
         seg_dirs: list[bool] = []
         seg_starts: list[int] = []
         real_cols: list[int] = []
-        for l, (feats, zs, segs) in enumerate(merged):
+        for leaf, (feats, zs, segs) in enumerate(merged):
             for j, f in enumerate(feats):
-                zeros[l, j] = zs[j]
-                feat_compact[l, j] = compact[f]
+                zeros[leaf, j] = zs[j]
+                feat_compact[leaf, j] = compact[f]
                 seg_starts.append(len(seg_nodes))
-                real_cols.append(l * m + j)
+                real_cols.append(leaf * m + j)
                 for split_node, went_left in segs[j]:
                     seg_nodes.append(split_node)
                     seg_dirs.append(went_left)

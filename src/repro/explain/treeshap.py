@@ -155,16 +155,35 @@ class _PreprocessedExplainer:
                 f"splits on feature index {self._min_features - 1}"
             )
 
+    @property
+    def supports_binned(self) -> bool:
+        """Whether pre-binned uint8 codes can be routed directly."""
+        return self.bin_mapper is not None and self._binnable
+
     def _decisions_for(self, X: np.ndarray):
         """Per-tree go-left decision factory (binned when possible)."""
-        if self.bin_mapper is not None and self._binnable:
+        if self.supports_binned:
             # F order: the per-tree decision matrices gather columns.
             binned = self.bin_mapper.transform(X, order="F")
-            missing_bin = self.bin_mapper.missing_bin
-            return lambda tree: node_decisions_binned(
-                tree, binned, missing_bin
-            )
+            return self._decisions_for_binned(binned)
         return lambda tree: node_decisions(tree, X)
+
+    def _decisions_for_binned(self, binned: np.ndarray):
+        """Per-tree decision factory over already-quantized codes."""
+        missing_bin = self.bin_mapper.missing_bin
+        return lambda tree: node_decisions_binned(tree, binned, missing_bin)
+
+    def _check_binned(self, binned: np.ndarray) -> np.ndarray:
+        if not self.supports_binned:
+            raise RuntimeError(
+                "model carries no fitted BinMapper / bin thresholds; "
+                "use the raw-input entry point instead"
+            )
+        binned = np.asarray(binned)
+        if binned.ndim != 2:
+            raise ValueError(f"expected 2-D input, got shape {binned.shape}")
+        self._check_columns(binned.shape[1])
+        return binned
 
 
 class TreeShapExplainer(_PreprocessedExplainer):
@@ -220,3 +239,21 @@ class TreeShapExplainer(_PreprocessedExplainer):
     def shap_values_single(self, x: np.ndarray) -> np.ndarray:
         """SHAP values of one sample, shape ``(n_features,)``."""
         return self.shap_values(np.asarray(x)[None, :])[0]
+
+    def shap_values_binned(self, binned: np.ndarray) -> np.ndarray:
+        """SHAP values from pre-binned uint8 codes.
+
+        ``binned`` must come from the model's own fitted ``BinMapper``
+        (e.g. ``model.bin(X)``); the result is bitwise-identical to
+        :meth:`shap_values` on the raw rows.  This is the serving entry
+        point: repeated requests reuse the preprocessed tree structures
+        *and* skip re-quantization.
+        """
+        binned = self._check_binned(binned)
+        decisions_for = self._decisions_for_binned(binned)
+        phi = np.zeros(binned.shape, dtype=np.float64)
+        for struct in self._structures:
+            if struct.n_entries == 0:
+                continue
+            _accumulate_tree(struct, decisions_for(struct.tree), phi)
+        return phi

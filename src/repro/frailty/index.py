@@ -15,7 +15,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.frailty.deficits import DEFICIT_CATALOGUE, deficit_names
+from repro.frailty.deficits import deficit_names
 from repro.tabular import Table
 
 __all__ = ["FrailtyIndexCalculator", "frailty_category"]

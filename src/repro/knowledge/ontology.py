@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import networkx as nx
 
-from repro.cohort.schema import ACTIVITY_VARIABLES, IC_DOMAINS, PRO_ITEMS
+from repro.cohort.schema import IC_DOMAINS, PRO_ITEMS
 
 __all__ = ["IntrinsicCapacityOntology"]
 

@@ -1,0 +1,49 @@
+"""Model serving: registry, micro-batched scoring, exact result caching.
+
+The training and explanation engines (:mod:`repro.boosting`,
+:mod:`repro.explain`) answer *whole-matrix* questions fast; this package
+turns them into a request/response subsystem — the paper's vision of a
+fitted model assisting many clinical visits, scaled to heavy traffic:
+
+``ModelRegistry``
+    Content-addressed persistence of fitted estimators on top of
+    :mod:`repro.boosting.serialize`: a version tag is the fingerprint of
+    the model document, so publishing is idempotent and a tag uniquely
+    names the exact trees, bin mapper and hyper-parameters that produced
+    every cached result.
+``ScoringService``
+    Accepts heterogeneous requests (predict-only and predict+explain
+    mixed), micro-batches them into single ``predict_binned`` /
+    batched-TreeSHAP calls, and reuses the preprocessed per-tree
+    structures across every request of the service's lifetime.
+``LRUCache``
+    Exact result cache keyed on ``(model version, row bin codes)``.  The
+    bin codes are the model's own quantized view of a row — two rows
+    with equal codes are indistinguishable to every tree — so cache hits
+    return bitwise-identical predictions and SHAP values, never
+    approximations.
+``python -m repro serve``
+    Offline driver (:mod:`repro.serve.driver`): publish models into a
+    registry and score cohort CSV tables end-to-end.
+"""
+
+from repro.serve.cache import CacheStats, LRUCache
+from repro.serve.registry import ModelRegistry, ModelVersion, model_fingerprint
+from repro.serve.service import (
+    ScoreRequest,
+    ScoreResult,
+    ScoringService,
+    ServiceStats,
+)
+
+__all__ = [
+    "CacheStats",
+    "LRUCache",
+    "ModelRegistry",
+    "ModelVersion",
+    "model_fingerprint",
+    "ScoreRequest",
+    "ScoreResult",
+    "ScoringService",
+    "ServiceStats",
+]

@@ -1,0 +1,261 @@
+"""Offline serving driver behind ``python -m repro serve``.
+
+Three subcommands cover the train-once / score-later lifecycle::
+
+    # fit a model on a training CSV and publish it into a registry
+    python -m repro serve publish --registry models/ --name sppb \\
+        --train cohort.csv --target sppb
+
+    # list published versions
+    python -m repro serve versions --registry models/ --name sppb
+
+    # score a cohort CSV end-to-end (micro-batched, cached, optionally
+    # with per-row attribution reports)
+    python -m repro serve score --registry models/ --name sppb \\
+        --input visits.csv --out scored.csv --explain
+
+``score`` appends a ``prediction`` column (plus ``probability`` for
+classifiers) to the input table, writes per-row attribution reports next
+to the output when ``--explain`` is given, and prints throughput plus
+cache statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.boosting import GBClassifier, GBConfig, GBRegressor
+from repro.serve.registry import ModelRegistry
+from repro.serve.service import ScoreRequest, ScoringService
+from repro.tabular.column import ColumnType
+from repro.tabular.io import read_csv, write_csv
+from repro.tabular.table import Table
+
+__all__ = ["build_serve_parser", "main"]
+
+_NUMERIC = (ColumnType.FLOAT, ColumnType.INT, ColumnType.BOOL)
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Model registry + batched scoring over CSV tables.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    pub = sub.add_parser("publish", help="fit a model and publish it")
+    pub.add_argument("--registry", type=Path, required=True, metavar="DIR")
+    pub.add_argument("--name", required=True, help="registry model name")
+    pub.add_argument("--train", type=Path, required=True, metavar="CSV")
+    pub.add_argument("--target", required=True, help="target column in CSV")
+    pub.add_argument(
+        "--kind",
+        choices=("regressor", "classifier"),
+        default="regressor",
+    )
+    pub.add_argument("--n-estimators", type=int, default=100)
+    pub.add_argument("--max-depth", type=int, default=4)
+    pub.add_argument("--learning-rate", type=float, default=0.1)
+
+    ver = sub.add_parser("versions", help="list published versions")
+    ver.add_argument("--registry", type=Path, required=True, metavar="DIR")
+    ver.add_argument("--name", required=True)
+
+    sc = sub.add_parser("score", help="score a cohort CSV")
+    sc.add_argument("--registry", type=Path, required=True, metavar="DIR")
+    sc.add_argument("--name", required=True)
+    sc.add_argument("--tag", default=None, help="version tag (default latest)")
+    sc.add_argument("--input", type=Path, required=True, metavar="CSV")
+    sc.add_argument("--out", type=Path, required=True, metavar="CSV")
+    sc.add_argument(
+        "--explain",
+        action="store_true",
+        help="also write per-row attribution reports",
+    )
+    sc.add_argument(
+        "--features",
+        default=None,
+        metavar="A,B,...",
+        help="comma-separated feature columns; required when the "
+        "published version carries no feature metadata",
+    )
+    sc.add_argument("--top-k", type=int, default=5)
+    sc.add_argument("--batch-size", type=int, default=256)
+    sc.add_argument("--cache-size", type=int, default=4096)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_serve_parser().parse_args(argv)
+    try:
+        if args.command == "publish":
+            return _publish(args)
+        if args.command == "versions":
+            return _versions(args)
+        return _score(args)
+    except (OSError, KeyError, ValueError) as exc:
+        print(f"error: {_message(exc)}", file=sys.stderr)
+        return 2
+
+
+def _message(exc: Exception) -> str:
+    # KeyError reprs its argument; unwrap for a readable CLI message.
+    if isinstance(exc, KeyError) and exc.args:
+        return str(exc.args[0])
+    return str(exc)
+
+
+def _numeric_matrix(table: Table, names: list[str]) -> np.ndarray:
+    """Stack named columns into a float64 design matrix."""
+    out = np.empty((table.num_rows, len(names)), dtype=np.float64)
+    for j, name in enumerate(names):
+        if name not in table:
+            raise KeyError(f"input table has no column {name!r}")
+        if table.column(name).ctype not in _NUMERIC:
+            raise ValueError(f"column {name!r} is not numeric")
+        out[:, j] = np.asarray(table[name], dtype=np.float64)
+    return out
+
+
+def _numeric_names(table: Table, exclude: tuple[str, ...] = ()) -> list[str]:
+    return [
+        name
+        for name in table.column_names
+        if name not in exclude and table.column(name).ctype in _NUMERIC
+    ]
+
+
+def _publish(args: argparse.Namespace) -> int:
+    table = read_csv(args.train)
+    if args.target not in table:
+        raise KeyError(f"training table has no target column {args.target!r}")
+    features = _numeric_names(table, exclude=(args.target,))
+    if not features:
+        raise ValueError("training table has no numeric feature columns")
+    X = _numeric_matrix(table, features)
+    y = np.asarray(table[args.target], dtype=np.float64)
+
+    config = GBConfig(
+        n_estimators=args.n_estimators,
+        max_depth=args.max_depth,
+        learning_rate=args.learning_rate,
+    )
+    cls = GBClassifier if args.kind == "classifier" else GBRegressor
+    model = cls(config).fit(X, y)
+
+    registry = ModelRegistry(args.registry)
+    version = registry.publish(
+        args.name,
+        model,
+        metadata={
+            "features": features,
+            "target": args.target,
+            "train_rows": table.num_rows,
+            "source": args.train.name,
+        },
+    )
+    print(f"published {version.ref}")
+    print(f"  kind={version.kind} trees={version.n_trees} features={features}")
+    return 0
+
+
+def _versions(args: argparse.Namespace) -> int:
+    registry = ModelRegistry(args.registry)
+    latest = registry.resolve(args.name)
+    for v in registry.versions(args.name):
+        stamp = time.strftime("%Y-%m-%d %H:%M:%S", time.gmtime(v.created_at))
+        marker = " (latest)" if v.tag == latest else ""
+        print(
+            f"{v.ref}  kind={v.kind} trees={v.n_trees} "
+            f"features={v.n_features} published={stamp}{marker}"
+        )
+    return 0
+
+
+def _score(args: argparse.Namespace) -> int:
+    if args.batch_size < 1:
+        raise ValueError("--batch-size must be >= 1")
+    # Validate the output target up front: a bad --out must not waste a
+    # full (potentially expensive) scoring run.
+    _ensure_parent(args.out)
+    registry = ModelRegistry(args.registry)
+    version = registry.describe(args.name, args.tag)
+    if args.features is not None:
+        features = [name.strip() for name in args.features.split(",")]
+    else:
+        features = version.metadata.get("features")
+    if features is None:
+        raise ValueError(
+            f"version {version.ref} carries no feature metadata; pass "
+            "--features to name the input columns explicitly"
+        )
+    if len(features) != version.n_features:
+        raise ValueError(
+            f"{len(features)} feature columns named, but {version.ref} "
+            f"was fitted on {version.n_features} features"
+        )
+    service = ScoringService.from_registry(
+        registry,
+        args.name,
+        args.tag,
+        feature_names=list(features),
+        cache_size=args.cache_size,
+        top_k=args.top_k,
+    )
+    table = read_csv(args.input)
+    X = _numeric_matrix(table, list(features))
+
+    t0 = time.perf_counter()
+    results = []
+    for start in range(0, X.shape[0], args.batch_size):
+        block = X[start : start + args.batch_size]
+        results.extend(
+            service.score_batch(
+                [
+                    ScoreRequest(row=block[i], explain=args.explain)
+                    for i in range(block.shape[0])
+                ]
+            )
+        )
+    elapsed = time.perf_counter() - t0
+
+    scored = table.with_column(
+        "prediction", np.asarray([r.prediction for r in results])
+    )
+    if results and results[0].probability is not None:
+        scored = scored.with_column(
+            "probability", np.asarray([r.probability for r in results])
+        )
+    write_csv(scored, args.out)
+    print(f"scored {len(results)} rows with {version.ref} -> {args.out}")
+
+    if args.explain:
+        report_path = args.out.with_suffix(".reports.txt")
+        lines = []
+        for i, result in enumerate(results):
+            lines.append(f"# row {i}")
+            lines.append(result.explanation.render())
+            lines.append("")
+        report_path.write_text("\n".join(lines), encoding="utf-8")
+        print(f"wrote {len(results)} attribution reports -> {report_path}")
+
+    cache = service.cache_stats
+    rate = len(results) / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"  {elapsed:.3f}s ({rate:.0f} rows/s), cache hit rate "
+        f"{100 * cache.hit_rate:.1f}% ({cache.hits} hits / {cache.misses} misses)"
+    )
+    return 0
+
+
+def _ensure_parent(path: Path) -> None:
+    parent = path.parent
+    if not parent.exists():
+        parent.mkdir(parents=True, exist_ok=True)
+    if path.is_dir():
+        raise ValueError(f"--out {path} is a directory, expected a file path")

@@ -1,0 +1,193 @@
+"""Content-addressed registry of fitted models.
+
+A registry is a plain directory tree::
+
+    <root>/
+        <name>/
+            LATEST              # tag of the most recently published version
+            <tag>/
+                model.json      # the serialize.py document (format v2)
+                meta.json       # version descriptor + user metadata
+
+The version ``tag`` is :func:`model_fingerprint` of the model document:
+the SHA-256 of its canonical JSON encoding, truncated to 16 hex chars.
+Publishing the same fitted model twice is therefore idempotent (same
+tag, no duplicate storage), and a tag pins the *exact* trees, bin edges
+and hyper-parameters — which is what lets :mod:`repro.serve.service`
+key its result cache on ``(tag, row bin codes)`` and stay semantically
+exact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.boosting.serialize import model_from_dict, model_to_dict
+
+__all__ = ["ModelRegistry", "ModelVersion", "model_fingerprint"]
+
+#: Model/version names must be path-safe: no separators, no dot-dot.
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+_LATEST = "LATEST"
+_MODEL_FILE = "model.json"
+_META_FILE = "meta.json"
+
+
+def model_fingerprint(doc: dict) -> str:
+    """Content hash of a model document (16 hex chars).
+
+    The document is encoded canonically (sorted keys, no whitespace)
+    before hashing, so the fingerprint is stable across dict ordering
+    and across processes.
+    """
+    canonical = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class ModelVersion:
+    """Descriptor of one published model version."""
+
+    name: str
+    tag: str
+    kind: str
+    n_features: int
+    n_trees: int
+    created_at: float
+    path: Path
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def ref(self) -> str:
+        """The ``name@tag`` reference string."""
+        return f"{self.name}@{self.tag}"
+
+
+class ModelRegistry:
+    """Persist and load fitted estimators under content-addressed tags."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def publish(self, name: str, model, metadata: dict | None = None) -> ModelVersion:
+        """Serialise ``model`` under ``name``; return its version.
+
+        Idempotent: republishing an identical fitted model reuses the
+        existing version directory (the original ``created_at`` is
+        kept) and only refreshes the ``LATEST`` pointer.
+        """
+        _check_name(name)
+        doc = model_to_dict(model)
+        tag = model_fingerprint(doc)
+        version_dir = self.root / name / tag
+        if not (version_dir / _META_FILE).exists():
+            version_dir.mkdir(parents=True, exist_ok=True)
+            _atomic_write(version_dir / _MODEL_FILE, json.dumps(doc))
+            meta = {
+                "name": name,
+                "tag": tag,
+                "kind": doc["kind"],
+                "n_features": doc["n_features"],
+                "n_trees": len(doc["trees"]),
+                "created_at": time.time(),
+                "metadata": dict(metadata or {}),
+            }
+            _atomic_write(version_dir / _META_FILE, json.dumps(meta))
+        _atomic_write(self.root / name / _LATEST, tag)
+        return self.describe(name, tag)
+
+    # ------------------------------------------------------------------
+    def resolve(self, name: str, tag: str | None = None) -> str:
+        """Resolve ``tag`` (or the latest version) to a concrete tag."""
+        _check_name(name)
+        model_dir = self.root / name
+        if not model_dir.is_dir():
+            raise KeyError(f"no model named {name!r} in registry {self.root}")
+        if tag is None:
+            latest = model_dir / _LATEST
+            if not latest.is_file():
+                raise KeyError(f"model {name!r} has no LATEST pointer")
+            tag = latest.read_text(encoding="utf-8").strip()
+        _check_name(tag)
+        if not (model_dir / tag / _MODEL_FILE).is_file():
+            raise KeyError(f"model {name!r} has no version {tag!r}")
+        return tag
+
+    def load(self, name: str, tag: str | None = None):
+        """Rebuild the fitted estimator of ``name@tag`` (default latest).
+
+        The returned model carries its fitted ``mapper_`` and bin-space
+        thresholds, so the binned predict/explain fast paths — and hence
+        :class:`~repro.serve.service.ScoringService` — work exactly as
+        they did on the in-memory original.
+        """
+        tag = self.resolve(name, tag)
+        doc = json.loads(
+            (self.root / name / tag / _MODEL_FILE).read_text(encoding="utf-8")
+        )
+        if model_fingerprint(doc) != tag:
+            raise ValueError(
+                f"stored document for {name}@{tag} does not match its tag; "
+                "the registry entry is corrupt"
+            )
+        return model_from_dict(doc)
+
+    def describe(self, name: str, tag: str | None = None) -> ModelVersion:
+        """Version descriptor of ``name@tag`` (default latest)."""
+        tag = self.resolve(name, tag)
+        meta = json.loads(
+            (self.root / name / tag / _META_FILE).read_text(encoding="utf-8")
+        )
+        return ModelVersion(
+            name=meta["name"],
+            tag=meta["tag"],
+            kind=meta["kind"],
+            n_features=int(meta["n_features"]),
+            n_trees=int(meta["n_trees"]),
+            created_at=float(meta["created_at"]),
+            path=self.root / name / tag,
+            metadata=meta.get("metadata", {}),
+        )
+
+    def versions(self, name: str) -> list[ModelVersion]:
+        """All published versions of ``name``, oldest first."""
+        _check_name(name)
+        model_dir = self.root / name
+        if not model_dir.is_dir():
+            raise KeyError(f"no model named {name!r} in registry {self.root}")
+        out = [
+            self.describe(name, child.name)
+            for child in model_dir.iterdir()
+            if child.is_dir() and (child / _META_FILE).is_file()
+        ]
+        return sorted(out, key=lambda v: (v.created_at, v.tag))
+
+    def names(self) -> list[str]:
+        """All model names with at least one published version."""
+        return sorted(
+            child.name
+            for child in self.root.iterdir()
+            if child.is_dir() and (child / _LATEST).is_file()
+        )
+
+
+def _check_name(name: str) -> None:
+    if not _NAME_RE.match(name):
+        raise ValueError(
+            f"invalid registry name {name!r}: must match {_NAME_RE.pattern}"
+        )
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    """Write-then-rename so readers never observe a half-written file."""
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text, encoding="utf-8")
+    tmp.replace(path)

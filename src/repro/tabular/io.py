@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -37,6 +37,7 @@ def write_csv(table: Table, path: str | Path) -> None:
 def read_csv(
     path: str | Path,
     types: Mapping[str, ColumnType] | None = None,
+    columns: Sequence[str] | None = None,
 ) -> Table:
     """Read a CSV file written by :func:`write_csv` (or compatible).
 
@@ -49,6 +50,12 @@ def read_csv(
         are inferred: a column parses as FLOAT if every non-empty cell is
         numeric, as BOOL if every cell is ``true``/``false``, otherwise
         STRING.
+    columns:
+        Optional projection: parse only these columns, in this order.
+        Wide cohort exports are common while a scoring model pins a
+        small feature list (cf. ``repro.serve``), and skipping the
+        other columns avoids parsing work and memory.  Unknown names
+        raise ``KeyError``.
     """
     path = Path(path)
     with path.open("r", newline="", encoding="utf-8") as fh:
@@ -56,15 +63,26 @@ def read_csv(
         try:
             header = next(reader)
         except StopIteration:
+            if columns:
+                raise KeyError(f"CSV {path} has no columns {list(columns)!r}")
             return Table()
         rows = list(reader)
 
-    columns = []
-    for j, name in enumerate(header):
+    if columns is None:
+        selected = list(enumerate(header))
+    else:
+        position = {name: j for j, name in enumerate(header)}
+        missing = [name for name in columns if name not in position]
+        if missing:
+            raise KeyError(f"CSV {path} has no columns {missing!r}")
+        selected = [(position[name], name) for name in columns]
+
+    out = []
+    for j, name in selected:
         raw = [row[j] if j < len(row) else "" for row in rows]
         ctype = types.get(name) if types else None
-        columns.append(_parse_column(name, raw, ctype))
-    return Table(columns)
+        out.append(_parse_column(name, raw, ctype))
+    return Table(out)
 
 
 def _format_cell(value, ctype: ColumnType) -> str:

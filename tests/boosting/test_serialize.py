@@ -69,13 +69,14 @@ class TestRoundTrip:
         save_model(model, path)
         doc = json.loads(path.read_text())
         assert doc["kind"] == "regressor"
-        assert doc["format_version"] == 1
+        assert doc["format_version"] == 2
+        assert doc["mapper"] is not None
         assert len(doc["trees"]) == model.ensemble_.n_trees
 
     def test_inf_threshold_round_trips(self):
         # A split separating non-missing from missing uses a +inf
         # threshold; JSON cannot hold inf natively.
-        from repro.boosting import Tree, TreeEnsemble
+        from repro.boosting import Tree
         from repro.boosting.serialize import _tree_from_dict, _tree_to_dict
 
         tree = Tree(
@@ -103,6 +104,66 @@ class TestRoundTrip:
             assert tree.bin_threshold is not None
             restored = _tree_from_dict(json.loads(json.dumps(_tree_to_dict(tree))))
             assert np.array_equal(restored.bin_threshold, tree.bin_threshold)
+
+
+class TestMapperRoundTrip:
+    """The fitted BinMapper must survive (de)serialisation bitwise.
+
+    Regression suite for the silent-downgrade bug: pre-v2 documents
+    dropped ``mapper_``, so reloaded models lost the binned
+    predict/explain fast paths without any error.
+    """
+
+    def test_mapper_restored_bitwise(self, fitted_regressor):
+        model, _ = fitted_regressor
+        restored = model_from_dict(model_to_dict(model))
+        assert restored.mapper_ is not None
+        assert restored.mapper_.max_bins == model.mapper_.max_bins
+        assert np.array_equal(restored.mapper_.n_bins_, model.mapper_.n_bins_)
+        for a, b in zip(restored.mapper_.bin_edges_, model.mapper_.bin_edges_):
+            assert np.array_equal(a, b)
+
+    def test_binned_predict_path_survives_reload(self, fitted_regressor):
+        model, X = fitted_regressor
+        restored = model_from_dict(model_to_dict(model))
+        codes = restored.bin(X)
+        assert np.array_equal(restored.predict_binned(codes), model.predict(X))
+
+    def test_binned_classifier_paths_survive_reload(self, fitted_classifier):
+        model, X = fitted_classifier
+        restored = model_from_dict(model_to_dict(model))
+        codes = restored.bin(X)
+        assert np.array_equal(
+            restored.predict_proba_binned(codes), model.predict_proba(X)
+        )
+        assert np.array_equal(restored.predict_binned(codes), model.predict(X))
+
+    def test_json_file_round_trip_preserves_mapper(
+        self, fitted_regressor, tmp_path
+    ):
+        model, X = fitted_regressor
+        path = tmp_path / "model.json"
+        save_model(model, path)
+        restored = load_model(path)
+        assert np.array_equal(restored.bin(X), model.bin(X))
+
+    def test_v1_document_still_loads_without_mapper(self, fitted_regressor):
+        model, X = fitted_regressor
+        doc = model_to_dict(model)
+        doc["format_version"] = 1
+        del doc["mapper"]
+        restored = model_from_dict(doc)
+        assert restored.mapper_ is None
+        assert np.array_equal(restored.predict(X), model.predict(X))
+        with pytest.raises(RuntimeError, match="mapper_"):
+            restored.predict_binned(np.zeros((1, 5), dtype=np.uint8))
+
+    def test_unfitted_mapper_rejected(self):
+        from repro.boosting.binning import BinMapper
+        from repro.boosting.serialize import mapper_to_dict
+
+        with pytest.raises(ValueError, match="not fitted"):
+            mapper_to_dict(BinMapper())
 
 
 class TestValidation:

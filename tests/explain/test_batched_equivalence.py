@@ -294,15 +294,54 @@ class TestBinnedFastPath:
         binned.bin_mapper = model.mapper_
         assert np.array_equal(binned.shap_values(X[:30]), expected)
 
-    def test_deserialized_model_falls_back_to_raw(self, fitted_regressor):
+    def test_deserialized_model_keeps_binned_routing(self, fitted_regressor):
+        # Format v2 serialises the fitted BinMapper, so a reloaded model
+        # explains through the same bin-space fast path as the original.
         model, X = fitted_regressor
         restored = model_from_dict(model_to_dict(model))
         explainer = TreeShapExplainer(restored)
-        assert explainer.bin_mapper is None
+        assert explainer.bin_mapper is not None
+        assert explainer.supports_binned
         assert np.array_equal(
             explainer.shap_values(X[:10]),
             TreeShapExplainer(model).shap_values(X[:10]),
         )
+
+    def test_format_v1_document_falls_back_to_raw(self, fitted_regressor):
+        # Old documents carry no mapper; explanation must still be exact
+        # through raw-threshold routing.
+        model, X = fitted_regressor
+        doc = model_to_dict(model)
+        doc["format_version"] = 1
+        del doc["mapper"]
+        restored = model_from_dict(doc)
+        explainer = TreeShapExplainer(restored)
+        assert explainer.bin_mapper is None
+        assert not explainer.supports_binned
+        assert np.array_equal(
+            explainer.shap_values(X[:10]),
+            TreeShapExplainer(model).shap_values(X[:10]),
+        )
+
+    def test_shap_values_binned_bitwise_equal(self, fitted_regressor):
+        model, X = fitted_regressor
+        explainer = TreeShapExplainer(model)
+        codes = model.bin(X[:50])
+        assert np.array_equal(
+            explainer.shap_values_binned(codes), explainer.shap_values(X[:50])
+        )
+
+    def test_shap_values_binned_requires_mapper(self, fitted_regressor):
+        model, X = fitted_regressor
+        explainer = TreeShapExplainer(model.ensemble_)  # no mapper
+        with pytest.raises(RuntimeError, match="BinMapper"):
+            explainer.shap_values_binned(model.bin(X[:2]))
+
+    def test_shap_values_binned_validates_shape(self, fitted_regressor):
+        model, X = fitted_regressor
+        explainer = TreeShapExplainer(model)
+        with pytest.raises(ValueError, match="feature columns"):
+            explainer.shap_values_binned(model.bin(X[:4])[:, :2])
 
 
 class TestInteractionsBatched:

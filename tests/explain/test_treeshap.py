@@ -11,7 +11,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.boosting import GBClassifier, GBRegressor, Tree, TreeEnsemble
+from repro.boosting import GBClassifier, GBRegressor, TreeEnsemble
 from repro.explain import TreeShapExplainer, brute_force_shap, tree_value_function
 
 from tests.boosting.test_tree import make_depth2, make_stump

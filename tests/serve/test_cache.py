@@ -1,0 +1,84 @@
+"""Unit tests for repro.serve.cache (exact LRU result cache)."""
+
+import pytest
+
+from repro.serve import LRUCache
+
+
+class TestLRUSemantics:
+    def test_get_put_round_trip(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert len(cache) == 1
+
+    def test_missing_key_returns_default(self):
+        cache = LRUCache(4)
+        assert cache.get("nope") is None
+        assert cache.get("nope", 42) == 42
+
+    def test_evicts_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b becomes LRU
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+
+    def test_put_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh via put
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_contains_does_not_touch_recency_or_stats(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert "a" in cache  # must NOT refresh "a"
+        cache.put("c", 3)
+        assert "a" not in cache  # "a" was still the LRU entry
+        assert cache.stats.hits == 0 and cache.stats.misses == 0
+
+    def test_clear_keeps_counters(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_zero_capacity_disables_caching(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert len(cache) == 0
+        assert cache.get("a") is None
+        assert cache.stats.misses == 1
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            LRUCache(-1)
+
+
+class TestStats:
+    def test_counters_and_hit_rate(self):
+        cache = LRUCache(1)
+        cache.put("a", 1)
+        cache.put("b", 2)  # evicts a
+        cache.get("b")
+        cache.get("a")
+        stats = cache.stats
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.evictions == 1
+        assert stats.size == 1
+        assert stats.capacity == 1
+        assert stats.hit_rate == 0.5
+
+    def test_idle_hit_rate_is_zero(self):
+        assert LRUCache(4).stats.hit_rate == 0.0

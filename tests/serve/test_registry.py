@@ -1,0 +1,159 @@
+"""Unit tests for repro.serve.registry (content-addressed model store)."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.boosting import GBClassifier, GBRegressor
+from repro.explain import TreeShapExplainer
+from repro.serve import ModelRegistry, model_fingerprint
+from repro.boosting.serialize import model_to_dict
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    rng = np.random.default_rng(5)
+    X = rng.normal(size=(250, 6))
+    X[rng.random(X.shape) < 0.12] = np.nan
+    y = 1.5 * np.nan_to_num(X[:, 0]) - np.nan_to_num(X[:, 2]) + rng.normal(
+        0, 0.05, 250
+    )
+    return GBRegressor(n_estimators=25, max_depth=3).fit(X, y), X
+
+
+class TestPublish:
+    def test_publish_and_load(self, fitted, tmp_path):
+        model, X = fitted
+        registry = ModelRegistry(tmp_path)
+        version = registry.publish("sppb", model)
+        assert version.name == "sppb"
+        assert version.kind == "regressor"
+        assert version.n_trees == 25
+        restored = registry.load("sppb")
+        assert np.array_equal(restored.predict(X), model.predict(X))
+
+    def test_tag_is_content_fingerprint(self, fitted, tmp_path):
+        model, _ = fitted
+        version = ModelRegistry(tmp_path).publish("sppb", model)
+        assert version.tag == model_fingerprint(model_to_dict(model))
+
+    def test_publish_is_idempotent(self, fitted, tmp_path):
+        model, _ = fitted
+        registry = ModelRegistry(tmp_path)
+        first = registry.publish("sppb", model)
+        second = registry.publish("sppb", model)
+        assert second.tag == first.tag
+        assert second.created_at == first.created_at
+        assert len(registry.versions("sppb")) == 1
+
+    def test_distinct_models_get_distinct_tags(self, fitted, tmp_path):
+        model, X = fitted
+        rng = np.random.default_rng(6)
+        other = GBRegressor(n_estimators=5, max_depth=2).fit(
+            np.nan_to_num(X), rng.normal(size=X.shape[0])
+        )
+        registry = ModelRegistry(tmp_path)
+        a = registry.publish("sppb", model)
+        b = registry.publish("sppb", other)
+        assert a.tag != b.tag
+        assert registry.resolve("sppb") == b.tag  # latest follows publish
+        assert [v.tag for v in registry.versions("sppb")] == [a.tag, b.tag]
+
+    def test_metadata_round_trips(self, fitted, tmp_path):
+        model, _ = fitted
+        registry = ModelRegistry(tmp_path)
+        registry.publish("sppb", model, metadata={"features": ["a", "b"]})
+        assert registry.describe("sppb").metadata == {"features": ["a", "b"]}
+
+    def test_names_listing(self, fitted, tmp_path):
+        model, X = fitted
+        registry = ModelRegistry(tmp_path)
+        registry.publish("zeta", model)
+        clf = GBClassifier(n_estimators=3, max_depth=2).fit(
+            np.nan_to_num(X), (np.nan_to_num(X[:, 0]) > 0).astype(int)
+        )
+        registry.publish("alpha", clf)
+        assert registry.names() == ["alpha", "zeta"]
+        assert registry.describe("alpha").kind == "classifier"
+
+
+class TestValidation:
+    def test_unknown_model_rejected(self, tmp_path):
+        with pytest.raises(KeyError, match="no model named"):
+            ModelRegistry(tmp_path).load("ghost")
+
+    def test_unknown_tag_rejected(self, fitted, tmp_path):
+        model, _ = fitted
+        registry = ModelRegistry(tmp_path)
+        registry.publish("sppb", model)
+        with pytest.raises(KeyError, match="no version"):
+            registry.load("sppb", "0" * 16)
+
+    @pytest.mark.parametrize("name", ["", "../escape", "a/b", ".hidden"])
+    def test_path_unsafe_names_rejected(self, tmp_path, name):
+        registry = ModelRegistry(tmp_path)
+        with pytest.raises(ValueError, match="invalid registry name"):
+            registry.resolve(name)
+
+    def test_tampered_document_detected(self, fitted, tmp_path):
+        model, _ = fitted
+        registry = ModelRegistry(tmp_path)
+        version = registry.publish("sppb", model)
+        model_file = version.path / "model.json"
+        doc = json.loads(model_file.read_text())
+        doc["base_score"] = 99.0
+        model_file.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="corrupt"):
+            registry.load("sppb")
+
+
+class TestFreshProcessEquivalence:
+    """Acceptance: a reloaded model in a *fresh interpreter* is bitwise
+    identical to the in-memory one, for predictions and SHAP values."""
+
+    def test_bitwise_identical_across_processes(self, fitted, tmp_path):
+        model, X = fitted
+        registry = ModelRegistry(tmp_path)
+        version = registry.publish("sppb", model)
+        rows = X[:40]
+        np.save(tmp_path / "rows.npy", rows)
+
+        explainer = TreeShapExplainer(model)
+        np.save(tmp_path / "pred_here.npy", model.predict(rows))
+        np.save(tmp_path / "phi_here.npy", explainer.shap_values(rows))
+
+        script = (
+            "import numpy as np\n"
+            "from repro.serve import ModelRegistry\n"
+            "from repro.explain import TreeShapExplainer\n"
+            f"registry = ModelRegistry({str(tmp_path)!r})\n"
+            f"model = registry.load('sppb', {version.tag!r})\n"
+            f"rows = np.load({str(tmp_path / 'rows.npy')!r})\n"
+            f"np.save({str(tmp_path / 'pred_there.npy')!r}, model.predict(rows))\n"
+            "explainer = TreeShapExplainer(model)\n"
+            f"np.save({str(tmp_path / 'phi_there.npy')!r}, "
+            "explainer.shap_values(rows))\n"
+        )
+        src = Path(__file__).resolve().parents[2] / "src"
+        env = dict(os.environ, PYTHONPATH=str(src))
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
+
+        assert np.array_equal(
+            np.load(tmp_path / "pred_there.npy"),
+            np.load(tmp_path / "pred_here.npy"),
+        )
+        assert np.array_equal(
+            np.load(tmp_path / "phi_there.npy"),
+            np.load(tmp_path / "phi_here.npy"),
+        )

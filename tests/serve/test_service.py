@@ -1,0 +1,257 @@
+"""Unit tests for repro.serve.service (micro-batched scoring)."""
+
+import numpy as np
+import pytest
+
+from repro.boosting import GBClassifier, GBRegressor
+from repro.boosting.serialize import model_from_dict, model_to_dict
+from repro.explain import TreeShapExplainer
+from repro.serve import ModelRegistry, ScoreRequest, ScoringService
+
+
+def explanations_equal(a, b) -> bool:
+    """Field equality with NaN-aware raw-value comparison.
+
+    ``LocalExplanation`` is a frozen dataclass, but its ``values`` tuple
+    can carry NaN (missing features), and NaN != NaN under ``==``.
+    """
+    return (
+        a.prediction == b.prediction
+        and a.expected_value == b.expected_value
+        and a.features == b.features
+        and a.contributions == b.contributions
+        and np.array_equal(np.asarray(a.values), np.asarray(b.values), equal_nan=True)
+    )
+
+
+@pytest.fixture(scope="module")
+def regressor():
+    rng = np.random.default_rng(7)
+    X = rng.normal(size=(300, 6))
+    X[rng.random(X.shape) < 0.1] = np.nan
+    y = 2 * np.nan_to_num(X[:, 0]) - np.nan_to_num(X[:, 3]) + rng.normal(
+        0, 0.1, 300
+    )
+    return GBRegressor(n_estimators=20, max_depth=3).fit(X, y), X
+
+
+@pytest.fixture(scope="module")
+def classifier():
+    rng = np.random.default_rng(8)
+    X = rng.normal(size=(250, 5))
+    y = (X[:, 0] + 0.5 * X[:, 1] > 0).astype(int)
+    return GBClassifier(n_estimators=12, max_depth=2).fit(X, y), X
+
+
+class TestExactness:
+    def test_predictions_bitwise_equal_to_predict(self, regressor):
+        model, X = regressor
+        service = ScoringService(model)
+        results = service.score_rows(X[:50])
+        assert np.array_equal(
+            [r.prediction for r in results], model.predict(X[:50])
+        )
+
+    def test_explanations_bitwise_equal_to_batched_shap(self, regressor):
+        model, X = regressor
+        service = ScoringService(model, top_k=6)
+        results = service.score_rows(X[:30], explain=True)
+        phi = TreeShapExplainer(model).shap_values(X[:30])
+        for i, result in enumerate(results):
+            order = np.argsort(-np.abs(phi[i]))[:6]
+            assert result.explanation.contributions == tuple(
+                float(phi[i][j]) for j in order
+            )
+
+    def test_cached_results_identical_to_fresh(self, regressor):
+        model, X = regressor
+        service = ScoringService(model)
+        first = service.score_rows(X[:25], explain=True)
+        second = service.score_rows(X[:25], explain=True)
+        assert all(r.cached for r in second)
+        assert not any(r.cached for r in first)
+        for a, b in zip(first, second):
+            assert a.raw_score == b.raw_score
+            assert explanations_equal(a.explanation, b.explanation)
+
+    def test_mixed_explain_flags_one_batch(self, regressor):
+        model, X = regressor
+        service = ScoringService(model)
+        requests = [
+            ScoreRequest(row=X[i], explain=(i % 2 == 0)) for i in range(20)
+        ]
+        results = service.score_batch(requests)
+        preds = model.predict(X[:20])
+        for i, result in enumerate(results):
+            assert result.raw_score == preds[i]
+            assert (result.explanation is not None) == (i % 2 == 0)
+        # One predict sweep and one (10-row) explain sweep.
+        assert service.stats.predicted_rows == 20
+        assert service.stats.explained_rows == 10
+
+    def test_nan_rows_route_like_predict(self, regressor):
+        model, X = regressor
+        rows = X[:10].copy()
+        rows[:, 0] = np.nan
+        service = ScoringService(model)
+        results = service.score_rows(rows, explain=True)
+        assert np.array_equal(
+            [r.prediction for r in results], model.predict(rows)
+        )
+        # The service's raw scores satisfy the efficiency axiom.
+        explainer = TreeShapExplainer(model)
+        assert results[0].explanation is not None
+        assert results[0].raw_score - explainer.expected_value == pytest.approx(
+            float(explainer.shap_values(rows[:1]).sum()), abs=1e-9
+        )
+
+
+class TestCacheBehaviour:
+    def test_partial_hit_upgrades_entry(self, regressor):
+        model, X = regressor
+        service = ScoringService(model)
+        service.score_rows(X[:10])  # predictions cached, no SHAP yet
+        results = service.score_rows(X[:10], explain=True)
+        # Raw score came from cache but SHAP had to be computed.
+        assert not any(r.cached for r in results)
+        assert service.stats.predicted_rows == 10
+        assert service.stats.explained_rows == 10
+        again = service.score_rows(X[:10], explain=True)
+        assert all(r.cached for r in again)
+        assert service.stats.explained_rows == 10  # no recompute
+
+    def test_within_batch_duplicates_computed_once(self, regressor):
+        model, X = regressor
+        service = ScoringService(model)
+        requests = [ScoreRequest(row=X[0], explain=True) for _ in range(8)]
+        results = service.score_batch(requests)
+        assert service.stats.predicted_rows == 1
+        assert service.stats.explained_rows == 1
+        assert service.stats.batch_dedup_hits == 7
+        assert len({r.raw_score for r in results}) == 1
+
+    def test_equal_codes_share_cache_entries(self, regressor):
+        # Two raw rows quantizing to the same codes are indistinguishable
+        # to the model, so the second is a legitimate exact cache hit.
+        model, X = regressor
+        service = ScoringService(model)
+        row = X[0].copy()
+        service.score_rows(row[None, :])
+        nudged = row + 1e-12  # stays within the same bins
+        assert np.array_equal(model.bin(nudged[None, :]), model.bin(row[None, :]))
+        result = service.score_rows(nudged[None, :])[0]
+        assert result.cached
+        assert result.prediction == model.predict(row[None, :])[0]
+
+    def test_capacity_smaller_than_batch_still_exact(self, regressor):
+        model, X = regressor
+        service = ScoringService(model, cache_size=3)
+        results = service.score_rows(X[:40], explain=True)
+        assert np.array_equal(
+            [r.prediction for r in results], model.predict(X[:40])
+        )
+        assert service.cache_stats.size == 3
+
+    def test_zero_capacity_disables_cache(self, regressor):
+        model, X = regressor
+        service = ScoringService(model, cache_size=0)
+        service.score_rows(X[:5])
+        results = service.score_rows(X[:5])
+        assert not any(r.cached for r in results)
+        assert service.stats.predicted_rows == 10
+
+    def test_distinct_versions_do_not_collide(self, regressor):
+        model, X = regressor
+        a = ScoringService(model, version="a")
+        b = ScoringService(model, version="b")
+        key_a = (a.version, model.bin(X[:1]).tobytes())
+        key_b = (b.version, model.bin(X[:1]).tobytes())
+        assert key_a != key_b
+
+
+class TestClassifier:
+    def test_labels_and_probabilities(self, classifier):
+        model, X = classifier
+        service = ScoringService(model)
+        results = service.score_rows(X[:40])
+        assert np.array_equal(
+            [r.prediction for r in results],
+            model.predict(X[:40]).astype(np.float64),
+        )
+        assert np.array_equal(
+            [r.probability for r in results], model.predict_proba(X[:40])
+        )
+
+    def test_cached_probability_identical(self, classifier):
+        model, X = classifier
+        service = ScoringService(model)
+        first = service.score_rows(X[:10])
+        second = service.score_rows(X[:10])
+        assert [r.probability for r in first] == [
+            r.probability for r in second
+        ]
+        assert all(r.cached for r in second)
+
+
+class TestRegistryIntegration:
+    def test_from_registry_uses_ref_version_and_features(
+        self, regressor, tmp_path
+    ):
+        model, X = regressor
+        registry = ModelRegistry(tmp_path)
+        names = [f"col{i}" for i in range(6)]
+        version = registry.publish("sppb", model, metadata={"features": names})
+        service = ScoringService.from_registry(registry, "sppb")
+        assert service.version == f"sppb@{version.tag}"
+        assert service.feature_names == names
+        result = service.score_rows(X[:3], explain=True)[0]
+        assert set(result.explanation.features) <= set(names)
+
+    def test_reloaded_service_scores_identically(self, regressor, tmp_path):
+        model, X = regressor
+        registry = ModelRegistry(tmp_path)
+        registry.publish("sppb", model)
+        service = ScoringService.from_registry(registry, "sppb")
+        direct = ScoringService(model)
+        a = service.score_rows(X[:20], explain=True)
+        b = direct.score_rows(X[:20], explain=True)
+        for ra, rb in zip(a, b):
+            assert ra.raw_score == rb.raw_score
+            assert explanations_equal(ra.explanation, rb.explanation)
+
+
+class TestValidation:
+    def test_unfitted_model_rejected(self):
+        with pytest.raises(ValueError, match="not fitted"):
+            ScoringService(GBRegressor())
+
+    def test_model_without_mapper_rejected(self, regressor):
+        model, _ = regressor
+        doc = model_to_dict(model)
+        doc["format_version"] = 1
+        del doc["mapper"]
+        v1_model = model_from_dict(doc)
+        with pytest.raises(ValueError, match="BinMapper"):
+            ScoringService(v1_model)
+
+    def test_wrong_row_shape_rejected(self, regressor):
+        model, X = regressor
+        service = ScoringService(model)
+        with pytest.raises(ValueError, match="request 0"):
+            service.score_batch([ScoreRequest(row=X[0][:3])])
+
+    def test_wrong_feature_name_count_rejected(self, regressor):
+        model, _ = regressor
+        with pytest.raises(ValueError, match="feature names"):
+            ScoringService(model, feature_names=["only", "two"])
+
+    def test_empty_batch_is_noop(self, regressor):
+        model, _ = regressor
+        service = ScoringService(model)
+        assert service.score_batch([]) == []
+        assert service.stats.requests == 0
+
+    def test_non_2d_matrix_rejected(self, regressor):
+        model, X = regressor
+        with pytest.raises(ValueError, match="2-D"):
+            ScoringService(model).score_rows(X[0])

@@ -96,3 +96,37 @@ class TestTypeInference:
         path.write_text("a,b\n1,2\n3\n")
         t = read_csv(path)
         assert np.isnan(t["b"][1])
+
+
+class TestColumnProjection:
+    def test_reads_only_requested_columns_in_order(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b,c\n1,x,2.5\n3,y,4.5\n")
+        t = read_csv(path, columns=["c", "a"])
+        assert t.column_names == ("c", "a")
+        assert t["a"].tolist() == [1, 3]
+
+    def test_projection_values_match_full_read(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n1.5,x\n,y\n")
+        full = read_csv(path)
+        projected = read_csv(path, columns=["a"])
+        assert np.array_equal(projected["a"], full["a"], equal_nan=True)
+
+    def test_unknown_column_rejected(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a\n1\n")
+        with pytest.raises(KeyError, match="ghost"):
+            read_csv(path, columns=["a", "ghost"])
+
+    def test_projection_on_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("")
+        with pytest.raises(KeyError, match="a"):
+            read_csv(path, columns=["a"])
+
+    def test_projection_respects_explicit_types(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n1,2\n")
+        t = read_csv(path, types={"a": ColumnType.FLOAT}, columns=["a"])
+        assert t.column("a").ctype is ColumnType.FLOAT

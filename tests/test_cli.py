@@ -46,3 +46,58 @@ class TestExecution:
         written = tmp_path / "qa.txt"
         assert written.exists()
         assert "retention" in written.read_text()
+
+
+class TestErrorPaths:
+    def test_unknown_experiment_exits_with_usage(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig99"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_out_pointing_at_file_is_clean_error(self, tmp_path, capsys):
+        # A clean message and exit code, not a FileExistsError traceback.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        rc = main(["qa", "--small", "--seed", "11", "--out", str(blocker)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and str(blocker) in err
+
+    def test_out_under_file_is_clean_error(self, tmp_path, capsys):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        rc = main(["qa", "--small", "--out", str(blocker / "nested")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestServeDispatch:
+    def test_serve_routes_to_driver(self, capsys):
+        # `serve` is handled by the serving driver's own parser, which
+        # requires a subcommand: argparse exits with usage code 2.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve"])
+        assert excinfo.value.code == 2
+        assert "publish" in capsys.readouterr().err
+
+    def test_serve_help_mentions_subcommands(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "score" in out and "versions" in out
+
+    def test_serve_unknown_registry_is_clean_error(self, tmp_path, capsys):
+        rc = main(
+            [
+                "serve",
+                "versions",
+                "--registry",
+                str(tmp_path),
+                "--name",
+                "ghost",
+            ]
+        )
+        assert rc == 2
+        assert "no model named" in capsys.readouterr().err

@@ -1,0 +1,71 @@
+"""Tests for tools/install_wheel_shim.py (offline wheel shim installer)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SCRIPT = REPO_ROOT / "tools" / "install_wheel_shim.py"
+
+
+@pytest.fixture()
+def shim(monkeypatch, tmp_path):
+    """Load the installer module with site-packages pointed at tmp_path."""
+    spec = importlib.util.spec_from_file_location("install_wheel_shim", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    monkeypatch.setattr(module.site, "getsitepackages", lambda: [str(tmp_path)])
+    return module, tmp_path
+
+
+def _block_wheel_import(monkeypatch):
+    """Make ``import wheel`` raise ImportError inside the installer."""
+    monkeypatch.setitem(sys.modules, "wheel", None)
+
+
+class TestInstall:
+    def test_installs_package_and_dist_info(self, shim, monkeypatch, capsys):
+        module, target = shim
+        _block_wheel_import(monkeypatch)
+        assert module.main() == 0
+        assert (target / "wheel" / "__init__.py").is_file()
+        assert (target / "wheel" / "bdist_wheel.py").is_file()
+        info = target / module.DIST_INFO
+        assert (info / "METADATA").read_text().startswith("Metadata-Version")
+        entry_points = (info / "entry_points.txt").read_text()
+        assert "bdist_wheel = wheel.bdist_wheel:bdist_wheel" in entry_points
+        assert "installed into" in capsys.readouterr().out
+
+    def test_reinstall_is_idempotent(self, shim, monkeypatch):
+        module, target = shim
+        _block_wheel_import(monkeypatch)
+        assert module.main() == 0
+        marker = target / "wheel" / "stale.txt"
+        marker.write_text("left over from a previous install")
+        assert module.main() == 0
+        # The package dir is replaced wholesale, not merged.
+        assert not marker.exists()
+        assert (target / "wheel" / "__init__.py").is_file()
+
+    def test_real_wheel_package_left_alone(self, shim, monkeypatch, capsys):
+        module, target = shim
+
+        class FakeWheel:
+            __version__ = "0.45.0"  # no "shim" marker -> a real install
+
+        monkeypatch.setitem(sys.modules, "wheel", FakeWheel())
+        assert module.main() == 0
+        assert "nothing to do" in capsys.readouterr().out
+        assert not (target / "wheel").exists()
+
+    def test_shim_install_is_replaced(self, shim, monkeypatch):
+        module, target = shim
+
+        class ShimWheel:
+            __version__ = "0.45.0+shim"
+
+        monkeypatch.setitem(sys.modules, "wheel", ShimWheel())
+        assert module.main() == 0
+        assert (target / "wheel" / "__init__.py").is_file()
