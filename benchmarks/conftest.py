@@ -12,6 +12,8 @@ measurement, not statistical timing of a 30-second training grid.
 
 from __future__ import annotations
 
+import json
+import time
 from pathlib import Path
 
 import pytest
@@ -38,3 +40,57 @@ def record(results_dir: Path, name: str, text: str) -> None:
     path = results_dir / f"{name}.txt"
     path.write_text(text + "\n", encoding="utf-8")
     print(f"\n{text}\n[saved to {path}]")
+
+
+def record_bench(
+    results_dir: Path,
+    name: str,
+    seconds: float,
+    *,
+    speedup: float | None = None,
+    config: dict | None = None,
+) -> None:
+    """Update one machine-readable entry in ``results/bench.json``.
+
+    Every bench records (name, wall seconds, speedup, config) next to
+    its ``.txt`` render, keyed by name so re-runs update in place — the
+    file is the BENCH_* perf trajectory CI uploads with the artefacts.
+    """
+    path = results_dir / "bench.json"
+    entries: dict = {}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            loaded = None
+        if isinstance(loaded, dict):
+            entries = loaded
+    entries[name] = {
+        "name": name,
+        "seconds": round(float(seconds), 4),
+        "speedup": None if speedup is None else round(float(speedup), 2),
+        "config": config or {},
+    }
+    path.write_text(
+        json.dumps(entries, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"[bench.json] {name}: {seconds:.3f}s"
+          + (f" ({speedup:.1f}x)" if speedup is not None else ""))
+
+
+def timed(fn):
+    """Wrap a callable so each invocation's wall time is collected.
+
+    Works identically under statistical timing and
+    ``--benchmark-disable``; read ``wrapped.times`` (seconds per call)
+    afterwards and record e.g. ``min(wrapped.times)``.
+    """
+
+    def wrapped(*args, **kwargs):
+        start = time.perf_counter()
+        out = fn(*args, **kwargs)
+        wrapped.times.append(time.perf_counter() - start)
+        return out
+
+    wrapped.times = []
+    return wrapped

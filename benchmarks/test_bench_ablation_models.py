@@ -5,16 +5,21 @@ the GA2M-style EBM and the linear baseline on every outcome, and every
 real model clears the dummy floor.
 """
 
-from benchmarks.conftest import record
+from benchmarks.conftest import record, record_bench, timed
 from repro.experiments import run_model_ablation
 from repro.experiments.ablation_models import render_model_ablation
 
 
 def test_model_family_ablation(benchmark, ctx, results_dir):
-    grid = benchmark.pedantic(
-        run_model_ablation, args=(ctx,), rounds=1, iterations=1
-    )
+    runner = timed(run_model_ablation)
+    grid = benchmark.pedantic(runner, args=(ctx,), rounds=1, iterations=1)
     record(results_dir, "ablation_models", render_model_ablation(grid))
+    record_bench(
+        results_dir,
+        "ablation_models",
+        min(runner.times),
+        config={"seed": ctx.seed, "models": ["gbm", "ebm", "linear", "dummy"]},
+    )
 
     for outcome, row in grid.items():
         key = "accuracy" if outcome == "falls" else "one_minus_mape"

@@ -8,6 +8,7 @@ TreeSHAP attribution throughput.
 import numpy as np
 import pytest
 
+from benchmarks.conftest import record_bench, timed
 from repro.boosting import GBRegressor
 from repro.cohort import generate_cohort
 from repro.explain import TreeShapExplainer
@@ -35,58 +36,68 @@ def fitted(train_data):
     return model.fit(X, y), X
 
 
-def test_bench_cohort_generation_small(benchmark):
-    cohort = benchmark(lambda: generate_cohort(small_config()))
+def test_bench_cohort_generation_small(benchmark, results_dir):
+    fn = timed(lambda: generate_cohort(small_config()))
+    cohort = benchmark(fn)
     assert cohort.patients.num_rows == 30
+    record_bench(results_dir, "engine_cohort_small", min(fn.times),
+                 config={"patients": 30})
 
 
-def test_bench_sample_building_small(benchmark):
+def test_bench_sample_building_small(benchmark, results_dir):
     cohort = generate_cohort(small_config())
-    samples = benchmark(lambda: build_dd_samples(cohort, "qol", with_fi=True))
+    fn = timed(lambda: build_dd_samples(cohort, "qol", with_fi=True))
+    samples = benchmark(fn)
     assert samples.n_features == 60
+    record_bench(results_dir, "engine_sample_build_small", min(fn.times),
+                 config={"patients": 30, "outcome": "qol"})
 
 
-def test_bench_gbm_fit_paper_scale(benchmark, train_data):
+def test_bench_gbm_fit_paper_scale(benchmark, train_data, results_dir):
     X, y = train_data
-    model = benchmark.pedantic(
-        lambda: GBRegressor(n_estimators=100, max_depth=4).fit(X, y),
-        rounds=2,
-        iterations=1,
-    )
+    fn = timed(lambda: GBRegressor(n_estimators=100, max_depth=4).fit(X, y))
+    model = benchmark.pedantic(fn, rounds=2, iterations=1)
     assert model.ensemble_.n_trees == 100
+    record_bench(results_dir, "engine_gbm_fit", min(fn.times),
+                 config={"rows": 2250, "features": 60, "trees": 100})
 
 
-def test_bench_gbm_fit_with_eval_set(benchmark, train_data):
+def test_bench_gbm_fit_with_eval_set(benchmark, train_data, results_dir):
     # Early-stopping fits re-score the eval set every round; since the
     # hot-loop overhaul that path runs on pre-binned codes
     # (Tree.predict_binned) instead of NaN-checked float traversal.
     X, y = train_data
     X_tr, y_tr = X[:1800], y[:1800]
     eval_set = (X[1800:], y[1800:])
-    model = benchmark.pedantic(
+    fn = timed(
         lambda: GBRegressor(
             n_estimators=100, max_depth=4, early_stopping_rounds=0
-        ).fit(X_tr, y_tr, eval_set=eval_set),
-        rounds=2,
-        iterations=1,
+        ).fit(X_tr, y_tr, eval_set=eval_set)
     )
+    model = benchmark.pedantic(fn, rounds=2, iterations=1)
     assert len(model.eval_history_) == 100
+    record_bench(results_dir, "engine_gbm_fit_eval_set", min(fn.times),
+                 config={"rows": 1800, "eval_rows": 450, "trees": 100})
 
 
-def test_bench_gbm_predict(benchmark, fitted):
+def test_bench_gbm_predict(benchmark, fitted, results_dir):
     model, X = fitted
-    preds = benchmark(lambda: model.predict(X))
+    fn = timed(lambda: model.predict(X))
+    preds = benchmark(fn)
     assert np.isfinite(preds).all()
+    record_bench(results_dir, "engine_gbm_predict", min(fn.times),
+                 config={"rows": int(X.shape[0])})
 
 
-def test_bench_treeshap_throughput(benchmark, fitted):
+def test_bench_treeshap_throughput(benchmark, fitted, results_dir):
     model, X = fitted
     explainer = TreeShapExplainer(model)
     batch = X[:50]
 
-    shap = benchmark.pedantic(
-        lambda: explainer.shap_values(batch), rounds=2, iterations=1
-    )
+    fn = timed(lambda: explainer.shap_values(batch))
+    shap = benchmark.pedantic(fn, rounds=2, iterations=1)
     # Efficiency axiom as the correctness anchor of the timing run.
     preds = model.predict(batch)
     assert np.allclose(shap.sum(axis=1) + explainer.expected_value, preds, atol=1e-8)
+    record_bench(results_dir, "engine_treeshap", min(fn.times),
+                 config={"rows": 50, "trees": 100})

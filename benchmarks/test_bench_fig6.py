@@ -9,15 +9,22 @@ import time
 
 import numpy as np
 
-from benchmarks.conftest import record
+from benchmarks.conftest import record, record_bench, timed
 from repro.experiments import run_fig6
 from repro.experiments.fig6_local_explanations import render_fig6
 from repro.explain import ReferenceTreeShapExplainer, TreeShapExplainer
 
 
 def test_fig6_local_explanations(benchmark, ctx, results_dir):
-    pair = benchmark.pedantic(run_fig6, args=(ctx,), rounds=1, iterations=1)
+    runner = timed(run_fig6)
+    pair = benchmark.pedantic(runner, args=(ctx,), rounds=1, iterations=1)
     record(results_dir, "fig6_local_explanations", render_fig6(pair))
+    record_bench(
+        results_dir,
+        "fig6_local_explanations",
+        min(runner.times),
+        config={"seed": ctx.seed},
+    )
 
     assert pair.patient_a != pair.patient_b
     assert abs(pair.prediction_a - pair.prediction_b) <= 0.25
@@ -66,6 +73,17 @@ def test_fig6_shap_engine_speedup(ctx, results_dir):
             f"  recursive: {t_reference:.3f}s for {n_ref} rows\n"
             f"  per-row speedup: {speedup:.1f}x (target >= 10x)"
         ),
+    )
+    record_bench(
+        results_dir,
+        "fig6_shap_engine_speedup",
+        t_batched,
+        speedup=speedup,
+        config={
+            "trees": len(result.model.ensemble_.trees),
+            "rows": int(X.shape[0]),
+            "features": int(X.shape[1]),
+        },
     )
     assert speedup >= 10.0
 

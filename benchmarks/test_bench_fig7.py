@@ -9,7 +9,7 @@ import time
 
 import numpy as np
 
-from benchmarks.conftest import record
+from benchmarks.conftest import record, record_bench, timed
 from repro.experiments import run_fig7
 from repro.experiments.fig7_global_dependence import render_fig7
 from repro.explain import (
@@ -19,8 +19,15 @@ from repro.explain import (
 
 
 def test_fig7_global_dependence(benchmark, ctx, results_dir):
-    curve = benchmark.pedantic(run_fig7, args=(ctx,), rounds=1, iterations=1)
+    runner = timed(run_fig7)
+    curve = benchmark.pedantic(runner, args=(ctx,), rounds=1, iterations=1)
     record(results_dir, "fig7_global_dependence", render_fig7(curve))
+    record_bench(
+        results_dir,
+        "fig7_global_dependence",
+        min(runner.times),
+        config={"seed": ctx.seed},
+    )
 
     assert curve.feature.startswith("pro_")
     # A data-driven threshold emerged.
@@ -74,5 +81,16 @@ def test_fig7_interaction_engine_speedup(ctx, results_dir):
             f"  recursive: {t_reference:.3f}s for {n_ref} matrices\n"
             f"  per-row speedup: {speedup:.1f}x (target >= 10x)"
         ),
+    )
+    record_bench(
+        results_dir,
+        "fig7_interaction_engine_speedup",
+        t_batched,
+        speedup=speedup,
+        config={
+            "trees": len(result.model.ensemble_.trees),
+            "rows": int(X.shape[0]),
+            "features": int(X.shape[1]),
+        },
     )
     assert speedup >= 10.0

@@ -17,7 +17,7 @@ import time
 
 import numpy as np
 
-from benchmarks.conftest import record
+from benchmarks.conftest import record, record_bench
 from repro.explain import TreeShapExplainer, local_reports
 from repro.serve import ModelRegistry, ScoreRequest, ScoringService
 
@@ -111,6 +111,18 @@ def test_serve_repeated_cohort_throughput(ctx, results_dir, tmp_path):
             f"  per-request speedup: {speedup:.1f}x (target >= 5x)"
         ),
     )
+    record_bench(
+        results_dir,
+        "serve_throughput",
+        t_service,
+        speedup=speedup,
+        config={
+            "requests": n,
+            "distinct_rows": n_naive,
+            "revisits": REVISITS,
+            "micro_batch": MICRO_BATCH,
+        },
+    )
     assert speedup >= 5.0
 
 
@@ -139,6 +151,13 @@ def test_serve_cache_hot_latency(ctx, results_dir, tmp_path):
             f"hot {t_hot * 1e3:.1f} ms "
             f"({rows.shape[0] / max(t_hot, 1e-9):.0f} req/s hot)"
         ),
+    )
+    record_bench(
+        results_dir,
+        "serve_cache_hot",
+        t_hot,
+        speedup=cold / max(t_hot, 1e-9),
+        config={"rows": int(rows.shape[0])},
     )
     # The hot pass must be dramatically cheaper than the cold pass.
     assert t_hot < cold

@@ -34,7 +34,7 @@ def main() -> None:
 
     explainer = TreeShapExplainer(result.model)
     test_idx = result.test_idx
-    predictions = result.model.predict(samples.X[test_idx])
+    predictions = result.test_predictions()  # binned fast path, exact
 
     # The three lowest-predicted patients need attention first.
     for pos in np.argsort(predictions)[:3]:

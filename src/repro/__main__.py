@@ -92,6 +92,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="also write each rendered artefact to DIR/<exp>.txt",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the experiment grid (default: the "
+        "REPRO_JOBS environment variable, else serial; 0 or -1 = one "
+        "per CPU).  Results are identical on every backend.",
+    )
     return parser
 
 
@@ -113,6 +122,7 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         n_folds=2 if args.small else 3,
         cohort_config=_small_config(args.seed) if args.small else None,
+        n_jobs=args.jobs,
     )
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

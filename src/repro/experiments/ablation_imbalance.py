@@ -11,50 +11,93 @@ fallers.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from functools import partial
+
 from repro.boosting import GBClassifier, GBConfig
 from repro.experiments.context import ExperimentContext, default_context
-from repro.learning.framework import run_protocol
+from repro.learning.framework import (
+    ProtocolPlan,
+    run_protocol,
+    strip_samples,
+)
+from repro.parallel import pack_samples, parallel_map, unpack_samples
 from repro.pipeline.samples import SampleSet
 
 __all__ = ["run_imbalance_ablation", "render_imbalance_ablation"]
 
 
-def _weighted_factory(pos_weight: float):
-    def factory(samples: SampleSet) -> GBClassifier:
-        return GBClassifier(
-            GBConfig(
-                n_estimators=400,
-                learning_rate=0.06,
-                max_depth=4,
-                min_child_weight=3.0,
-                subsample=0.9,
-                colsample_bytree=0.85,
-                early_stopping_rounds=30,
-                random_state=7,
-                scale_pos_weight=pos_weight,
-            )
+def _weighted_model(pos_weight: float, samples: SampleSet) -> GBClassifier:
+    return GBClassifier(
+        GBConfig(
+            n_estimators=400,
+            learning_rate=0.06,
+            max_depth=4,
+            min_child_weight=3.0,
+            subsample=0.9,
+            colsample_bytree=0.85,
+            early_stopping_rounds=30,
+            random_state=7,
+            scale_pos_weight=pos_weight,
         )
+    )
 
-    return factory
+
+def _weighted_factory(pos_weight: float):
+    # partial of a module-level function: picklable, so the arms can run
+    # on the process backend (a closure could not leave the parent).
+    return partial(_weighted_model, pos_weight)
+
+
+@dataclass(frozen=True)
+class _ArmUnit:
+    handle: object
+    plan: ProtocolPlan
+    pos_weight: float
+    n_folds: int
+    seed: int
+
+
+def _run_arm(unit: _ArmUnit, shared: dict) -> dict:
+    samples = unpack_samples(unit.handle, shared)
+    result = run_protocol(
+        samples,
+        model_factory=_weighted_factory(unit.pos_weight),
+        n_folds=unit.n_folds,
+        seed=unit.seed,
+        plan=unit.plan,
+        n_jobs=1,
+    )
+    return strip_samples(result).test_report.as_dict()
 
 
 def run_imbalance_ablation(
     context: ExperimentContext | None = None,
     pos_weights: tuple[float, ...] = (1.0, 2.0, 4.0, 8.0),
 ) -> dict[float, dict]:
-    """Return ``{pos_weight: falls classification metrics}``."""
+    """Return ``{pos_weight: falls classification metrics}``.
+
+    The weight arms share one sample set, one protocol plan and — on the
+    process backend — one shared-memory design matrix; each arm is an
+    independent unit with identical results on every backend.
+    """
     ctx = context or default_context()
     samples = ctx.samples("falls", "dd", with_fi=True)
-    out: dict[float, dict] = {}
-    for weight in pos_weights:
-        result = run_protocol(
-            samples,
-            model_factory=_weighted_factory(weight),
+    plan = ctx.plan("falls")
+    shared: dict = {}
+    handle = pack_samples(samples, shared, "falls-imbalance")
+    units = [
+        _ArmUnit(
+            handle=handle,
+            plan=plan,
+            pos_weight=weight,
             n_folds=ctx.n_folds,
             seed=ctx.seed,
         )
-        out[weight] = result.test_report.as_dict()
-    return out
+        for weight in pos_weights
+    ]
+    reports = parallel_map(_run_arm, units, n_jobs=ctx.n_jobs, shared=shared)
+    return dict(zip(pos_weights, reports))
 
 
 def render_imbalance_ablation(result: dict[float, dict]) -> str:

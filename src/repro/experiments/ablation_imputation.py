@@ -23,6 +23,9 @@ def run_imputation_ablation(
 ) -> dict[int, dict[str, float]]:
     """Return ``{max_gap: {n_samples, one_minus_mape or accuracy}}``."""
     ctx = context or default_context()
+    # Every interpolation arm is an independent protocol run; fan the
+    # missing ones out before the serial memo-hit loop below.
+    ctx.prefetch([(outcome, "dd", False, max_gap) for max_gap in max_gaps])
     out: dict[int, dict[str, float]] = {}
     for max_gap in max_gaps:
         result = ctx.result(outcome, "dd", with_fi=False, max_gap=max_gap)

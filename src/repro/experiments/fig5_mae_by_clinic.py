@@ -66,6 +66,7 @@ def run_fig5(
     of the pooled DD model (patients without test samples are skipped).
     """
     ctx = context or default_context()
+    ctx.prefetch([(outcome, "dd", with_fi) for outcome in ("qol", "sppb")])
     out: dict[str, dict[str, BoxStats]] = {}
     for outcome in ("qol", "sppb"):
         result = ctx.result(outcome, "dd", with_fi)

@@ -9,7 +9,8 @@ metrics, which the paper attributes to its size.
 from __future__ import annotations
 
 from repro.experiments.context import ExperimentContext, default_context
-from repro.learning.stratify import per_clinic_results
+from repro.learning.stratify import build_clinic_units, run_clinic_unit
+from repro.parallel import parallel_map
 
 __all__ = ["run_table1", "render_table1"]
 
@@ -20,24 +21,40 @@ def run_table1(
 ) -> dict[str, dict]:
     """Return the Table 1 grid.
 
+    All (outcome, kind, with_fi, clinic) models are independent units,
+    fanned out in one flat pass through the executor (serial under the
+    default backend, bitwise-identical either way).
+
     Returns
     -------
     dict
         ``{clinic: {(outcome, kind, with_fi): metrics_dict}}``.
     """
     ctx = context or default_context()
-    grid: dict[str, dict] = {}
+    shared: dict = {}
+    units: list = []
+    labels: list[tuple[str, tuple[str, str, bool]]] = []
     for outcome in ("qol", "sppb", "falls"):
         for kind in kinds:
             for with_fi in (False, True):
                 samples = ctx.samples(outcome, kind, with_fi)
-                per_clinic = per_clinic_results(
-                    samples, n_folds=ctx.n_folds, seed=ctx.seed
+                clinics, _, config_units = build_clinic_units(
+                    samples,
+                    shared,
+                    ctx.n_folds,
+                    ctx.seed,
+                    prefix=f"{outcome}:{kind}:{with_fi}:",
                 )
-                for clinic, result in per_clinic.items():
-                    grid.setdefault(clinic, {})[(outcome, kind, with_fi)] = (
-                        result.test_report.as_dict()
-                    )
+                units.extend(config_units)
+                labels.extend(
+                    (clinic, (outcome, kind, with_fi)) for clinic in clinics
+                )
+    results = parallel_map(
+        run_clinic_unit, units, n_jobs=ctx.n_jobs, shared=shared
+    )
+    grid: dict[str, dict] = {}
+    for (clinic, config), result in zip(labels, results):
+        grid.setdefault(clinic, {})[config] = result.test_report.as_dict()
     return grid
 
 

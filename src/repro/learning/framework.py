@@ -13,11 +13,29 @@ For a given sample set the protocol:
 The same protocol serves both arms: DD models see the raw 59/60-column
 matrix, KD models see the 1/2-column ICI(+FI) matrix, so any performance
 difference is attributable to the representation.
+
+Execution model
+---------------
+All index splits are computed once up front into a
+:class:`ProtocolPlan` — a pure function of the sample-set geometry, so
+sample sets that share geometry (the DD and KD arms of one outcome)
+can share one plan.  The K + 1 model fits of a run are then independent
+*units* (each unit's seed lives in its model config, nothing flows
+between fits), dispatched through
+:func:`repro.parallel.parallel_map`: serial by default, across a
+process pool under ``REPRO_JOBS``/``n_jobs``, with bitwise-identical
+results either way.
+
+Predictions inside the protocol (CV folds, held-out test,
+:meth:`EvaluationResult.test_predictions`) route through the fitted
+``mapper_``/``predict_binned`` fast path when the model exposes it —
+exact per the PR 2/3 bin-space equivalence guarantees — and fall back
+to ``predict`` for baseline models.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Protocol
 
 import numpy as np
@@ -30,13 +48,16 @@ from repro.learning.metrics import (
     regression_report,
 )
 from repro.learning.split import KFoldSplitter, train_test_split
+from repro.parallel import pack_samples, parallel_map, unpack_samples
 from repro.pipeline.samples import SampleSet
 
 __all__ = [
     "ModelFactory",
     "default_model_factory",
+    "ProtocolPlan",
     "EvaluationResult",
     "run_protocol",
+    "fast_predict",
 ]
 
 
@@ -68,6 +89,109 @@ def default_model_factory(samples: SampleSet):
         random_state=7,
     )
     return GBClassifier(config) if is_classification else GBRegressor(config)
+
+
+def fast_predict(model, X: np.ndarray) -> np.ndarray:
+    """Predict via the retained bin mapper when the model has one.
+
+    ``predict_binned(bin(X))`` walks integer bin codes instead of
+    NaN-checked float thresholds and is bitwise-equal to ``predict(X)``
+    (the PR 2/3 equivalence guarantee); models without a fitted mapper
+    (baselines, format-v1 restores) use plain ``predict``.
+    """
+    if getattr(model, "mapper_", None) is not None and hasattr(
+        model, "predict_binned"
+    ):
+        return model.predict_binned(model.bin(X))
+    return model.predict(X)
+
+
+@dataclass(frozen=True)
+class ProtocolPlan:
+    """Every index split of one protocol run, computed once.
+
+    A plan depends only on the sample-set *geometry* — ``(n_samples,
+    labels used for stratification, n_folds, fractions, seed)`` — not on
+    the feature matrix, so the DD/KD/±FI arms of one outcome share a
+    single plan instead of re-deriving identical splits per fit
+    (:class:`repro.experiments.ExperimentContext` caches them per
+    outcome).
+
+    Attributes
+    ----------
+    train_idx / test_idx:
+        The 80/20 outer split (absolute sample indices).
+    folds:
+        K ``(fold_train, fold_val)`` pairs of positions *into
+        train_idx*, as yielded by :class:`KFoldSplitter`.
+    inner_train / inner_val:
+        The final model's early-stopping carve-out, also positions into
+        ``train_idx``.
+    """
+
+    n_samples: int
+    n_folds: int
+    seed: int
+    stratified: bool
+    test_fraction: float
+    val_fraction: float
+    train_idx: np.ndarray
+    test_idx: np.ndarray
+    folds: tuple[tuple[np.ndarray, np.ndarray], ...]
+    inner_train: np.ndarray
+    inner_val: np.ndarray
+
+    @classmethod
+    def build(
+        cls,
+        n_samples: int,
+        y: np.ndarray | None = None,
+        stratified: bool = False,
+        n_folds: int = 5,
+        test_fraction: float = 0.2,
+        val_fraction: float = 0.15,
+        seed: int = 0,
+    ) -> "ProtocolPlan":
+        """Compute the splits (same derivation chain as the original
+        inline code: outer split at ``seed``, folds at ``seed + 1``,
+        carve-out at ``seed + 2``)."""
+        if stratified and y is None:
+            raise ValueError("stratified plans need labels")
+        stratify = y if stratified else None
+        train_idx, test_idx = train_test_split(
+            n_samples,
+            test_fraction=test_fraction,
+            seed=seed,
+            stratify=stratify,
+        )
+        y_train = y[train_idx] if y is not None else None
+        splitter = KFoldSplitter(
+            n_folds=n_folds, seed=seed + 1, stratified=stratified
+        )
+        folds = tuple(
+            splitter.split(
+                len(train_idx), labels=y_train if stratified else None
+            )
+        )
+        inner_train, inner_val = train_test_split(
+            len(train_idx),
+            test_fraction=val_fraction,
+            seed=seed + 2,
+            stratify=y_train if stratified else None,
+        )
+        return cls(
+            n_samples=n_samples,
+            n_folds=n_folds,
+            seed=seed,
+            stratified=stratified,
+            test_fraction=test_fraction,
+            val_fraction=val_fraction,
+            train_idx=train_idx,
+            test_idx=test_idx,
+            folds=folds,
+            inner_train=inner_train,
+            inner_val=inner_val,
+        )
 
 
 @dataclass
@@ -105,9 +229,52 @@ class EvaluationResult:
         return self.test_report.accuracy
 
     def test_predictions(self) -> np.ndarray:
-        """Model predictions on the held-out samples."""
-        X_test = self.samples.X[self.test_idx]
-        return self.model.predict(X_test)
+        """Model predictions on the held-out samples.
+
+        Routed through the bin-space fast path (see
+        :func:`fast_predict`) and cached — repeated calls from the
+        experiment runners bin the test matrix once, not once per call.
+        """
+        cached = getattr(self, "_test_predictions", None)
+        if cached is None:
+            cached = fast_predict(self.model, self.samples.X[self.test_idx])
+            self._test_predictions = cached
+        return cached
+
+
+@dataclass(frozen=True)
+class _FitUnit:
+    """One independent model fit: train on ``fit_idx`` with an eval set
+    on ``val_idx``, then score on ``score_idx`` (absolute indices)."""
+
+    handle: object
+    factory: Callable[[SampleSet], object] | None
+    fit_idx: np.ndarray
+    val_idx: np.ndarray
+    score_idx: np.ndarray
+    keep_model: bool
+
+
+def _run_fit_unit(unit: _FitUnit, shared: dict) -> tuple:
+    """Execute one fit unit (runs in a worker or inline)."""
+    samples = unpack_samples(unit.handle, shared)
+    factory = unit.factory or default_model_factory
+    X, y = samples.X, samples.y
+    model = factory(samples)
+    model.fit(
+        X[unit.fit_idx],
+        y[unit.fit_idx],
+        eval_set=(X[unit.val_idx], y[unit.val_idx]),
+    )
+    pred = fast_predict(model, X[unit.score_idx])
+    truth = y[unit.score_idx]
+    if samples.outcome == "falls":
+        report: RegressionReport | ClassificationReport = (
+            classification_report(truth, pred)
+        )
+    else:
+        report = regression_report(truth, pred)
+    return report, (model if unit.keep_model else None)
 
 
 def run_protocol(
@@ -117,6 +284,8 @@ def run_protocol(
     test_fraction: float = 0.2,
     seed: int = 0,
     val_fraction: float = 0.15,
+    plan: ProtocolPlan | None = None,
+    n_jobs: int | None = None,
 ) -> EvaluationResult:
     """Run the full Fig. 3 protocol on one sample set.
 
@@ -128,66 +297,76 @@ def run_protocol(
     val_fraction:
         Fraction of the training side carved out as the early-stopping
         validation set for the final model.
+    plan:
+        Precomputed splits; derived from the arguments when omitted.
+        Passing a plan makes ``n_folds``/``test_fraction``/
+        ``val_fraction``/``seed`` irrelevant.
+    n_jobs:
+        Fan the K + 1 fits out across a process pool
+        (:func:`repro.parallel.parallel_map`); results are
+        bitwise-identical to the serial run.  ``None`` honours
+        ``REPRO_JOBS``.
     """
-    factory = model_factory or default_model_factory
     is_classification = samples.outcome == "falls"
-    y = samples.y
-
-    stratify = y if is_classification else None
-    train_idx, test_idx = train_test_split(
-        samples.n_samples,
-        test_fraction=test_fraction,
-        seed=seed,
-        stratify=stratify,
-    )
-    X_train, y_train = samples.X[train_idx], y[train_idx]
-    X_test, y_test = samples.X[test_idx], y[test_idx]
-
-    splitter = KFoldSplitter(
-        n_folds=n_folds, seed=seed + 1, stratified=is_classification
-    )
-    cv_reports = []
-    for fold_train, fold_val in splitter.split(
-        len(train_idx), labels=y_train if is_classification else None
-    ):
-        model = factory(samples)
-        model.fit(
-            X_train[fold_train],
-            y_train[fold_train],
-            eval_set=(X_train[fold_val], y_train[fold_val]),
+    if plan is None:
+        plan = ProtocolPlan.build(
+            samples.n_samples,
+            samples.y,
+            stratified=is_classification,
+            n_folds=n_folds,
+            test_fraction=test_fraction,
+            val_fraction=val_fraction,
+            seed=seed,
         )
-        pred = model.predict(X_train[fold_val])
-        if is_classification:
-            cv_reports.append(classification_report(y_train[fold_val], pred))
-        else:
-            cv_reports.append(regression_report(y_train[fold_val], pred))
-
-    # Final model: internal validation carve-out for early stopping.
-    inner_train, inner_val = train_test_split(
-        len(train_idx),
-        test_fraction=val_fraction,
-        seed=seed + 2,
-        stratify=y_train if is_classification else None,
-    )
-    final_model = factory(samples)
-    final_model.fit(
-        X_train[inner_train],
-        y_train[inner_train],
-        eval_set=(X_train[inner_val], y_train[inner_val]),
-    )
-    pred = final_model.predict(X_test)
-    if is_classification:
-        test_report: RegressionReport | ClassificationReport = (
-            classification_report(y_test, pred)
+    elif plan.n_samples != samples.n_samples:
+        raise ValueError(
+            f"plan was built for {plan.n_samples} samples, "
+            f"sample set has {samples.n_samples}"
         )
-    else:
-        test_report = regression_report(y_test, pred)
 
+    shared: dict[str, np.ndarray] = {}
+    handle = pack_samples(samples, shared, "protocol")
+    train_idx = plan.train_idx
+    units = [
+        _FitUnit(
+            handle=handle,
+            factory=model_factory,
+            fit_idx=train_idx[fold_train],
+            val_idx=train_idx[fold_val],
+            score_idx=train_idx[fold_val],
+            keep_model=False,
+        )
+        for fold_train, fold_val in plan.folds
+    ]
+    units.append(
+        _FitUnit(
+            handle=handle,
+            factory=model_factory,
+            fit_idx=train_idx[plan.inner_train],
+            val_idx=train_idx[plan.inner_val],
+            score_idx=plan.test_idx,
+            keep_model=True,
+        )
+    )
+    outcomes = parallel_map(_run_fit_unit, units, n_jobs=n_jobs, shared=shared)
+
+    cv_reports = [report for report, _ in outcomes[:-1]]
+    test_report, final_model = outcomes[-1]
     return EvaluationResult(
         samples=samples,
         model=final_model,
         test_report=test_report,
         cv_reports=cv_reports,
-        train_idx=train_idx,
-        test_idx=test_idx,
+        train_idx=plan.train_idx,
+        test_idx=plan.test_idx,
     )
+
+
+def strip_samples(result: EvaluationResult) -> EvaluationResult:
+    """Detach the sample set before shipping a result across processes.
+
+    Worker processes hold ``X`` as a shared-memory view; pickling it
+    back to the parent would copy the whole matrix per unit.  The parent
+    re-attaches its own :class:`SampleSet` on merge.
+    """
+    return replace(result, samples=None)

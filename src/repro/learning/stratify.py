@@ -4,18 +4,108 @@
 between the clinics, we also created one separate model for each."
 The small Hong Kong cohort (33 patients) is expected to produce unstable
 metrics — the anomalies the paper remarks on.
+
+Each clinic's protocol run is an independent unit: the parent filters
+the subset and derives the (size-reduced) fold count, workers run the
+protocol on shared-memory matrices, and results merge back in clinic
+order — bitwise-identical to the serial loop.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, replace
 from typing import Callable
 
 import numpy as np
 
-from repro.learning.framework import EvaluationResult, run_protocol
+from repro.learning.framework import (
+    EvaluationResult,
+    run_protocol,
+    strip_samples,
+)
+from repro.parallel import pack_samples, parallel_map, unpack_samples
 from repro.pipeline.samples import SampleSet
 
-__all__ = ["per_clinic_results"]
+__all__ = [
+    "per_clinic_results",
+    "clinic_fold_count",
+    "build_clinic_units",
+    "run_clinic_unit",
+]
+
+
+def clinic_fold_count(subset: SampleSet, n_folds: int) -> int:
+    """Reduce the fold count for small clinic subsets (never below 2).
+
+    Stratified folds need >= n_folds members of each class, and tiny
+    subsets (Hong Kong in the paper's setting) cannot sustain the
+    requested K.
+    """
+    folds = n_folds
+    if subset.outcome == "falls":
+        _, class_counts = np.unique(subset.y, return_counts=True)
+        folds = int(min(folds, class_counts.min()))
+    return max(2, min(folds, subset.n_samples // 10 or 2))
+
+
+@dataclass(frozen=True)
+class _ClinicUnit:
+    handle: object
+    factory: Callable[[SampleSet], object] | None
+    n_folds: int
+    seed: int
+
+
+def run_clinic_unit(unit: _ClinicUnit, shared: dict) -> EvaluationResult:
+    """Execute one clinic's protocol run (executor unit function)."""
+    subset = unpack_samples(unit.handle, shared)
+    result = run_protocol(
+        subset,
+        model_factory=unit.factory,
+        n_folds=unit.n_folds,
+        seed=unit.seed,
+    )
+    return strip_samples(result)
+
+
+def build_clinic_units(
+    samples: SampleSet,
+    shared: dict,
+    n_folds: int,
+    seed: int,
+    model_factory: Callable[[SampleSet], object] | None = None,
+    clinics: list[str] | None = None,
+    prefix: str = "",
+) -> tuple[list[str], list[SampleSet], list[_ClinicUnit]]:
+    """Build one executor unit per clinic of a sample set.
+
+    The single source of the per-clinic protocol setup — clinic
+    enumeration (largest first), subset filtering, fold-count reduction,
+    shared-array packing — used by both :func:`per_clinic_results` and
+    the Table 1 runner so the two can never drift apart.
+
+    Returns ``(clinics, subsets, units)`` aligned by position; run the
+    units with :func:`run_clinic_unit` via
+    :func:`repro.parallel.parallel_map` and re-attach each subset to its
+    (sample-stripped) result.
+    """
+    if clinics is None:
+        names, counts = np.unique(samples.clinics.astype(str), return_counts=True)
+        clinics = [str(n) for n in names[np.argsort(-counts)]]
+    subsets: list[SampleSet] = []
+    units: list[_ClinicUnit] = []
+    for clinic in clinics:
+        subset = samples.filter_clinic(clinic)
+        subsets.append(subset)
+        units.append(
+            _ClinicUnit(
+                handle=pack_samples(subset, shared, f"{prefix}{clinic}"),
+                factory=model_factory,
+                n_folds=clinic_fold_count(subset, n_folds),
+                seed=seed,
+            )
+        )
+    return clinics, subsets, units
 
 
 def per_clinic_results(
@@ -24,6 +114,7 @@ def per_clinic_results(
     model_factory: Callable[[SampleSet], object] | None = None,
     n_folds: int = 5,
     seed: int = 0,
+    n_jobs: int | None = None,
 ) -> dict[str, EvaluationResult]:
     """Run the Fig. 3 protocol separately on each clinic's samples.
 
@@ -32,30 +123,22 @@ def per_clinic_results(
     clinics:
         Clinic names to evaluate; defaults to every clinic present in
         the sample set, sorted by size (largest first).
-
-    Notes
-    -----
-    K-fold counts are reduced automatically when a clinic is too small
-    for the requested ``n_folds`` (Hong Kong in the paper's setting) —
-    but never below 2.
+    n_jobs:
+        Fan the clinics out across a process pool; ``None`` honours
+        ``REPRO_JOBS``.  Results are bitwise-identical to serial.
     """
-    if clinics is None:
-        names, counts = np.unique(samples.clinics.astype(str), return_counts=True)
-        clinics = [str(n) for n in names[np.argsort(-counts)]]
-
-    results: dict[str, EvaluationResult] = {}
-    for clinic in clinics:
-        subset = samples.filter_clinic(clinic)
-        folds = n_folds
-        # Stratified folds need >= n_folds members of each class.
-        if subset.outcome == "falls":
-            _, class_counts = np.unique(subset.y, return_counts=True)
-            folds = int(min(folds, class_counts.min()))
-        folds = max(2, min(folds, subset.n_samples // 10 or 2))
-        results[clinic] = run_protocol(
-            subset,
-            model_factory=model_factory,
-            n_folds=folds,
-            seed=seed,
-        )
-    return results
+    shared: dict[str, np.ndarray] = {}
+    clinics, subsets, units = build_clinic_units(
+        samples,
+        shared,
+        n_folds,
+        seed,
+        model_factory=model_factory,
+        clinics=clinics,
+        prefix="clinic:",
+    )
+    results = parallel_map(run_clinic_unit, units, n_jobs=n_jobs, shared=shared)
+    return {
+        clinic: replace(result, samples=subset)
+        for clinic, subset, result in zip(clinics, subsets, results)
+    }

@@ -1,0 +1,23 @@
+"""Deterministic parallel execution of the experiment grid.
+
+The grid's independent units — CV folds, Fig. 4 cells, per-clinic
+models, ablation arms — run concurrently across a process pool with
+results bitwise-identical to the serial path.  See
+:mod:`repro.parallel.executor` for the execution model and
+:mod:`repro.parallel.shared` for the shared-memory design-matrix
+handoff.
+
+Worker-count selection: explicit ``n_jobs`` arguments beat the
+``REPRO_JOBS`` environment variable; the default is serial.
+"""
+
+from repro.parallel.executor import in_worker, parallel_map, resolve_jobs
+from repro.parallel.shared import pack_samples, unpack_samples
+
+__all__ = [
+    "in_worker",
+    "parallel_map",
+    "resolve_jobs",
+    "pack_samples",
+    "unpack_samples",
+]

@@ -1,0 +1,162 @@
+"""Deterministic fan-out execution of independent experiment units.
+
+The evaluation grid decomposes into units that share inputs but not
+state: the CV folds of one protocol run, the 12 grid cells of Fig. 4,
+the per-clinic models of Table 1, each ablation arm.  Every unit is a
+pure function of ``(item, shared arrays)`` with its own seed, so the
+only thing scheduling could leak into results is *ordering* — and
+:func:`parallel_map` removes that channel by gathering results strictly
+in submission order.  The parallel result list is therefore
+bitwise-identical to the serial one (asserted by
+``tests/parallel/test_determinism.py`` over the full grid).
+
+Backend selection
+-----------------
+``n_jobs`` argument beats the ``REPRO_JOBS`` environment variable beats
+the serial default:
+
+* ``1`` (default) — serial in-process execution, zero overhead;
+* ``N > 1`` — a process pool of N workers;
+* ``0`` or ``-1`` — one worker per CPU.
+
+Large shared arrays are handed to workers through POSIX shared memory
+(:mod:`repro.parallel.shared`), so a design matrix is mapped, not
+pickled, and never per task.  Nested parallelism is suppressed: inside a
+worker :func:`resolve_jobs` always answers 1, so e.g. a protocol run
+fanned out by the grid does not fork a second-level pool.
+
+Tasks must be picklable (module-level functions, plain-data items) to
+run on the process backend; anything unpicklable — a lambda model
+factory, say — silently degrades to the serial backend with identical
+results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.parallel.shared import attach_shared, export_shared, release_shared
+
+__all__ = ["resolve_jobs", "parallel_map", "in_worker"]
+
+_IN_WORKER = False
+_WORKER_SHARED: dict[str, np.ndarray] = {}
+
+
+def in_worker() -> bool:
+    """True inside an executor worker process."""
+    return _IN_WORKER
+
+
+def resolve_jobs(n_jobs: int | None = None) -> int:
+    """Resolve the worker count: argument over ``REPRO_JOBS`` over 1.
+
+    ``0`` and ``-1`` mean "one per CPU".  Inside a worker process the
+    answer is always 1 — nested pools would oversubscribe the machine
+    without changing any result.
+    """
+    if _IN_WORKER:
+        return 1
+    if n_jobs is None:
+        raw = os.environ.get("REPRO_JOBS", "").strip()
+        if not raw:
+            return 1
+        try:
+            n_jobs = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_JOBS must be an integer, got {raw!r}"
+            ) from None
+    if n_jobs in (0, -1):
+        return os.cpu_count() or 1
+    if n_jobs < -1:
+        raise ValueError(f"n_jobs must be >= -1, got {n_jobs}")
+    return n_jobs
+
+
+def parallel_map(
+    fn: Callable,
+    items: Iterable,
+    *,
+    n_jobs: int | None = None,
+    shared: dict[str, np.ndarray] | None = None,
+) -> list:
+    """Evaluate ``fn(item, shared_arrays)`` for every item.
+
+    Results come back in submission order regardless of completion
+    order, so the output is identical to
+    ``[fn(item, shared) for item in items]`` on every backend.
+
+    Parameters
+    ----------
+    fn:
+        A pure function of ``(item, shared)``.  Module-level (picklable)
+        for the process backend; unpicklable callables/items fall back
+        to serial execution.
+    shared:
+        Name -> array mapping handed to every call.  On the process
+        backend large numeric arrays travel via shared memory, the rest
+        piggybacks on the worker initializer — nothing is re-sent per
+        task.
+    n_jobs:
+        See :func:`resolve_jobs`.
+    """
+    items = list(items)
+    shared = dict(shared or {})
+    jobs = min(resolve_jobs(n_jobs), len(items))
+    if jobs <= 1 or not _picklable((fn, items)):
+        return [fn(item, shared) for item in items]
+
+    specs, segments = export_shared(shared)
+    try:
+        # fork is the cheap default (no re-import per worker), but
+        # forking a multithreaded parent can deadlock a child on a lock
+        # some other thread held at fork time — threaded callers (the
+        # context's documented thread-safe sharing) get spawn instead.
+        use_fork = (
+            "fork" in mp.get_all_start_methods()
+            and threading.active_count() == 1
+        )
+        context = mp.get_context("fork" if use_fork else "spawn")
+        try:
+            with ProcessPoolExecutor(
+                max_workers=jobs,
+                mp_context=context,
+                initializer=_init_worker,
+                initargs=(specs,),
+            ) as pool:
+                futures = [pool.submit(_run_unit, fn, item) for item in items]
+                return [future.result() for future in futures]
+        except BrokenProcessPool:
+            # A worker died (resource limits, killed container, ...).
+            # The units are pure, so re-running serially gives the same
+            # results — slower, never different.
+            return [fn(item, shared) for item in items]
+    finally:
+        release_shared(segments)
+
+
+def _init_worker(specs) -> None:
+    global _IN_WORKER, _WORKER_SHARED
+    _IN_WORKER = True
+    _WORKER_SHARED = attach_shared(specs)
+
+
+def _run_unit(fn: Callable, item):
+    return fn(item, _WORKER_SHARED)
+
+
+def _picklable(payload: Sequence) -> bool:
+    try:
+        pickle.dumps(payload)
+    except Exception:
+        return False
+    return True

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["interpolate_bounded", "interpolate_matrix"]
+__all__ = ["interpolate_bounded", "interpolate_matrix", "interpolate_blocks"]
 
 
 def interpolate_bounded(values: np.ndarray, max_gap: int) -> np.ndarray:
@@ -75,3 +75,63 @@ def interpolate_matrix(matrix: np.ndarray, max_gap: int) -> np.ndarray:
     for j in range(matrix.shape[1]):
         out[:, j] = interpolate_bounded(matrix[:, j], max_gap)
     return out
+
+
+def interpolate_blocks(blocks: np.ndarray, max_gap: int) -> np.ndarray:
+    """Batched :func:`interpolate_matrix` over a stack of windows.
+
+    ``blocks`` has shape ``(m, T, d)``: ``m`` independent matrices of
+    ``T`` time steps x ``d`` series (e.g. every patient-window block of
+    one sample-set build).  The result is bitwise-identical to applying
+    :func:`interpolate_matrix` to each block — the same fill formula is
+    evaluated on the same gaps — but all ``m * d`` series are processed
+    in one vectorised run-length pass instead of a Python loop.
+    """
+    if max_gap < 0:
+        raise ValueError("max_gap must be >= 0")
+    blocks = np.asarray(blocks, dtype=np.float64)
+    if blocks.ndim != 3:
+        raise ValueError(f"expected a 3-D stack, got shape {blocks.shape}")
+    if max_gap == 0 or blocks.size == 0:
+        return blocks.copy()
+    m, T, d = blocks.shape
+    # One column per (block, series) pair; runs cannot cross columns.
+    # Copy unconditionally: for m == 1 the transpose is already
+    # contiguous and ascontiguousarray would alias the caller's data,
+    # turning the fill below into an in-place mutation.
+    series = np.empty((T, m * d), dtype=np.float64)
+    series[:] = blocks.transpose(1, 0, 2).reshape(T, m * d)
+
+    missing = series != series  # NaN mask without the isnan temporaries
+    grid = np.zeros((T + 2, m * d), dtype=np.int8)
+    grid[1:-1] = missing
+    delta = np.diff(grid, axis=0)
+    start_row, start_col = np.nonzero(delta == 1)
+    end_row, end_col = np.nonzero(delta == -1)
+    if start_row.size:
+        # Pair each run's start with its end within the same column.
+        s_order = np.lexsort((start_row, start_col))
+        e_order = np.lexsort((end_row, end_col))
+        start_row, start_col = start_row[s_order], start_col[s_order]
+        end_row = end_row[e_order]
+        lengths = end_row - start_row
+        # Interior runs only: boundary gaps lack an anchor on one side.
+        keep = (lengths <= max_gap) & (start_row > 0) & (end_row < T)
+        start_row, cols = start_row[keep], start_col[keep]
+        lengths = lengths[keep]
+        if lengths.size:
+            lo = series[start_row - 1, cols]
+            hi = series[end_row[keep], cols]
+            reps_end = np.cumsum(lengths)
+            offsets = np.arange(reps_end[-1]) - np.repeat(
+                reps_end - lengths, lengths
+            )
+            fill_rows = np.repeat(start_row, lengths) + offsets
+            fill_cols = np.repeat(cols, lengths)
+            steps = (offsets + 1).astype(np.float64)
+            lo_f = np.repeat(lo, lengths)
+            hi_f = np.repeat(hi, lengths)
+            denom = np.repeat(lengths + 1, lengths)
+            # Same expression as interpolate_bounded's fill, elementwise.
+            series[fill_rows, fill_cols] = lo_f + (hi_f - lo_f) * steps / denom
+    return np.ascontiguousarray(series.reshape(T, m, d).transpose(1, 0, 2))

@@ -1,0 +1,228 @@
+"""Shared, vectorised cohort preprocessing (computed once per cohort).
+
+Every sample-set build and QA pass needs the same expensive group-by
+passes over the cohort tables: PRO rows grouped by patient and sorted by
+month, monthly activity means, the Frailty Index per visit, and the
+clinic of each patient.  The original code recomputed all of them from
+per-row Python loops on **every** ``build_dd_samples`` call — once per
+(outcome, with_fi, max_gap) configuration, i.e. 11+ times per full
+experiment grid.
+
+:class:`CohortPrep` computes them once per cohort as dense numpy arrays
+indexed by ``(patient_code, month)`` and caches the result, so repeated
+sample-set builds over the same data pay the preprocessing cost once
+(cf. the precomputed decision-diagram structures of Popel & Al Hakeem,
+PAPERS.md).  All arrays preserve the exact semantics of the old lookup
+dicts — patients keep their first-appearance order, later duplicates
+overwrite earlier ones — so downstream sample sets are bitwise-identical
+to the loop-built originals (proved in ``tests/pipeline/test_groupby.py``).
+
+Concurrency contract: the cache is guarded by a module lock and prep
+instances are immutable after construction (the lazily built per-outcome
+label planes are guarded by the same lock), so a prep may be shared
+freely across threads.  Worker *processes* of the parallel executor each
+build their own prep from the cohort they materialise — nothing here is
+shared across process boundaries.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+
+import numpy as np
+
+from repro.cohort.dataset import CohortDataset
+from repro.cohort.schema import ACTIVITY_VARIABLES, pro_item_names
+from repro.frailty import FrailtyIndexCalculator
+from repro.pipeline.aggregate import monthly_activity
+
+__all__ = ["CohortPrep", "cohort_prep", "group_sort"]
+
+_CACHE: dict[int, "CohortPrep"] = {}
+_LOCK = threading.Lock()
+
+
+def cohort_prep(cohort: CohortDataset) -> "CohortPrep":
+    """Memoised :class:`CohortPrep` for a cohort (one per live instance)."""
+    key = id(cohort)
+    with _LOCK:
+        prep = _CACHE.get(key)
+        if prep is not None and prep.cohort() is cohort:
+            return prep
+    # Build outside the lock (construction is the expensive part); a
+    # concurrent duplicate build is wasteful but harmless — last wins.
+    prep = CohortPrep(cohort)
+    with _LOCK:
+        _CACHE[key] = prep
+        weakref.finalize(cohort, _CACHE.pop, key, None)
+    return prep
+
+
+def group_sort(
+    group_keys: np.ndarray, sort_keys: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Group rows by key (first-appearance order), sort within groups.
+
+    Returns ``(order, starts, codes, uniques)``: ``order`` permutes rows
+    so each group is contiguous, ordered by the group's first appearance,
+    rows inside a group sorted by ``sort_keys`` (stable — original row
+    order breaks ties); group ``g`` spans
+    ``order[starts[g]:starts[g + 1]]`` (``starts`` has a trailing
+    sentinel); ``codes`` maps every row to its group index; ``uniques``
+    lists the group key values in group order.
+
+    This is the vectorised replacement for the
+    ``dict.setdefault(key, []).append(i)`` per-row grouping loops of the
+    original pipeline.
+    """
+    n = len(group_keys)
+    if n == 0:
+        empty = np.array([], dtype=np.int64)
+        return empty, np.array([0], dtype=np.int64), empty, group_keys[:0]
+    uniq, first_idx, inverse = np.unique(
+        group_keys, return_index=True, return_inverse=True
+    )
+    inverse = inverse.astype(np.int64, copy=False)
+    # np.unique sorts by value; re-rank groups by first appearance so the
+    # grouping matches the insertion order of the original dict loops.
+    appearance = np.argsort(first_idx, kind="stable")
+    rank = np.empty(len(uniq), dtype=np.int64)
+    rank[appearance] = np.arange(len(uniq))
+    codes = rank[inverse]
+    order = np.lexsort((np.arange(n), sort_keys, codes))
+    counts = np.bincount(codes, minlength=len(uniq))
+    starts = np.concatenate(([0], np.cumsum(counts)))
+    return order, starts, codes, uniq[appearance]
+
+
+class CohortPrep:
+    """Dense, reusable indexes over one cohort's tables.
+
+    Attributes
+    ----------
+    patient_ids:
+        Object array of patient ids in first-appearance order (of the
+        PRO table); ``code_of`` maps id back to its index.
+    pro_order / pro_starts / pro_codes_sorted:
+        Group-sorted layout of the PRO table (patients contiguous,
+        months ascending inside each patient; see :func:`group_sort`).
+    pro_months_sorted / pro_matrix_sorted:
+        The PRO months and 56-item matrix in that layout.
+    row_of:
+        ``(n_patients, n_months + 1)`` position in the *group-sorted*
+        layout (``pro_matrix_sorted`` et al.) per (patient, month),
+        ``-1`` where absent.
+    activity / activity_present:
+        ``(n_patients, n_months + 1, 3)`` monthly activity means and the
+        matching presence mask.
+    fi:
+        ``(n_patients, n_months + 1)`` Frailty Index per visit month
+        (NaN where no visit).
+    clinics:
+        Object array: clinic name per patient code.
+    """
+
+    def __init__(self, cohort: CohortDataset):
+        self._cohort_ref = weakref.ref(cohort)
+        self._label_lock = threading.Lock()
+        self._labels: dict[str, np.ndarray] = {}
+
+        pro = cohort.pro
+        item_names = pro_item_names()
+        pids = pro["patient_id"]
+        months = pro["month"].astype(np.int64, copy=False)
+        matrix = np.column_stack([pro[name] for name in item_names])
+
+        order, starts, codes, uniq = group_sort(pids, months)
+        self.patient_ids = uniq
+        self.code_of = {pid: i for i, pid in enumerate(uniq)}
+        self.pro_order = order
+        self.pro_starts = starts
+        self.pro_codes_sorted = codes[order]
+        self.pro_months_sorted = months[order]
+        self.pro_matrix_sorted = matrix[order]
+
+        n_patients = len(uniq)
+        visit_months = cohort.visits["visit_month"].astype(np.int64, copy=False)
+        n_months = int(
+            max(
+                months.max(initial=0),
+                visit_months.max(initial=0),
+                cohort.config.n_months,
+            )
+        )
+        self.n_months = n_months
+
+        row_of = np.full((n_patients, n_months + 1), -1, dtype=np.int64)
+        # Assign in sorted order so duplicated (patient, month) rows keep
+        # the last one, like the original month_pos dict.
+        row_of[self.pro_codes_sorted, self.pro_months_sorted] = np.arange(
+            len(order)
+        )
+        self.row_of = row_of
+
+        monthly = monthly_activity(cohort.daily)
+        act_codes = self._codes(monthly["patient_id"])
+        act_months = monthly["month"].astype(np.int64, copy=False)
+        act_matrix = np.column_stack([monthly[v] for v in ACTIVITY_VARIABLES])
+        known = (act_codes >= 0) & (act_months <= n_months)
+        self.activity = np.full(
+            (n_patients, n_months + 1, len(ACTIVITY_VARIABLES)), np.nan
+        )
+        self.activity_present = np.zeros((n_patients, n_months + 1), dtype=bool)
+        self.activity[act_codes[known], act_months[known]] = act_matrix[known]
+        self.activity_present[act_codes[known], act_months[known]] = True
+
+        fi_values = FrailtyIndexCalculator().compute(cohort.visits)
+        visit_codes = self._codes(cohort.visits["patient_id"])
+        v_known = (visit_codes >= 0) & (visit_months <= n_months)
+        self.fi = np.full((n_patients, n_months + 1), np.nan)
+        self.fi[visit_codes[v_known], visit_months[v_known]] = fi_values[v_known]
+        self._visit_codes = visit_codes
+        self._visit_months = visit_months
+
+        clinic_of = cohort.clinic_of()
+        self.clinics = np.array(
+            [clinic_of[pid] for pid in uniq], dtype=object
+        )
+
+    def cohort(self) -> CohortDataset | None:
+        """The cohort this prep was built from (None if collected)."""
+        return self._cohort_ref()
+
+    def _codes(self, pids: np.ndarray) -> np.ndarray:
+        """Map patient ids to codes (-1 for ids unseen in the PRO table)."""
+        code_of = self.code_of
+        return np.fromiter(
+            (code_of.get(p, -1) for p in pids), dtype=np.int64, count=len(pids)
+        )
+
+    def labels(self, outcome: str) -> np.ndarray:
+        """``(n_patients, n_windows + 1)`` outcome value per window.
+
+        NaN where the (patient, window) has no measured label — the same
+        rows the original ``labels.get(...) is None or isnan`` test
+        skipped.  Built lazily per outcome and cached (lock-guarded).
+        """
+        with self._label_lock:
+            dense = self._labels.get(outcome)
+            if dense is not None:
+                return dense
+            cohort = self.cohort()
+            if cohort is None:  # pragma: no cover - cohort already collected
+                raise RuntimeError("cohort was garbage-collected")
+            n_windows = cohort.config.n_windows
+            values = cohort.visits[outcome].astype(np.float64, copy=False)
+            months = self._visit_months
+            closing = (months > 0) & (months % 9 == 0)
+            windows = np.where(closing, months // 9, 0)
+            keep = (
+                closing
+                & (windows <= n_windows)
+                & (self._visit_codes >= 0)
+            )
+            dense = np.full((len(self.patient_ids), n_windows + 1), np.nan)
+            dense[self._visit_codes[keep], windows[keep]] = values[keep]
+            self._labels[outcome] = dense
+            return dense

@@ -17,9 +17,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.cohort.dataset import CohortDataset
-from repro.cohort.schema import pro_item_names
+from repro.pipeline.prep import cohort_prep
 from repro.pipeline.samples import build_dd_samples
-from repro.synth import gap_lengths
 
 __all__ = ["GapReport", "gap_report", "retention_sweep"]
 
@@ -59,44 +58,55 @@ class GapReport:
 
 
 def gap_report(cohort: CohortDataset) -> GapReport:
-    """Compute the paper's QA statistics for a cohort."""
-    item_names = pro_item_names()
-    pids = cohort.pro["patient_id"]
-    months = cohort.pro["month"]
-    matrix = np.column_stack([cohort.pro[name] for name in item_names])
+    """Compute the paper's QA statistics for a cohort.
 
-    by_patient: dict[str, list[int]] = {}
-    for i in range(cohort.pro.num_rows):
-        by_patient.setdefault(pids[i], []).append(i)
+    One vectorised run-length pass over the month-sorted PRO matrix of
+    the shared :class:`~repro.pipeline.prep.CohortPrep` (runs broken at
+    patient boundaries), replacing the original per-(patient, item)
+    loop, which is preserved as the oracle in
+    :func:`repro.pipeline.reference.gap_report_loop`.
+    """
+    prep = cohort_prep(cohort)
+    missing = np.isnan(prep.pro_matrix_sorted)
+    n_rows = missing.shape[0]
+    n_patients = len(prep.patient_ids)
+    if n_rows == 0:
+        raise ValueError("cohort has no PRO rows")
 
-    all_lengths: list[np.ndarray] = []
-    gaps_per_patient: list[int] = []
-    total_missing = 0
-    total_cells = 0
-    for pid, idx in by_patient.items():
-        idx = np.asarray(idx, dtype=np.int64)
-        order = np.argsort(months[idx], kind="stable")
-        block = matrix[idx[order]]
-        n_gaps = 0
-        for j in range(block.shape[1]):
-            lengths = gap_lengths(np.isnan(block[:, j]))
-            if lengths.size:
-                all_lengths.append(lengths)
-                n_gaps += len(lengths)
-        gaps_per_patient.append(n_gaps)
-        total_missing += int(np.isnan(block).sum())
-        total_cells += block.size
+    first_row = np.zeros(n_rows, dtype=bool)
+    first_row[prep.pro_starts[:-1]] = True
+    prev = np.empty_like(missing)
+    prev[0] = False
+    prev[1:] = missing[:-1]
+    prev[first_row] = False
+    run_starts = missing & ~prev
+    nxt = np.empty_like(missing)
+    nxt[-1] = False
+    nxt[:-1] = missing[1:]
+    last_row = np.zeros(n_rows, dtype=bool)
+    last_row[prep.pro_starts[1:] - 1] = True
+    nxt[last_row] = False
+    run_ends = missing & ~nxt
 
-    lengths = (
-        np.concatenate(all_lengths) if all_lengths else np.array([], dtype=np.int64)
+    start_row, start_col = np.nonzero(run_starts)
+    end_row, end_col = np.nonzero(run_ends)
+    # Pair k-th start with k-th end of the same (column, patient) series.
+    s_order = np.lexsort((start_row, start_col))
+    e_order = np.lexsort((end_row, end_col))
+    lengths = end_row[e_order] - start_row[s_order] + 1
+    gaps_per_patient = np.bincount(
+        prep.pro_codes_sorted[start_row], minlength=n_patients
     )
+
     return GapReport(
         mean_gap_length=float(lengths.mean()) if lengths.size else 0.0,
         max_gap_length=int(lengths.max()) if lengths.size else 0,
         mean_gaps_per_patient=float(np.mean(gaps_per_patient)),
         max_gaps_per_patient=int(np.max(gaps_per_patient)),
-        missing_fraction=total_missing / total_cells if total_cells else 0.0,
-        n_patients=len(by_patient),
+        missing_fraction=(
+            float(missing.sum()) / missing.size if missing.size else 0.0
+        ),
+        n_patients=n_patients,
     )
 
 

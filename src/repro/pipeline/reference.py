@@ -1,0 +1,218 @@
+"""Reference loop implementations of the data-prep passes.
+
+The vectorised sample-set build (:mod:`repro.pipeline.samples`) and QA
+statistics (:mod:`repro.pipeline.qa`) replaced the original per-row
+Python loops with numpy group-by passes.  The originals are preserved
+here verbatim as the oracle: the equivalence tests
+(``tests/pipeline/test_groupby.py``) prove the vectorised passes produce
+identical samples and statistics, and the pipeline benchmark
+(``benchmarks/test_bench_pipeline.py``) measures the speedup against
+them.  Mirrors the ``explain/reference.py`` pattern of the batched
+TreeSHAP engine.
+
+Do not "optimise" this module — its value is being the unoptimised
+original.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cohort.dataset import CohortDataset
+from repro.cohort.outcomes import OUTCOME_NAMES
+from repro.cohort.schema import ACTIVITY_VARIABLES, pro_item_names
+from repro.frailty import FrailtyIndexCalculator
+from repro.pipeline.aggregate import monthly_activity
+from repro.pipeline.impute import interpolate_matrix
+from repro.synth import gap_lengths
+
+__all__ = [
+    "activity_lookup_loop",
+    "fi_lookup_loop",
+    "label_lookup_loop",
+    "pro_rows_by_patient_loop",
+    "build_dd_samples_loop",
+    "gap_report_loop",
+]
+
+
+def activity_lookup_loop(monthly) -> dict[tuple[str, int], np.ndarray]:
+    """Original per-row ``(patient, month) -> activity vector`` index."""
+    pids = monthly["patient_id"]
+    months = monthly["month"]
+    matrix = np.column_stack([monthly[v] for v in ACTIVITY_VARIABLES])
+    return {
+        (pids[i], int(months[i])): matrix[i] for i in range(monthly.num_rows)
+    }
+
+
+def fi_lookup_loop(cohort: CohortDataset) -> dict[tuple[str, int], float]:
+    """Original per-row ``(patient, visit_month) -> FI`` loop."""
+    fi = FrailtyIndexCalculator().compute(cohort.visits)
+    pids = cohort.visits["patient_id"]
+    months = cohort.visits["visit_month"]
+    return {
+        (pids[i], int(months[i])): float(fi[i]) for i in range(len(fi))
+    }
+
+
+def label_lookup_loop(
+    cohort: CohortDataset, outcome: str
+) -> dict[tuple[str, int], float]:
+    """Original per-row ``(patient, window) -> label`` loop."""
+    pids = cohort.visits["patient_id"]
+    months = cohort.visits["visit_month"]
+    values = cohort.visits[outcome]
+    out: dict[tuple[str, int], float] = {}
+    for i in range(cohort.visits.num_rows):
+        m = int(months[i])
+        if m > 0 and m % 9 == 0:
+            out[(pids[i], m // 9)] = float(values[i])
+    return out
+
+
+def pro_rows_by_patient_loop(
+    cohort: CohortDataset,
+) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+    """Original per-row grouping of PRO rows by patient."""
+    item_names = pro_item_names()
+    pids = cohort.pro["patient_id"]
+    months = cohort.pro["month"]
+    matrix = np.column_stack([cohort.pro[name] for name in item_names])
+    by_patient: dict[str, list[int]] = {}
+    for i in range(cohort.pro.num_rows):
+        by_patient.setdefault(pids[i], []).append(i)
+    out: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for pid, idx in by_patient.items():
+        idx = np.asarray(idx, dtype=np.int64)
+        order = np.argsort(months[idx], kind="stable")
+        idx = idx[order]
+        out[pid] = (months[idx], matrix[idx])
+    return out
+
+
+def build_dd_samples_loop(
+    cohort: CohortDataset,
+    outcome: str,
+    with_fi: bool = False,
+    max_gap: int = 5,
+    drop_threshold: float = 0.25,
+):
+    """Original row-at-a-time ``Sample_o`` build (one window at a time,
+    one month at a time, one ``np.concatenate`` per retained sample)."""
+    from repro.pipeline.samples import SampleSet
+
+    if outcome not in OUTCOME_NAMES:
+        raise ValueError(f"unknown outcome {outcome!r}; have {OUTCOME_NAMES}")
+    if not 0.0 <= drop_threshold <= 1.0:
+        raise ValueError("drop_threshold must be in [0, 1]")
+
+    cfg = cohort.config
+    item_names = pro_item_names()
+    activity = activity_lookup_loop(monthly_activity(cohort.daily))
+    clinic_of = cohort.clinic_of()
+    fi_of = fi_lookup_loop(cohort)
+    labels = label_lookup_loop(cohort, outcome)
+    pro_rows = pro_rows_by_patient_loop(cohort)
+
+    feature_names = [*item_names, *ACTIVITY_VARIABLES] + (["fi"] if with_fi else [])
+
+    rows: list[np.ndarray] = []
+    ys: list[float] = []
+    pids: list[str] = []
+    clinics: list[str] = []
+    windows: list[int] = []
+    months_out: list[int] = []
+
+    for pid, (months, items) in pro_rows.items():
+        for j in range(1, cfg.n_windows + 1):
+            label = labels.get((pid, j))
+            if label is None or np.isnan(label):
+                continue
+            window_months = cfg.window_months(j)
+            month_pos = {int(m): k for k, m in enumerate(months)}
+            idx = [month_pos[m] for m in window_months if m in month_pos]
+            if len(idx) != len(window_months):
+                continue  # incomplete acquisition schedule (not expected)
+            block = interpolate_matrix(items[idx], max_gap)
+            fi_value = fi_of.get((pid, 9 * (j - 1)), np.nan) if with_fi else None
+
+            for k, month in enumerate(window_months):
+                item_vec = block[k]
+                missing_frac = float(np.isnan(item_vec).mean())
+                if missing_frac > drop_threshold:
+                    continue
+                act = activity.get((pid, month))
+                if act is None:
+                    continue
+                feats = [item_vec, act]
+                if with_fi:
+                    feats.append(np.array([fi_value]))
+                rows.append(np.concatenate(feats))
+                ys.append(float(label))
+                pids.append(pid)
+                clinics.append(clinic_of[pid])
+                windows.append(j)
+                months_out.append(month)
+
+    if not rows:
+        raise ValueError(
+            f"no samples survived QA for outcome {outcome!r}; "
+            "check missingness / drop_threshold settings"
+        )
+    return SampleSet(
+        outcome=outcome,
+        kind="dd",
+        with_fi=with_fi,
+        X=np.vstack(rows),
+        y=np.asarray(ys, dtype=np.float64),
+        feature_names=tuple(feature_names),
+        patient_ids=np.asarray(pids, dtype=object),
+        clinics=np.asarray(clinics, dtype=object),
+        windows=np.asarray(windows, dtype=np.int64),
+        months=np.asarray(months_out, dtype=np.int64),
+    )
+
+
+def gap_report_loop(cohort: CohortDataset):
+    """Original per-(patient, item) gap-statistics loop."""
+    from repro.pipeline.qa import GapReport
+
+    item_names = pro_item_names()
+    pids = cohort.pro["patient_id"]
+    months = cohort.pro["month"]
+    matrix = np.column_stack([cohort.pro[name] for name in item_names])
+
+    by_patient: dict[str, list[int]] = {}
+    for i in range(cohort.pro.num_rows):
+        by_patient.setdefault(pids[i], []).append(i)
+
+    all_lengths: list[np.ndarray] = []
+    gaps_per_patient: list[int] = []
+    total_missing = 0
+    total_cells = 0
+    for pid, idx in by_patient.items():
+        idx = np.asarray(idx, dtype=np.int64)
+        order = np.argsort(months[idx], kind="stable")
+        block = matrix[idx[order]]
+        n_gaps = 0
+        for j in range(block.shape[1]):
+            lengths = gap_lengths(np.isnan(block[:, j]))
+            if lengths.size:
+                all_lengths.append(lengths)
+                n_gaps += len(lengths)
+        gaps_per_patient.append(n_gaps)
+        total_missing += int(np.isnan(block).sum())
+        total_cells += block.size
+
+    lengths = (
+        np.concatenate(all_lengths) if all_lengths else np.array([], dtype=np.int64)
+    )
+    return GapReport(
+        mean_gap_length=float(lengths.mean()) if lengths.size else 0.0,
+        max_gap_length=int(lengths.max()) if lengths.size else 0,
+        mean_gaps_per_patient=float(np.mean(gaps_per_patient)),
+        max_gaps_per_patient=int(np.max(gaps_per_patient)),
+        missing_fraction=total_missing / total_cells if total_cells else 0.0,
+        n_patients=len(by_patient),
+    )

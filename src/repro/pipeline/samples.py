@@ -23,10 +23,9 @@ import numpy as np
 from repro.cohort.dataset import CohortDataset
 from repro.cohort.outcomes import OUTCOME_NAMES
 from repro.cohort.schema import ACTIVITY_VARIABLES, pro_item_names
-from repro.frailty import FrailtyIndexCalculator
 from repro.knowledge import ICICalculator, ICISpecification
-from repro.pipeline.aggregate import activity_lookup, monthly_activity
-from repro.pipeline.impute import interpolate_matrix
+from repro.pipeline.impute import interpolate_blocks
+from repro.pipeline.prep import cohort_prep
 from repro.tabular import Table
 
 __all__ = [
@@ -153,70 +152,70 @@ def build_dd_samples(
     if not 0.0 <= drop_threshold <= 1.0:
         raise ValueError("drop_threshold must be in [0, 1]")
 
+    # All steps below are vectorised group-by passes over the dense
+    # (patient, month) indexes of the shared CohortPrep; the samples are
+    # bitwise-identical to the original row-at-a-time build, which is
+    # preserved as the oracle in repro.pipeline.reference.
     cfg = cohort.config
-    item_names = pro_item_names()
-    activity = activity_lookup(monthly_activity(cohort.daily))
-    clinic_of = cohort.clinic_of()
-    fi_of = _fi_lookup(cohort)
-    labels = _label_lookup(cohort, outcome)
-    pro_rows = _pro_rows_by_patient(cohort)
+    prep = cohort_prep(cohort)
+    feature_names = [*pro_item_names(), *ACTIVITY_VARIABLES] + (
+        ["fi"] if with_fi else []
+    )
 
-    feature_names = [*item_names, *ACTIVITY_VARIABLES] + (["fi"] if with_fi else [])
+    window_months = np.array(
+        [cfg.window_months(j) for j in range(1, cfg.n_windows + 1)],
+        dtype=np.int64,
+    )
+    n_patients, n_windows = len(prep.patient_ids), cfg.n_windows
+    width = window_months.shape[1]
 
-    rows: list[np.ndarray] = []
-    ys: list[float] = []
-    pids: list[str] = []
-    clinics: list[str] = []
-    windows: list[int] = []
-    months_out: list[int] = []
-
-    for pid, (months, items) in pro_rows.items():
-        for j in range(1, cfg.n_windows + 1):
-            label = labels.get((pid, j))
-            if label is None or np.isnan(label):
-                continue
-            window_months = cfg.window_months(j)
-            month_pos = {int(m): k for k, m in enumerate(months)}
-            idx = [month_pos[m] for m in window_months if m in month_pos]
-            if len(idx) != len(window_months):
-                continue  # incomplete acquisition schedule (not expected)
-            block = interpolate_matrix(items[idx], max_gap)
-            fi_value = fi_of.get((pid, 9 * (j - 1)), np.nan) if with_fi else None
-
-            for k, month in enumerate(window_months):
-                item_vec = block[k]
-                missing_frac = float(np.isnan(item_vec).mean())
-                if missing_frac > drop_threshold:
-                    continue
-                act = activity.get((pid, month))
-                if act is None:
-                    continue
-                feats = [item_vec, act]
-                if with_fi:
-                    feats.append(np.array([fi_value]))
-                rows.append(np.concatenate(feats))
-                ys.append(float(label))
-                pids.append(pid)
-                clinics.append(clinic_of[pid])
-                windows.append(j)
-                months_out.append(month)
-
-    if not rows:
+    # Eligible (patient, window) pairs: a measured label and a complete
+    # acquisition schedule.  Row-major nonzero preserves the original
+    # iteration order (patients by first appearance, windows ascending).
+    rows_of = prep.row_of[:, window_months.ravel()].reshape(
+        n_patients, n_windows, width
+    )
+    labels = prep.labels(outcome)[:, 1:]
+    eligible = (rows_of >= 0).all(axis=2) & ~np.isnan(labels)
+    pid_idx, win_idx = np.nonzero(eligible)
+    if pid_idx.size:
+        blocks = interpolate_blocks(
+            prep.pro_matrix_sorted[rows_of[pid_idx, win_idx]], max_gap
+        )
+        # Per-sample drop rules: residual missingness and activity join.
+        months_grid = window_months[win_idx]
+        keep = (np.isnan(blocks).mean(axis=2) <= drop_threshold) & (
+            prep.activity_present[pid_idx[:, None], months_grid]
+        )
+    else:
+        keep = np.zeros((0, width), dtype=bool)
+    keep_block, keep_month = np.nonzero(keep)
+    if keep_block.size == 0:
         raise ValueError(
             f"no samples survived QA for outcome {outcome!r}; "
             "check missingness / drop_threshold settings"
         )
+
+    sample_pids = pid_idx[keep_block]
+    sample_months = months_grid[keep_block, keep_month]
+    feats = [
+        blocks[keep_block, keep_month],
+        prep.activity[sample_pids, sample_months],
+    ]
+    if with_fi:
+        opening_fi = prep.fi[pid_idx, 9 * win_idx]  # visit month 9 * (j - 1)
+        feats.append(opening_fi[keep_block][:, None])
     return SampleSet(
         outcome=outcome,
         kind="dd",
         with_fi=with_fi,
-        X=np.vstack(rows),
-        y=np.asarray(ys, dtype=np.float64),
+        X=np.hstack(feats),
+        y=labels[pid_idx, win_idx][keep_block],
         feature_names=tuple(feature_names),
-        patient_ids=np.asarray(pids, dtype=object),
-        clinics=np.asarray(clinics, dtype=object),
-        windows=np.asarray(windows, dtype=np.int64),
-        months=np.asarray(months_out, dtype=np.int64),
+        patient_ids=prep.patient_ids[sample_pids],
+        clinics=prep.clinics[sample_pids],
+        windows=(win_idx + 1)[keep_block],
+        months=sample_months,
     )
 
 
@@ -268,47 +267,8 @@ def build_all_sample_sets(
     return out
 
 
-# ----------------------------------------------------------------------
-# lookup helpers
-# ----------------------------------------------------------------------
-def _fi_lookup(cohort: CohortDataset) -> dict[tuple[str, int], float]:
-    """(patient, visit_month) -> FI."""
-    fi = FrailtyIndexCalculator().compute(cohort.visits)
-    pids = cohort.visits["patient_id"]
-    months = cohort.visits["visit_month"]
-    return {
-        (pids[i], int(months[i])): float(fi[i]) for i in range(len(fi))
-    }
-
-
-def _label_lookup(cohort: CohortDataset, outcome: str) -> dict[tuple[str, int], float]:
-    """(patient, window) -> outcome value at the window-closing visit."""
-    pids = cohort.visits["patient_id"]
-    months = cohort.visits["visit_month"]
-    values = cohort.visits[outcome]
-    out: dict[tuple[str, int], float] = {}
-    for i in range(cohort.visits.num_rows):
-        m = int(months[i])
-        if m > 0 and m % 9 == 0:
-            out[(pids[i], m // 9)] = float(values[i])
-    return out
-
-
-def _pro_rows_by_patient(
-    cohort: CohortDataset,
-) -> dict[str, tuple[np.ndarray, np.ndarray]]:
-    """patient -> (months sorted ascending, item matrix in that order)."""
-    item_names = pro_item_names()
-    pids = cohort.pro["patient_id"]
-    months = cohort.pro["month"]
-    matrix = np.column_stack([cohort.pro[name] for name in item_names])
-    by_patient: dict[str, list[int]] = {}
-    for i in range(cohort.pro.num_rows):
-        by_patient.setdefault(pids[i], []).append(i)
-    out: dict[str, tuple[np.ndarray, np.ndarray]] = {}
-    for pid, idx in by_patient.items():
-        idx = np.asarray(idx, dtype=np.int64)
-        order = np.argsort(months[idx], kind="stable")
-        idx = idx[order]
-        out[pid] = (months[idx], matrix[idx])
-    return out
+# The original per-row lookup helpers (_fi_lookup, _label_lookup,
+# _pro_rows_by_patient) were replaced by the dense planes of
+# repro.pipeline.prep.CohortPrep; their loop implementations are
+# preserved as oracles in repro.pipeline.reference and the planes are
+# proved equivalent in tests/pipeline/test_groupby.py.

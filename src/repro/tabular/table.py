@@ -29,6 +29,37 @@ _AGGREGATIONS: dict[str, Callable[[np.ndarray], float]] = {
 }
 
 
+def _fast_reduce(ufunc_nan: Callable) -> Callable:
+    """Equal-group-size aggregation: one axis-1 reduction per column.
+
+    Rows of the reshaped ``(n_groups, size)`` matrix are the same
+    contiguous slices the per-group path reduces, so NumPy's pairwise
+    reduction produces bitwise-identical results to calling the 1-D
+    aggregation group by group.
+    """
+
+    def reduce(values, order, starts, ends, size):
+        mat = values[order].reshape(len(starts), size)
+        return np.asarray(ufunc_nan(mat, axis=1), dtype=np.float64)
+
+    return reduce
+
+
+#: Vectorised counterparts of the built-in aggregations (same results as
+#: the per-group path; ``std``/``median`` intentionally stay per-group).
+_FAST_AGGREGATIONS: dict[str, Callable] = {
+    "mean": _fast_reduce(np.nanmean),
+    "sum": _fast_reduce(np.nansum),
+    "min": _fast_reduce(np.nanmin),
+    "max": _fast_reduce(np.nanmax),
+    "count": lambda values, order, starts, ends, size: (
+        (ends - starts).astype(np.float64)
+    ),
+    "first": lambda values, order, starts, ends, size: values[order[starts]],
+    "last": lambda values, order, starts, ends, size: values[order[ends - 1]],
+}
+
+
 class Table:
     """An immutable, typed, in-memory column-store.
 
@@ -254,31 +285,104 @@ class Table:
             keys = [keys]
         for k in keys:
             self.column(k)
-        group_index = self._group_indices(keys)
+        agg_specs: dict[str, str | Callable] = {}
         agg_funcs: dict[str, Callable] = {}
         for cname, agg in aggregations.items():
             self.column(cname)
             if cname in keys:
                 raise ValueError(f"cannot aggregate group key {cname!r}")
+            agg_specs[cname] = agg
             agg_funcs[cname] = _AGGREGATIONS[agg] if isinstance(agg, str) else agg
 
-        out: dict[str, list] = {k: [] for k in keys}
-        out.update({c: [] for c in agg_funcs})
-        for key_tuple, idx in group_index.items():
-            for k, v in zip(keys, key_tuple):
-                out[k].append(v)
-            for cname, fn in agg_funcs.items():
-                out[cname].append(fn(self[cname][idx]))
+        layout = self._group_layout(keys)
+        if layout is None:
+            return Table({k: [] for k in [*keys, *agg_funcs]})
+        arrays, order, starts, ends, group_order = layout
+        sizes = ends - starts
+        uniform = int(sizes.min()) == int(sizes.max())
+
+        out: dict[str, object] = {}
+        first_rows = order[starts][group_order]
+        for k, arr in zip(keys, arrays):
+            out[k] = arr[first_rows]
+        for cname, agg in agg_specs.items():
+            values = self[cname]
+            fast = (
+                isinstance(agg, str)
+                and agg in _FAST_AGGREGATIONS
+                and (agg in ("first", "last") or values.dtype != object)
+                and (uniform or agg in ("count", "first", "last"))
+            )
+            if fast:
+                out[cname] = _FAST_AGGREGATIONS[agg](
+                    values, order, starts, ends, int(sizes[0])
+                )[group_order]
+            else:
+                fn = agg_funcs[cname]
+                out[cname] = [
+                    fn(values[order[starts[g] : ends[g]]]) for g in group_order
+                ]
         return Table(out)
 
-    def _group_indices(self, keys: Sequence[str]) -> dict[tuple, np.ndarray]:
-        """Map each distinct key tuple to the row indices holding it."""
+    def _group_layout(
+        self, keys: Sequence[str]
+    ) -> tuple[list[np.ndarray], np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None:
+        """Vectorised group structure over the key columns.
+
+        Returns ``(key_arrays, order, starts, ends, group_order)`` where
+        ``order`` is a stable permutation placing each group's rows
+        contiguously (original row order preserved inside a group),
+        groups ``g`` span ``order[starts[g]:ends[g]]``, and
+        ``group_order`` ranks groups by first appearance.  ``None`` for
+        an empty table.
+        """
+        n = self.num_rows
+        if n == 0:
+            return None
         arrays = [self[k] for k in keys]
-        groups: dict[tuple, list[int]] = {}
-        for i in range(self.num_rows):
-            key = tuple(arr[i] for arr in arrays)
-            groups.setdefault(key, []).append(i)
-        return {k: np.asarray(v, dtype=np.int64) for k, v in groups.items()}
+        if not arrays:
+            zero = np.array([0], dtype=np.int64)
+            return [], np.arange(n, dtype=np.int64), zero, np.array([n]), zero
+        combined: np.ndarray | None = None
+        for arr in arrays:
+            _, inverse = np.unique(arr, return_inverse=True)
+            inverse = inverse.astype(np.int64, copy=False)
+            if combined is None:
+                combined = inverse
+            else:
+                # Re-densify after each combine so codes stay < n and the
+                # pairing product can never overflow int64.
+                pair = combined * (int(inverse.max()) + 1) + inverse
+                _, combined = np.unique(pair, return_inverse=True)
+                combined = combined.astype(np.int64, copy=False)
+        order = np.argsort(combined, kind="stable")
+        sorted_codes = combined[order]
+        boundaries = np.flatnonzero(np.diff(sorted_codes)) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [n]))
+        # The stable sort keeps row order within a group, so order[start]
+        # is each group's first row; ranking those yields appearance order.
+        group_order = np.argsort(order[starts], kind="stable")
+        return arrays, order, starts, ends, group_order
+
+    def _group_indices(self, keys: Sequence[str]) -> dict[tuple, np.ndarray]:
+        """Map each distinct key tuple to the row indices holding it.
+
+        Groups keep first-appearance order.  Built on the vectorised
+        :meth:`_group_layout` pass instead of a per-row Python loop; one
+        behavioural difference vs the old loop: NaN key values now form a
+        single group (``np.unique`` collapses NaNs) instead of one group
+        per NaN row (a ``nan != nan`` dict artefact).
+        """
+        layout = self._group_layout(keys)
+        if layout is None:
+            return {}
+        arrays, order, starts, ends, group_order = layout
+        out: dict[tuple, np.ndarray] = {}
+        for g in group_order:
+            idx = order[starts[g] : ends[g]]
+            out[tuple(arr[idx[0]] for arr in arrays)] = idx
+        return out
 
     def join(
         self,
