@@ -42,6 +42,15 @@ def record(results_dir: Path, name: str, text: str) -> None:
     print(f"\n{text}\n[saved to {path}]")
 
 
+def latency_percentiles(latencies_s) -> dict[str, float]:
+    """p50/p95/p99 (milliseconds) of a per-request latency sample."""
+    import numpy as np
+
+    lat = np.asarray(list(latencies_s), dtype=np.float64) * 1e3
+    p50, p95, p99 = np.percentile(lat, [50, 95, 99])
+    return {"p50": float(p50), "p95": float(p95), "p99": float(p99)}
+
+
 def record_bench(
     results_dir: Path,
     name: str,
@@ -49,12 +58,17 @@ def record_bench(
     *,
     speedup: float | None = None,
     config: dict | None = None,
+    latency_ms: dict[str, float] | None = None,
 ) -> None:
     """Update one machine-readable entry in ``results/bench.json``.
 
     Every bench records (name, wall seconds, speedup, config) next to
     its ``.txt`` render, keyed by name so re-runs update in place — the
     file is the BENCH_* perf trajectory CI uploads with the artefacts.
+    Serving benches additionally record tail latency: ``latency_ms``
+    carries p50/p95/p99 per-request milliseconds (see
+    :func:`latency_percentiles`) so the trajectory captures the tail,
+    not just throughput.
     """
     path = results_dir / "bench.json"
     entries: dict = {}
@@ -65,17 +79,28 @@ def record_bench(
             loaded = None
         if isinstance(loaded, dict):
             entries = loaded
-    entries[name] = {
+    entry = {
         "name": name,
         "seconds": round(float(seconds), 4),
         "speedup": None if speedup is None else round(float(speedup), 2),
         "config": config or {},
     }
+    if latency_ms is not None:
+        entry["latency_ms"] = {
+            key: round(float(value), 3) for key, value in latency_ms.items()
+        }
+    entries[name] = entry
     path.write_text(
         json.dumps(entries, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
-    print(f"[bench.json] {name}: {seconds:.3f}s"
-          + (f" ({speedup:.1f}x)" if speedup is not None else ""))
+    tail = f" ({speedup:.1f}x)" if speedup is not None else ""
+    if latency_ms is not None:
+        tail += (
+            f" p50={latency_ms['p50']:.2f}ms"
+            f" p95={latency_ms['p95']:.2f}ms"
+            f" p99={latency_ms['p99']:.2f}ms"
+        )
+    print(f"[bench.json] {name}: {seconds:.3f}s" + tail)
 
 
 def timed(fn):

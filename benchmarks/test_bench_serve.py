@@ -10,16 +10,28 @@ rows from the exact (bin-code-keyed) result cache.
 
 The acceptance target is a >= 5x throughput win for repeated-cohort
 traffic; in practice micro-batching alone clears it and the cache adds
-an order of magnitude on top.
+an order of magnitude on top.  The multi-worker bench routes the same
+workload through the :class:`~repro.serve.router.ScoringRouter` at
+``REPRO_JOBS=4`` — asserting bitwise-identical answers always, and a
+>= 2x throughput win over the single-process service above 2 cores.
+Every serving entry records p50/p95/p99 per-request latency next to the
+wall time, so ``results/bench.json`` captures tail latency, not just
+throughput.
 """
 
+import os
 import time
 
 import numpy as np
 
-from benchmarks.conftest import record, record_bench
+from benchmarks.conftest import latency_percentiles, record, record_bench
 from repro.explain import TreeShapExplainer, local_reports
-from repro.serve import ModelRegistry, ScoreRequest, ScoringService
+from repro.serve import (
+    ModelRegistry,
+    ScoreRequest,
+    ScoringRouter,
+    ScoringService,
+)
 
 #: Visits per patient in the request stream (each distinct row recurs).
 REVISITS = 4
@@ -40,16 +52,24 @@ def _naive_pass(model, explainer, stream, feature_names):
     return out
 
 
-def _service_pass(service, stream):
-    """Micro-batched scoring of the same stream."""
+def _service_pass(target, stream):
+    """Micro-batched scoring of a stream (service or router front).
+
+    Returns ``(ScoreResults, per-request latencies)``: every request in
+    a micro-batch observes that batch's wall time — the latency a
+    caller coalesced into the batch would see.
+    """
     out = []
+    latencies = []
     for start in range(0, len(stream), MICRO_BATCH):
         block = stream[start : start + MICRO_BATCH]
-        results = service.score_batch(
+        t0 = time.perf_counter()
+        results = target.score_batch(
             [ScoreRequest(row=row, explain=True) for row in block]
         )
-        out.extend((r.prediction, r.explanation) for r in results)
-    return out
+        latencies.extend([time.perf_counter() - t0] * len(block))
+        out.extend(results)
+    return out, latencies
 
 
 def test_serve_repeated_cohort_throughput(ctx, results_dir, tmp_path):
@@ -67,7 +87,7 @@ def test_serve_repeated_cohort_throughput(ctx, results_dir, tmp_path):
     naive_explainer = TreeShapExplainer(result.model)
 
     t0 = time.perf_counter()
-    served = _service_pass(service, stream)
+    served, latencies = _service_pass(service, stream)
     t_service = time.perf_counter() - t0
 
     # The per-request path is slow enough that (like the Fig. 6 bench)
@@ -79,22 +99,19 @@ def test_serve_repeated_cohort_throughput(ctx, results_dir, tmp_path):
     )
     t_naive = time.perf_counter() - t0
 
-    # Same answers: raw scores bitwise equal to predict(); attribution
-    # reports agree to float tolerance (the batched engine's reductions
-    # run in a different summation order than 1-row calls, so cross-
-    # batch-shape SHAP values match to ~1e-12, not bitwise — same-shape
-    # bitwise equality is covered in tests/serve/test_registry.py).
+    # Same answers, bitwise: the engine is row-deterministic (PR 5), so
+    # even the naive path's 1-row SHAP calls produce exactly the values
+    # the service's 64-row micro-batches cached.
     assert len(served) == len(stream)
-    for (p_served, e_served), (p_naive, e_naive) in zip(served, naive):
-        assert p_served == p_naive
-        assert e_served.features == e_naive.features
-        assert np.allclose(
-            e_served.contributions, e_naive.contributions, atol=1e-10
-        )
+    for got, (p_naive, e_naive) in zip(served, naive):
+        assert got.prediction == p_naive
+        assert got.explanation.features == e_naive.features
+        assert got.explanation.contributions == e_naive.contributions
 
     n = len(stream)
     speedup = (t_naive / n_naive) / (t_service / n)
     cache = service.cache_stats
+    tail = latency_percentiles(latencies)
     record(
         results_dir,
         "serve_throughput",
@@ -108,6 +125,8 @@ def test_serve_repeated_cohort_throughput(ctx, results_dir, tmp_path):
             f"  scoring service:   {t_service:.3f}s for {n} requests "
             f"({n / t_service:.0f} req/s), cache hit rate "
             f"{100 * cache.hit_rate:.0f}%\n"
+            f"  request latency: p50 {tail['p50']:.2f} ms, "
+            f"p95 {tail['p95']:.2f} ms, p99 {tail['p99']:.2f} ms\n"
             f"  per-request speedup: {speedup:.1f}x (target >= 5x)"
         ),
     )
@@ -122,6 +141,7 @@ def test_serve_repeated_cohort_throughput(ctx, results_dir, tmp_path):
             "revisits": REVISITS,
             "micro_batch": MICRO_BATCH,
         },
+        latency_ms=tail,
     )
     assert speedup >= 5.0
 
@@ -136,12 +156,15 @@ def test_serve_cache_hot_latency(ctx, results_dir, tmp_path):
         result.model, feature_names=list(samples.feature_names)
     )
     service.score_rows(rows, explain=True)  # warm
+    stream = [row for row in rows]
     t0 = time.perf_counter()
-    results = service.score_rows(rows, explain=True)
+    results, latencies = _service_pass(service, stream)
     t_hot = time.perf_counter() - t0
 
+    assert len(results) == rows.shape[0]
     assert all(r.cached for r in results)
     cold = service.stats.total_seconds - t_hot
+    tail = latency_percentiles(latencies)
     record(
         results_dir,
         "serve_cache_hot",
@@ -149,7 +172,9 @@ def test_serve_cache_hot_latency(ctx, results_dir, tmp_path):
             "SERVE cache-hot latency\n"
             f"  {rows.shape[0]} explained visits: cold {cold * 1e3:.1f} ms, "
             f"hot {t_hot * 1e3:.1f} ms "
-            f"({rows.shape[0] / max(t_hot, 1e-9):.0f} req/s hot)"
+            f"({rows.shape[0] / max(t_hot, 1e-9):.0f} req/s hot)\n"
+            f"  hot request latency: p50 {tail['p50']:.3f} ms, "
+            f"p95 {tail['p95']:.3f} ms, p99 {tail['p99']:.3f} ms"
         ),
     )
     record_bench(
@@ -158,6 +183,91 @@ def test_serve_cache_hot_latency(ctx, results_dir, tmp_path):
         t_hot,
         speedup=cold / max(t_hot, 1e-9),
         config={"rows": int(rows.shape[0])},
+        latency_ms=tail,
     )
     # The hot pass must be dramatically cheaper than the cold pass.
     assert t_hot < cold
+
+
+def test_serve_multiworker_throughput(ctx, results_dir):
+    """4 plane-mapped workers vs the single-process service.
+
+    Equivalence is asserted unconditionally (every answer bitwise
+    identical, cache-cold and cache-hot); the >= 2x throughput floor
+    only above 2 cores, where 4 workers can actually run concurrently.
+    """
+    samples = ctx.samples("sppb", "dd", with_fi=True)
+    result = ctx.result("sppb", "dd", with_fi=True)
+    feature_names = list(samples.feature_names)
+    cohort_rows = samples.X[result.test_idx]
+    stream = [row for _ in range(REVISITS) for row in cohort_rows]
+
+    service = ScoringService(result.model, feature_names=feature_names)
+    t0 = time.perf_counter()
+    single, _ = _service_pass(service, stream)
+    t_single = time.perf_counter() - t0
+
+    jobs = 4
+    with ScoringRouter(
+        result.model,
+        feature_names=feature_names,
+        n_jobs=jobs,
+        max_batch=MICRO_BATCH,
+        version=service.version,
+    ) as router:
+        t0 = time.perf_counter()
+        routed, latencies = _service_pass(router, stream)
+        t_router = time.perf_counter() - t0
+        cache = router.cache_stats
+
+    # Bitwise identity with the single-process service on the same
+    # request stream: raw scores, predictions, cache hits, and every
+    # attribution report field (the engine is row-deterministic, the
+    # shard caches are exact).
+    assert len(routed) == len(single)
+    for got, want in zip(routed, single):
+        assert got.raw_score == want.raw_score
+        assert got.prediction == want.prediction
+        assert got.cached == want.cached
+        assert got.explanation.features == want.explanation.features
+        assert (
+            got.explanation.contributions == want.explanation.contributions
+        )
+
+    speedup = t_single / t_router
+    tail = latency_percentiles(latencies)
+    record(
+        results_dir,
+        "serve_multiworker",
+        (
+            "SERVE multi-worker bench (shared-memory plane, 4 workers)\n"
+            f"  {len(stream)} requests (predict + top-5 SHAP report), "
+            f"{cohort_rows.shape[0]} distinct rows x {REVISITS} visits\n"
+            f"  single process: {t_single:.3f}s "
+            f"({len(stream) / t_single:.0f} req/s)\n"
+            f"  router x{router.workers}:      {t_router:.3f}s "
+            f"({len(stream) / t_router:.0f} req/s), cache hit rate "
+            f"{100 * cache.hit_rate:.0f}%\n"
+            f"  request latency: p50 {tail['p50']:.2f} ms, "
+            f"p95 {tail['p95']:.2f} ms, p99 {tail['p99']:.2f} ms\n"
+            f"  speedup: {speedup:.2f}x (target >= 2x above 2 cores; "
+            f"cpus={os.cpu_count()})"
+        ),
+    )
+    record_bench(
+        results_dir,
+        "serve_multiworker",
+        t_router,
+        speedup=speedup,
+        config={
+            "requests": len(stream),
+            "distinct_rows": int(cohort_rows.shape[0]),
+            "revisits": REVISITS,
+            "micro_batch": MICRO_BATCH,
+            "jobs": jobs,
+            "cpus": os.cpu_count(),
+        },
+        latency_ms=tail,
+    )
+    if (os.cpu_count() or 1) > 2:
+        assert speedup >= 2.0

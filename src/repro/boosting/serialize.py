@@ -27,6 +27,8 @@ __all__ = [
     "load_model",
     "mapper_to_dict",
     "mapper_from_dict",
+    "model_to_arrays",
+    "model_from_arrays",
 ]
 
 #: Format version written into every document.  Version 2 added the
@@ -170,6 +172,133 @@ def model_from_dict(doc: dict):
         base_score=float(doc["base_score"]),
         trees=[_tree_from_dict(t) for t in doc["trees"]],
     )
+    return model
+
+
+#: Per-tree node arrays packed by :func:`model_to_arrays` (name, dtype).
+_NODE_FIELDS = (
+    ("children_left", np.int64),
+    ("children_right", np.int64),
+    ("feature", np.int64),
+    ("threshold", np.float64),
+    ("missing_left", bool),
+    ("value", np.float64),
+    ("cover", np.float64),
+)
+
+
+def model_to_arrays(model) -> tuple[dict, dict[str, np.ndarray]]:
+    """Pack a fitted estimator into flat arrays + a picklable manifest.
+
+    The JSON document (:func:`model_to_dict`) is the *persistence*
+    format; this is the *process-handoff* format: every per-tree node
+    array is concatenated per field into one contiguous array (ditto the
+    fitted mapper's bin edges), so the whole model plane can travel in a
+    handful of POSIX shared-memory segments.  The manifest carries only
+    scalars (config, per-tree node counts, per-feature edge counts).
+
+    :func:`model_from_arrays` rebuilds the estimator with **zero-copy
+    views** into the given arrays — N scoring workers map one exported
+    plane instead of each unpickling a full copy.
+    """
+    if isinstance(model, GBRegressor):
+        kind = "regressor"
+    elif isinstance(model, GBClassifier):
+        kind = "classifier"
+    else:
+        raise TypeError(f"cannot pack {type(model).__name__}")
+    if model.ensemble_ is None:
+        raise ValueError("model is not fitted; nothing to pack")
+    trees = model.ensemble_.trees
+    binnable = all(t.bin_threshold is not None for t in trees)
+    arrays: dict[str, np.ndarray] = {}
+    for name, dtype in _NODE_FIELDS:
+        arrays[f"tree:{name}"] = np.concatenate(
+            [np.asarray(getattr(t, name), dtype=dtype) for t in trees]
+        )
+    if binnable:
+        arrays["tree:bin_threshold"] = np.concatenate(
+            [np.asarray(t.bin_threshold, dtype=np.int64) for t in trees]
+        )
+    manifest = {
+        "kind": kind,
+        "config": dataclasses.asdict(model.config),
+        "n_features": int(model.n_features_),
+        "best_iteration": model.best_iteration_,
+        "base_score": float(model.ensemble_.base_score),
+        "n_nodes": [t.n_nodes for t in trees],
+        "binnable": binnable,
+        "mapper": None,
+    }
+    mapper = model.mapper_
+    if mapper is not None:
+        if mapper.bin_edges_ is None or mapper.n_bins_ is None:
+            raise ValueError("mapper is not fitted; cannot pack it")
+        manifest["mapper"] = {
+            "max_bins": mapper.max_bins,
+            "n_edges": [len(edges) for edges in mapper.bin_edges_],
+        }
+        arrays["mapper:edges"] = (
+            np.concatenate(mapper.bin_edges_)
+            if mapper.bin_edges_
+            else np.empty(0, dtype=np.float64)
+        )
+        arrays["mapper:n_bins"] = np.asarray(mapper.n_bins_, dtype=np.int64)
+    return manifest, arrays
+
+
+def model_from_arrays(manifest: dict, arrays: dict[str, np.ndarray]):
+    """Rebuild a fitted estimator from :func:`model_to_arrays` output.
+
+    Every tree/mapper array is a *view* (slice) of the packed arrays —
+    nothing numeric is copied, so arrays backed by shared memory stay
+    shared (and read-only) in the reconstructed model.
+    """
+    kind = manifest["kind"]
+    if kind not in _KINDS:
+        raise ValueError(f"unknown estimator kind {kind!r}")
+    config_doc = dict(manifest["config"])
+    if config_doc.get("monotone_constraints") is not None:
+        config_doc["monotone_constraints"] = tuple(
+            config_doc["monotone_constraints"]
+        )
+    model = _KINDS[kind](GBConfig(**config_doc))
+    model.n_features_ = int(manifest["n_features"])
+    model.best_iteration_ = (
+        None
+        if manifest["best_iteration"] is None
+        else int(manifest["best_iteration"])
+    )
+    trees = []
+    offset = 0
+    binnable = manifest["binnable"]
+    for n in manifest["n_nodes"]:
+        fields = {
+            name: arrays[f"tree:{name}"][offset : offset + n]
+            for name, _ in _NODE_FIELDS
+        }
+        if binnable:
+            fields["bin_threshold"] = arrays["tree:bin_threshold"][
+                offset : offset + n
+            ]
+        trees.append(Tree(**fields))
+        offset += n
+    model.ensemble_ = TreeEnsemble(
+        base_score=float(manifest["base_score"]), trees=trees
+    )
+    mapper_info = manifest["mapper"]
+    if mapper_info is None:
+        model.mapper_ = None
+    else:
+        mapper = BinMapper(max_bins=int(mapper_info["max_bins"]))
+        edges = arrays["mapper:edges"]
+        cuts, lo = [], 0
+        for n_edges in mapper_info["n_edges"]:
+            cuts.append(edges[lo : lo + n_edges])
+            lo += n_edges
+        mapper.bin_edges_ = cuts
+        mapper.n_bins_ = arrays["mapper:n_bins"]
+        model.mapper_ = mapper
     return model
 
 

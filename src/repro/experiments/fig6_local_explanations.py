@@ -14,7 +14,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.experiments.context import ExperimentContext, default_context
-from repro.explain import LocalExplanation, TreeShapExplainer, local_reports
+from repro.explain import LocalExplanation, local_reports
+from repro.serve.plane import parallel_shap
 
 __all__ = ["MatchedPair", "run_fig6", "render_fig6"]
 
@@ -43,6 +44,7 @@ def run_fig6(
     context: ExperimentContext | None = None,
     k: int = 5,
     tolerance: float = 0.25,
+    n_jobs: int | None = None,
 ) -> MatchedPair:
     """Find and explain a matched patient pair on the SPPB DD model.
 
@@ -53,6 +55,10 @@ def run_fig6(
     tolerance:
         Maximum |prediction difference| for two samples to count as
         "the same SPPB prediction".
+    n_jobs:
+        Workers for the SHAP sweep (default: the context's ``n_jobs``).
+        The sweep is row-sharded over the shared-memory model plane and
+        bitwise-identical to the serial pass for every worker count.
 
     Raises
     ------
@@ -67,12 +73,14 @@ def run_fig6(
     X = samples.X[test_idx]
     pids = samples.patient_ids[test_idx]
 
-    # One batched TreeSHAP pass explains the whole held-out block; the
-    # predictions fall out of the efficiency axiom, so the model is not
-    # traversed a second time.
-    explainer = TreeShapExplainer(result.model)
-    shap = explainer.shap_values(X)
-    preds = explainer.expected_value + shap.sum(axis=1)
+    # One batched TreeSHAP pass explains the whole held-out block
+    # (row-sharded across the executor when n_jobs > 1); the predictions
+    # fall out of the efficiency axiom, so the model is not traversed a
+    # second time.
+    shap, expected_value = parallel_shap(
+        result.model, X, n_jobs=n_jobs if n_jobs is not None else ctx.n_jobs
+    )
+    preds = expected_value + shap.sum(axis=1)
     names = list(samples.feature_names)
 
     order = np.argsort(preds)
@@ -96,7 +104,7 @@ def run_fig6(
 
     _, i, j = best
     expl_i, expl_j = local_reports(
-        shap[[i, j]], X[[i, j]], names, explainer.expected_value, k=k
+        shap[[i, j]], X[[i, j]], names, expected_value, k=k
     )
     return MatchedPair(
         patient_a=str(pids[i]),

@@ -14,7 +14,8 @@ import numpy as np
 
 from repro.cohort.schema import pro_item_names
 from repro.experiments.context import ExperimentContext, default_context
-from repro.explain import GlobalDependence, TreeShapExplainer, dependence_curve
+from repro.explain import GlobalDependence, dependence_curve
+from repro.serve.plane import parallel_shap
 
 __all__ = ["run_fig7", "render_fig7"]
 
@@ -25,11 +26,14 @@ _MAX_EXPLAIN = 300
 def run_fig7(
     context: ExperimentContext | None = None,
     outcome: str = "qol",
+    n_jobs: int | None = None,
 ) -> GlobalDependence:
     """Dependence curve of the PRO item with the clearest threshold.
 
     Candidates are ranked by (has a detected threshold, total |SV|
-    mass); the winner's full curve is returned.
+    mass); the winner's full curve is returned.  ``n_jobs`` (default:
+    the context's) row-shards the population SHAP pass over the
+    shared-memory model plane, bitwise-identical to the serial pass.
     """
     ctx = context or default_context()
     result = ctx.result(outcome, "dd", with_fi=True)
@@ -38,9 +42,11 @@ def run_fig7(
     X = samples.X[test_idx]
 
     # One batched TreeSHAP pass over the population block (routed in
-    # bin-code space via the model's fitted BinMapper).
-    explainer = TreeShapExplainer(result.model)
-    shap = explainer.shap_values(X)
+    # bin-code space via the model's fitted BinMapper), row-sharded
+    # across the executor when n_jobs > 1.
+    shap, _ = parallel_shap(
+        result.model, X, n_jobs=n_jobs if n_jobs is not None else ctx.n_jobs
+    )
     names = list(samples.feature_names)
 
     best_curve: GlobalDependence | None = None

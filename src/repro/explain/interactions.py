@@ -86,7 +86,7 @@ def _accumulate_tree_pairs(
 
     # Plain (unconditioned) pass — shares the weight tensor.
     delta = _plain_deltas(struct, one, weights)
-    plain[:, struct.used] += delta.reshape(n, L * m) @ struct.scatter
+    plain[:, struct.used] += struct.fold(delta.reshape(n, L * m))
 
     if m < 2:
         return

@@ -19,6 +19,25 @@ contribution and its own attribution factor ``one - zero`` is exactly
 0), so padding is mathematically exact — it is the same trick as the
 dummy root entry of Lundberg et al.'s Algorithm 2.
 
+Row determinism
+---------------
+Every reduction a structure participates in (``hot_fractions``'s
+``logical_and.reduceat``, :meth:`TreeStructure.fold`'s
+``add.reduceat``) runs in a fixed element order along a fixed-length
+axis, independently per sample row.  Combined with the elementwise
+EXTEND/UNWIND recurrences in :mod:`repro.explain.treeshap`, a row's
+SHAP values are therefore **bitwise identical no matter which batch the
+row arrives in** — the property that lets the multi-worker scoring
+plane (:mod:`repro.serve.router`) shard batches across processes and
+the parallel sweeps (:func:`repro.serve.plane.parallel_shap`) shard
+rows across the executor without changing a single output bit.
+(``tests/explain/test_row_determinism.py`` asserts it.)
+
+For shared-memory serving the per-tree summary also round-trips through
+flat arrays: :meth:`TreeStructure.to_flat` exports every field,
+:meth:`TreeStructure.from_flat` rebuilds the structure from (possibly
+shared-memory-backed, read-only) views without recomputing anything.
+
 The module also hosts the sample-routing primitives
 (:func:`node_decisions`, :func:`node_decisions_binned`) which replicate
 :meth:`repro.boosting.tree.Tree.predict` / ``predict_binned`` routing —
@@ -149,8 +168,26 @@ class TreeStructure:
         "seg_dirs",
         "seg_starts",
         "real_cols",
-        "scatter",
+        "fold_perm",
+        "fold_starts",
+        "fold_codes",
         "_pair_scatter",
+    )
+
+    #: 1-D array fields exported by :meth:`to_flat` (2-D fields are
+    #: flattened; their shapes are recovered from the scalars).
+    _FLAT_FIELDS = (
+        "leaf_values",
+        "zeros",
+        "used",
+        "feat_compact",
+        "seg_nodes",
+        "seg_dirs",
+        "seg_starts",
+        "real_cols",
+        "fold_perm",
+        "fold_starts",
+        "fold_codes",
     )
 
     def __init__(self, tree: Tree):
@@ -205,7 +242,9 @@ class TreeStructure:
             self.seg_dirs = np.empty(0, dtype=bool)
             self.seg_starts = np.empty(0, dtype=np.int64)
             self.real_cols = np.empty(0, dtype=np.int64)
-            self.scatter = np.empty((0, 0), dtype=np.float64)
+            self.fold_perm = np.empty(0, dtype=np.int64)
+            self.fold_starts = np.empty(0, dtype=np.int64)
+            self.fold_codes = np.empty(0, dtype=np.int64)
             return
 
         L = len(merged)
@@ -238,13 +277,23 @@ class TreeStructure:
         self.seg_starts = np.asarray(seg_starts, dtype=np.int64)
         self.real_cols = np.asarray(real_cols, dtype=np.int64)
 
-        # (L*m, U) indicator folding per-entry deltas onto used features;
-        # null-padding rows stay all-zero (their deltas are exactly 0).
-        scatter = np.zeros((L * m, U), dtype=np.float64)
+        # Sorted-group fold tables mapping flattened (L, m) entry deltas
+        # onto used-feature columns: positions are grouped by compact
+        # feature code so one np.add.reduceat accumulates every entry of
+        # a feature in a fixed order — unlike a (L*m, U) matmul, whose
+        # accumulation order can vary with the batch shape, this keeps
+        # per-row results bitwise independent of batch composition.
+        # The null-padding group (code U, deltas exactly 0) sorts last
+        # and is dropped by fold()'s code < U mask.
         flat = feat_compact.reshape(-1)
-        real = flat < U
-        scatter[np.flatnonzero(real), flat[real]] = 1.0
-        self.scatter = scatter
+        perm = np.argsort(flat, kind="stable")
+        sorted_codes = flat[perm]
+        starts = np.flatnonzero(
+            np.r_[True, sorted_codes[1:] != sorted_codes[:-1]]
+        )
+        self.fold_perm = perm
+        self.fold_starts = starts
+        self.fold_codes = sorted_codes[starts]
 
     def hot_fractions(self, decisions: np.ndarray) -> np.ndarray:
         """Per-(sample, leaf, entry) one fractions from a decision matrix.
@@ -263,6 +312,69 @@ class TreeStructure:
                 match, self.seg_starts, axis=1
             )
         return o.reshape(n, self.n_leaves, self.n_entries)
+
+    def fold(self, delta_flat: np.ndarray) -> np.ndarray:
+        """Fold flattened per-entry deltas onto used-feature columns.
+
+        ``delta_flat`` is ``(n, L * m)`` (the per-(leaf, entry) deltas of
+        one tree, flattened); the result is ``(n, U)`` — each used
+        feature's summed delta.  The sum runs via ``np.add.reduceat``
+        over positions grouped by feature, in a fixed order per group,
+        so every row's result is bitwise independent of ``n``.
+        """
+        sums = np.add.reduceat(
+            delta_flat[:, self.fold_perm], self.fold_starts, axis=1
+        )
+        U = len(self.used)
+        out = np.zeros((delta_flat.shape[0], U), dtype=np.float64)
+        real = self.fold_codes < U
+        out[:, self.fold_codes[real]] = sums[:, real]
+        return out
+
+    def to_flat(self) -> tuple[dict[str, np.ndarray], dict]:
+        """Export the structure as flat arrays + picklable scalars.
+
+        Returns ``(fields, scalars)``: every array field flattened to
+        1-D (ready for concatenation into shared-memory segments) and
+        the scalars needed to reassemble shapes.  Round-trips through
+        :meth:`from_flat` without recomputation.
+        """
+        fields = {
+            name: np.ascontiguousarray(getattr(self, name)).reshape(-1)
+            for name in self._FLAT_FIELDS
+        }
+        scalars = {
+            "n_entries": int(self.n_entries),
+            "n_leaves": int(self.n_leaves),
+            "min_features": int(self.min_features),
+            "expected_value": float(self.expected_value),
+        }
+        return fields, scalars
+
+    @classmethod
+    def from_flat(
+        cls, tree: Tree, fields: dict[str, np.ndarray], scalars: dict
+    ) -> "TreeStructure":
+        """Rebuild a structure from :meth:`to_flat` output (zero-copy).
+
+        ``fields`` arrays are kept as given — views into shared-memory
+        segments stay views, so N workers can map one exported plane
+        instead of each re-deriving the path summaries.
+        """
+        self = object.__new__(cls)
+        self.tree = tree
+        self.n_entries = int(scalars["n_entries"])
+        self.n_leaves = int(scalars["n_leaves"])
+        self.min_features = int(scalars["min_features"])
+        self.expected_value = float(scalars["expected_value"])
+        self._pair_scatter = None
+        L, m = self.n_leaves, self.n_entries
+        for name in cls._FLAT_FIELDS:
+            array = fields[name]
+            if name in ("zeros", "feat_compact"):
+                array = array.reshape(L, m)
+            setattr(self, name, array)
+        return self
 
     def pair_scatter(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Sorted-group tables folding (entry, entry) pair deltas.

@@ -82,7 +82,10 @@ def _unwound_sums(
         total_hot += tmp
         nvec = weights[..., i] - tmp * zero_e * ((M - i) / (M + 1))
     coef = (M + 1) / (M - np.arange(M, dtype=np.float64))
-    total_cold = (weights[..., :M] @ coef) / zero_e
+    # Elementwise product + fixed-axis sum instead of a matmul: the
+    # reduction order then depends only on M, never on the batch shape,
+    # keeping per-row results bitwise stable under any batching.
+    total_cold = (weights[..., :M] * coef).sum(axis=-1) / zero_e
     return np.where(one_e == 1.0, total_hot, total_cold)
 
 
@@ -107,7 +110,7 @@ def _accumulate_tree(
     weights = _extend_weights(one, struct.zeros)
     n, L, m = one.shape
     delta = _plain_deltas(struct, one, weights)
-    phi[:, struct.used] += delta.reshape(n, L * m) @ struct.scatter
+    phi[:, struct.used] += struct.fold(delta.reshape(n, L * m))
 
 
 class _PreprocessedExplainer:
@@ -119,7 +122,7 @@ class _PreprocessedExplainer:
     per-tree decision-matrix dispatch.
     """
 
-    def __init__(self, model):
+    def __init__(self, model, structures=None):
         ensemble = getattr(model, "ensemble_", model)
         if not isinstance(ensemble, TreeEnsemble):
             raise TypeError(
@@ -135,7 +138,17 @@ class _PreprocessedExplainer:
         #: fitted model's own mapper — codes from any other mapper are
         #: meaningless against the trees' ``bin_threshold``.
         self.bin_mapper = getattr(model, "mapper_", None)
-        self._structures = [TreeStructure(t) for t in ensemble.trees]
+        if structures is None:
+            structures = [TreeStructure(t) for t in ensemble.trees]
+        elif len(structures) != ensemble.n_trees:
+            raise ValueError(
+                f"got {len(structures)} prebuilt structures for an "
+                f"ensemble of {ensemble.n_trees} trees"
+            )
+        # Prebuilt structures let a shared-memory model plane
+        # (repro.serve.plane) pay the per-tree preprocessing once per
+        # version instead of once per worker process.
+        self._structures = structures
         self._min_features = max(
             (s.min_features for s in self._structures), default=0
         )
@@ -206,8 +219,8 @@ class TreeShapExplainer(_PreprocessedExplainer):
     exactly (the efficiency axiom, property-tested).
     """
 
-    def __init__(self, model):
-        super().__init__(model)
+    def __init__(self, model, structures=None):
+        super().__init__(model, structures)
         self.expected_value = self.ensemble.base_score + sum(
             s.expected_value for s in self._structures
         )

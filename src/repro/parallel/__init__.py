@@ -11,10 +11,16 @@ Worker-count selection: explicit ``n_jobs`` arguments beat the
 ``REPRO_JOBS`` environment variable; the default is serial.
 """
 
-from repro.parallel.executor import in_worker, parallel_map, resolve_jobs
+from repro.parallel.executor import (
+    ShardedPool,
+    in_worker,
+    parallel_map,
+    resolve_jobs,
+)
 from repro.parallel.shared import pack_samples, unpack_samples
 
 __all__ = [
+    "ShardedPool",
     "in_worker",
     "parallel_map",
     "resolve_jobs",

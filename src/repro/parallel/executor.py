@@ -29,6 +29,19 @@ Tasks must be picklable (module-level functions, plain-data items) to
 run on the process backend; anything unpicklable — a lambda model
 factory, say — silently degrades to the serial backend with identical
 results.
+
+Two execution modes ride on the same shared-memory handoff:
+
+* :func:`parallel_map` — one pool per call, per-task handoff.  With the
+  ``setup`` option each worker additionally runs a *map-once*
+  initializer over the attached arrays (e.g. materialise a model plane
+  into an explainer) and tasks receive the initializer's state instead
+  of the raw array dict.
+* :class:`ShardedPool` — a *persistent* pool for request serving: the
+  shared arrays are exported once, each long-lived worker runs ``setup``
+  once, and tasks tagged with a shard id always execute on the same
+  worker (``shard % n_workers``), so worker-local state such as an LRU
+  result cache sees a deterministic task subsequence.
 """
 
 from __future__ import annotations
@@ -37,18 +50,22 @@ import multiprocessing as mp
 import os
 import pickle
 import threading
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import connection as mp_connection
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
 from repro.parallel.shared import attach_shared, export_shared, release_shared
 
-__all__ = ["resolve_jobs", "parallel_map", "in_worker"]
+__all__ = ["resolve_jobs", "parallel_map", "in_worker", "ShardedPool"]
 
 _IN_WORKER = False
-_WORKER_SHARED: dict[str, np.ndarray] = {}
+#: Per-worker task state: the attached shared arrays, or the result of
+#: the map-once ``setup`` initializer when one was given.
+_WORKER_STATE: object = None
 
 
 def in_worker() -> bool:
@@ -88,50 +105,52 @@ def parallel_map(
     *,
     n_jobs: int | None = None,
     shared: dict[str, np.ndarray] | None = None,
+    setup: Callable | None = None,
+    setup_args: tuple = (),
 ) -> list:
-    """Evaluate ``fn(item, shared_arrays)`` for every item.
+    """Evaluate ``fn(item, state)`` for every item.
 
     Results come back in submission order regardless of completion
     order, so the output is identical to
-    ``[fn(item, shared) for item in items]`` on every backend.
+    ``[fn(item, state) for item in items]`` on every backend.
 
     Parameters
     ----------
     fn:
-        A pure function of ``(item, shared)``.  Module-level (picklable)
+        A pure function of ``(item, state)``.  Module-level (picklable)
         for the process backend; unpicklable callables/items fall back
         to serial execution.
     shared:
-        Name -> array mapping handed to every call.  On the process
+        Name -> array mapping attached once per worker.  On the process
         backend large numeric arrays travel via shared memory, the rest
         piggybacks on the worker initializer — nothing is re-sent per
         task.
+    setup:
+        Optional map-once initializer ``setup(arrays, *setup_args) ->
+        state``, run once per worker over the attached arrays (serially:
+        once in-process).  When given, tasks receive its return value as
+        ``state``; when omitted, ``state`` is the attached array dict
+        itself.  Use it to pay a per-model cost (deserialisation,
+        structure building) per *worker* instead of per task.
     n_jobs:
         See :func:`resolve_jobs`.
     """
     items = list(items)
     shared = dict(shared or {})
     jobs = min(resolve_jobs(n_jobs), len(items))
-    if jobs <= 1 or not _picklable((fn, items)):
-        return [fn(item, shared) for item in items]
+    if jobs <= 1 or not _picklable((fn, items, setup, setup_args)):
+        state = shared if setup is None else setup(shared, *setup_args)
+        return [fn(item, state) for item in items]
 
     specs, segments = export_shared(shared)
     try:
-        # fork is the cheap default (no re-import per worker), but
-        # forking a multithreaded parent can deadlock a child on a lock
-        # some other thread held at fork time — threaded callers (the
-        # context's documented thread-safe sharing) get spawn instead.
-        use_fork = (
-            "fork" in mp.get_all_start_methods()
-            and threading.active_count() == 1
-        )
-        context = mp.get_context("fork" if use_fork else "spawn")
+        context = mp.get_context(_start_method())
         try:
             with ProcessPoolExecutor(
                 max_workers=jobs,
                 mp_context=context,
                 initializer=_init_worker,
-                initargs=(specs,),
+                initargs=(specs, setup, setup_args),
             ) as pool:
                 futures = [pool.submit(_run_unit, fn, item) for item in items]
                 return [future.result() for future in futures]
@@ -139,19 +158,35 @@ def parallel_map(
             # A worker died (resource limits, killed container, ...).
             # The units are pure, so re-running serially gives the same
             # results — slower, never different.
-            return [fn(item, shared) for item in items]
+            state = shared if setup is None else setup(shared, *setup_args)
+            return [fn(item, state) for item in items]
     finally:
         release_shared(segments)
 
 
-def _init_worker(specs) -> None:
-    global _IN_WORKER, _WORKER_SHARED
+def _start_method() -> str:
+    """fork when safe, else spawn.
+
+    fork is the cheap default (no re-import per worker), but forking a
+    multithreaded parent can deadlock a child on a lock some other
+    thread held at fork time — threaded callers (the context's
+    documented thread-safe sharing) get spawn instead.
+    """
+    use_fork = (
+        "fork" in mp.get_all_start_methods() and threading.active_count() == 1
+    )
+    return "fork" if use_fork else "spawn"
+
+
+def _init_worker(specs, setup, setup_args) -> None:
+    global _IN_WORKER, _WORKER_STATE
     _IN_WORKER = True
-    _WORKER_SHARED = attach_shared(specs)
+    arrays = attach_shared(specs)
+    _WORKER_STATE = arrays if setup is None else setup(arrays, *setup_args)
 
 
 def _run_unit(fn: Callable, item):
-    return fn(item, _WORKER_SHARED)
+    return fn(item, _WORKER_STATE)
 
 
 def _picklable(payload: Sequence) -> bool:
@@ -160,3 +195,243 @@ def _picklable(payload: Sequence) -> bool:
     except Exception:
         return False
     return True
+
+
+class ShardedPool:
+    """Long-lived workers with stable shard → worker affinity.
+
+    Unlike :func:`parallel_map`'s pool-per-call, a ShardedPool survives
+    across many :meth:`scatter` calls: the shared arrays are exported
+    once at construction, every worker runs ``setup(arrays,
+    *setup_args)`` exactly once, and a task tagged with shard ``s``
+    always executes on worker ``s % n_workers``.  Worker-local state —
+    the scoring plane's per-shard LRU caches above all — therefore sees
+    a deterministic subsequence of the task stream.
+
+    Robustness mirrors :func:`parallel_map`: with ``n_jobs <= 1``, an
+    unpicklable setup, or no usable shared memory the pool degrades to
+    in-process execution (one lazily built local state); a worker dying
+    mid-task routes that worker's tasks to the local state as well —
+    slower, never different (tasks must be pure).  :meth:`close` (or the
+    context manager) shuts workers down and **unlinks every shared
+    segment** even when workers crashed.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_jobs: int | None = None,
+        shared: dict[str, np.ndarray] | None = None,
+        setup: Callable | None = None,
+        setup_args: tuple = (),
+    ):
+        self._shared = dict(shared or {})
+        self._setup = setup
+        self._setup_args = setup_args
+        self._local_state = None
+        self._has_local_state = False
+        self._segments: list = []
+        self._procs: list = []
+        self._conns: list = []
+        self._dead: set[int] = set()
+        self._closed = False
+        self.workers = resolve_jobs(n_jobs)
+        if self.workers <= 1 or not _picklable((setup, setup_args)):
+            self.workers = 1
+            return
+        specs, self._segments = export_shared(self._shared)
+        context = mp.get_context(_start_method())
+        try:
+            for _ in range(self.workers):
+                parent_conn, child_conn = context.Pipe(duplex=True)
+                proc = context.Process(
+                    target=_shard_worker_loop,
+                    args=(child_conn, specs, setup, setup_args),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._procs.append(proc)
+                self._conns.append(parent_conn)
+        except OSError:
+            self.close()
+            self._closed = False
+            self.workers = 1
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ShardedPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _state(self):
+        """The in-process fallback state (built on first use)."""
+        if not self._has_local_state:
+            self._local_state = (
+                self._shared
+                if self._setup is None
+                else self._setup(self._shared, *self._setup_args)
+            )
+            self._has_local_state = True
+        return self._local_state
+
+    # ------------------------------------------------------------------
+    def scatter(self, fn: Callable, tasks: Sequence[tuple[int, object]]) -> list:
+        """Run ``fn(payload, state)`` for every ``(shard, payload)`` task.
+
+        Results return in task order.  Tasks sharing a shard run on the
+        same worker, in order; distinct shards run **concurrently** via
+        a window-1 pipeline per worker: a worker receives its next task
+        only after its previous result was read.  The parent therefore
+        only ever sends to an idle worker (which is blocked reading) and
+        only ever receives from workers it is not sending to — no pipe
+        buffer can fill into a circular wait, whatever the payload or
+        result sizes.  A task raising propagates the error to the caller
+        (after the batch has drained, so sibling shards are not left
+        half-consumed).
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        if (
+            self.workers <= 1
+            or len(self._dead) == len(self._procs)
+            or not _picklable((fn,))
+        ):
+            state = self._state()
+            return [fn(payload, state) for _, payload in tasks]
+
+        queues: dict[int, deque] = {}
+        for pos, (shard, payload) in enumerate(tasks):
+            queues.setdefault(shard % self.workers, deque()).append(
+                (pos, payload)
+            )
+        results: list = [None] * len(tasks)
+        failed: list[tuple[int, BaseException]] = []
+        fallback: list[tuple[int, object]] = []
+        #: worker -> its one in-flight (position, payload).
+        in_flight: dict[int, tuple[int, object]] = {}
+
+        def feed(w: int) -> None:
+            """Hand worker ``w`` its next sendable queued task, if any."""
+            queue = queues.get(w)
+            while queue:
+                pos, payload = queue[0]
+                try:
+                    self._conns[w].send((fn, payload))
+                except (BrokenPipeError, OSError):
+                    self._mark_dead(w)
+                    fallback.extend(queues.pop(w))
+                    return
+                except Exception:
+                    # Pickling the task failed, so nothing reached the
+                    # pipe (Connection.send serialises fully before
+                    # writing): the channel is still in sync — run just
+                    # this payload in-process and keep the worker.
+                    queue.popleft()
+                    fallback.append((pos, payload))
+                    continue
+                queue.popleft()
+                in_flight[w] = (pos, payload)
+                return
+            queues.pop(w, None)
+
+        for w in list(queues):
+            if w in self._dead:
+                fallback.extend(queues.pop(w))
+            else:
+                feed(w)
+        while in_flight:
+            by_conn = {self._conns[w]: w for w in in_flight}
+            for conn in mp_connection.wait(list(by_conn)):
+                w = by_conn[conn]
+                pos, payload = in_flight.pop(w)
+                try:
+                    status, value = conn.recv()
+                except (EOFError, OSError):
+                    # Worker died mid-task: everything it still owed is
+                    # recomputed in-process.
+                    self._mark_dead(w)
+                    fallback.append((pos, payload))
+                    fallback.extend(queues.pop(w, ()))
+                    continue
+                except Exception:
+                    # The message was fully consumed but its payload did
+                    # not unpickle (e.g. an exotic worker exception):
+                    # the channel is still in sync, so recompute the one
+                    # task in-process and keep the worker serving.
+                    fallback.append((pos, payload))
+                    feed(w)
+                    continue
+                if status == "ok":
+                    results[pos] = value
+                else:
+                    failed.append((pos, value))
+                feed(w)
+        for pos, payload in fallback:
+            results[pos] = fn(payload, self._state())
+        if failed:
+            raise min(failed, key=lambda entry: entry[0])[1]
+        return results
+
+    def _mark_dead(self, w: int) -> None:
+        self._dead.add(w)
+        try:
+            self._conns[w].close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut workers down and unlink the shared segments (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for w, conn in enumerate(self._conns):
+            if w in self._dead:
+                continue
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=5)
+        for w, conn in enumerate(self._conns):
+            if w not in self._dead:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+        self._procs = []
+        self._conns = []
+        release_shared(self._segments)
+        self._segments = []
+
+
+def _shard_worker_loop(conn, specs, setup, setup_args) -> None:
+    """One shard worker: attach the plane once, then serve tasks."""
+    global _IN_WORKER
+    _IN_WORKER = True
+    arrays = attach_shared(specs)
+    state = arrays if setup is None else setup(arrays, *setup_args)
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):  # parent went away
+            break
+        if message is None:
+            break
+        fn, payload = message
+        try:
+            result = fn(payload, state)
+        except BaseException as exc:  # ship the failure, keep serving
+            try:
+                conn.send(("error", exc))
+            except Exception:  # unpicklable exception: die loudly
+                raise exc from None
+        else:
+            conn.send(("ok", result))
+    conn.close()

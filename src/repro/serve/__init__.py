@@ -22,13 +22,25 @@ fitted model assisting many clinical visits, scaled to heavy traffic:
     with equal codes are indistinguishable to every tree — so cache hits
     return bitwise-identical predictions and SHAP values, never
     approximations.
+``ModelPlane`` / ``ScoringRouter``
+    The multi-worker scoring plane (:mod:`repro.serve.plane`,
+    :mod:`repro.serve.router`): the plane packs a version's quantized
+    representation — tree node arrays, bin thresholds, fitted bin
+    edges, preprocessed TreeSHAP path structures — into shared memory
+    once, N workers map it, and the router coalesces heterogeneous
+    requests across callers into size/deadline-bounded micro-batches
+    sharded by bin-code hash.  Output is bitwise-identical to the
+    single-process service for every worker count.
 ``python -m repro serve``
     Offline driver (:mod:`repro.serve.driver`): publish models into a
-    registry and score cohort CSV tables end-to-end.
+    registry and score cohort CSV tables end-to-end (streamed in
+    chunks, optionally multi-worker via ``--jobs``).
 """
 
 from repro.serve.cache import CacheStats, LRUCache
+from repro.serve.plane import ModelPlane, parallel_shap
 from repro.serve.registry import ModelRegistry, ModelVersion, model_fingerprint
+from repro.serve.router import RouterStats, ScoringRouter
 from repro.serve.service import (
     ScoreRequest,
     ScoreResult,
@@ -39,11 +51,15 @@ from repro.serve.service import (
 __all__ = [
     "CacheStats",
     "LRUCache",
+    "ModelPlane",
     "ModelRegistry",
     "ModelVersion",
     "model_fingerprint",
+    "parallel_shap",
+    "RouterStats",
     "ScoreRequest",
     "ScoreResult",
+    "ScoringRouter",
     "ScoringService",
     "ServiceStats",
 ]

@@ -10,14 +10,20 @@ Three subcommands cover the train-once / score-later lifecycle::
     python -m repro serve versions --registry models/ --name sppb
 
     # score a cohort CSV end-to-end (micro-batched, cached, optionally
-    # with per-row attribution reports)
+    # with per-row attribution reports; --jobs N runs the multi-worker
+    # scoring plane)
     python -m repro serve score --registry models/ --name sppb \\
-        --input visits.csv --out scored.csv --explain
+        --input visits.csv --out scored.csv --explain --jobs 4
 
 ``score`` appends a ``prediction`` column (plus ``probability`` for
 classifiers) to the input table, writes per-row attribution reports next
 to the output when ``--explain`` is given, and prints throughput plus
-cache statistics.
+cache statistics.  The input table is **streamed in chunks**
+(``--chunk-rows``) so peak memory is bounded by the chunk size, not the
+cohort size, and the output CSV/report files are appended incrementally;
+because the scoring engine is row-deterministic, chunked output is
+byte-identical to whole-table scoring for any chunk size and worker
+count.
 """
 
 from __future__ import annotations
@@ -31,9 +37,10 @@ import numpy as np
 
 from repro.boosting import GBClassifier, GBConfig, GBRegressor
 from repro.serve.registry import ModelRegistry
-from repro.serve.service import ScoreRequest, ScoringService
+from repro.serve.router import ScoringRouter
+from repro.serve.service import ScoreRequest
 from repro.tabular.column import ColumnType
-from repro.tabular.io import read_csv, write_csv
+from repro.tabular.io import CsvBatchWriter, iter_csv_batches, read_csv
 from repro.tabular.table import Table
 
 __all__ = ["build_serve_parser", "main"]
@@ -87,6 +94,23 @@ def build_serve_parser() -> argparse.ArgumentParser:
     sc.add_argument("--top-k", type=int, default=5)
     sc.add_argument("--batch-size", type=int, default=256)
     sc.add_argument("--cache-size", type=int, default=4096)
+    sc.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="scoring worker processes (default: the REPRO_JOBS "
+        "environment variable, else serial; 0 or -1 = one per CPU).  "
+        "Output is byte-identical on every backend.",
+    )
+    sc.add_argument(
+        "--chunk-rows",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="stream the input CSV in chunks of N rows (bounds peak "
+        "memory; does not change any output byte)",
+    )
     return parser
 
 
@@ -180,6 +204,8 @@ def _versions(args: argparse.Namespace) -> int:
 def _score(args: argparse.Namespace) -> int:
     if args.batch_size < 1:
         raise ValueError("--batch-size must be >= 1")
+    if args.chunk_rows < 1:
+        raise ValueError("--chunk-rows must be >= 1")
     # Validate the output target up front: a bad --out must not waste a
     # full (potentially expensive) scoring run.
     _ensure_parent(args.out)
@@ -199,55 +225,109 @@ def _score(args: argparse.Namespace) -> int:
             f"{len(features)} feature columns named, but {version.ref} "
             f"was fitted on {version.n_features} features"
         )
-    service = ScoringService.from_registry(
+    router = ScoringRouter.from_registry(
         registry,
         args.name,
         args.tag,
         feature_names=list(features),
+        n_jobs=args.jobs,
+        max_batch=args.batch_size,
         cache_size=args.cache_size,
         top_k=args.top_k,
     )
-    table = read_csv(args.input)
-    X = _numeric_matrix(table, list(features))
+    try:
+        return _score_stream(args, router, version, list(features))
+    finally:
+        router.close()
 
-    t0 = time.perf_counter()
-    results = []
-    for start in range(0, X.shape[0], args.batch_size):
-        block = X[start : start + args.batch_size]
-        results.extend(
-            service.score_batch(
-                [
-                    ScoreRequest(row=block[i], explain=args.explain)
-                    for i in range(block.shape[0])
-                ]
+
+def _score_stream(args, router, version, features: list[str]) -> int:
+    """Stream input chunks through the router, appending outputs.
+
+    Peak memory holds one ``--chunk-rows`` chunk, its results and the
+    model plane — never the whole cohort.  Chunking does not change a
+    single output byte (the engine is row-deterministic and the cache
+    is exact), asserted by the chunked-vs-whole driver test.
+    """
+    writer: CsvBatchWriter | None = None
+    report_fh = None
+    report_path = args.out.with_suffix(".reports.txt")
+    n_rows = 0
+    elapsed = 0.0
+    has_probability = False
+    try:
+        for chunk in iter_csv_batches(args.input, args.chunk_rows):
+            X = _numeric_matrix(chunk, features)
+            t0 = time.perf_counter()
+            results = []
+            for start in range(0, X.shape[0], args.batch_size):
+                block = X[start : start + args.batch_size]
+                results.extend(
+                    router.score_batch(
+                        [
+                            ScoreRequest(row=block[i], explain=args.explain)
+                            for i in range(block.shape[0])
+                        ]
+                    )
+                )
+            elapsed += time.perf_counter() - t0
+
+            scored = chunk.with_column(
+                "prediction", np.asarray([r.prediction for r in results])
             )
-        )
-    elapsed = time.perf_counter() - t0
+            if results and results[0].probability is not None:
+                has_probability = True
+            if has_probability:
+                scored = scored.with_column(
+                    "probability", np.asarray([r.probability for r in results])
+                )
+            if writer is None:
+                writer = CsvBatchWriter(args.out)
+            writer.write(scored)
 
-    scored = table.with_column(
-        "prediction", np.asarray([r.prediction for r in results])
-    )
-    if results and results[0].probability is not None:
-        scored = scored.with_column(
-            "probability", np.asarray([r.probability for r in results])
-        )
-    write_csv(scored, args.out)
-    print(f"scored {len(results)} rows with {version.ref} -> {args.out}")
+            if args.explain:
+                if report_fh is None:
+                    report_fh = report_path.open("w", encoding="utf-8")
+                for i, result in enumerate(results, start=n_rows):
+                    if i > 0:
+                        report_fh.write("\n")
+                    report_fh.write(
+                        f"# row {i}\n{result.explanation.render()}\n"
+                    )
+            n_rows += len(results)
 
+        if writer is None:
+            # Header-only (or headerless) input: fall back to the
+            # whole-table path so the output mirrors the input shape —
+            # still validating that the feature columns exist.  Zero
+            # rows cannot anchor type inference, so the feature columns
+            # are pinned to FLOAT explicitly.
+            table = read_csv(
+                args.input,
+                types={name: ColumnType.FLOAT for name in features},
+            )
+            _numeric_matrix(table, features)
+            scored = table.with_column(
+                "prediction", np.empty(0, dtype=np.float64)
+            )
+            writer = CsvBatchWriter(args.out)
+            writer.write(scored)
+            if args.explain:
+                report_path.write_text("", encoding="utf-8")
+    finally:
+        if writer is not None:
+            writer.close()
+        if report_fh is not None:
+            report_fh.close()
+
+    print(f"scored {n_rows} rows with {version.ref} -> {args.out}")
     if args.explain:
-        report_path = args.out.with_suffix(".reports.txt")
-        lines = []
-        for i, result in enumerate(results):
-            lines.append(f"# row {i}")
-            lines.append(result.explanation.render())
-            lines.append("")
-        report_path.write_text("\n".join(lines), encoding="utf-8")
-        print(f"wrote {len(results)} attribution reports -> {report_path}")
-
-    cache = service.cache_stats
-    rate = len(results) / elapsed if elapsed > 0 else float("inf")
+        print(f"wrote {n_rows} attribution reports -> {report_path}")
+    cache = router.cache_stats
+    rate = n_rows / elapsed if elapsed > 0 else float("inf")
+    workers = f", {router.workers} workers" if router.workers > 1 else ""
     print(
-        f"  {elapsed:.3f}s ({rate:.0f} rows/s), cache hit rate "
+        f"  {elapsed:.3f}s ({rate:.0f} rows/s{workers}), cache hit rate "
         f"{100 * cache.hit_rate:.1f}% ({cache.hits} hits / {cache.misses} misses)"
     )
     return 0

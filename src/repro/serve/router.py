@@ -1,0 +1,351 @@
+"""Multi-worker request router: coalesce, shard, score, reassemble.
+
+:class:`ScoringRouter` is the front end of the multi-worker scoring
+plane.  It accepts heterogeneous predict/explain requests from any
+number of callers, coalesces them into micro-batches bounded by *size*
+(``max_batch``) and *deadline* (``max_delay`` seconds a request may wait
+for co-travellers), and fans every micro-batch over a pool of scoring
+workers that each map the shared-memory :class:`~repro.serve.plane
+.ModelPlane` once (:class:`~repro.parallel.executor.ShardedPool`).
+
+Sharding and the cache contract
+-------------------------------
+Rows are routed to workers by a stable hash of their **bin codes** (the
+model's own quantized view of the row).  Each worker owns one shard of
+the exact-result LRU, and every entry — cached or computed, in any
+worker layout — was produced by the row-deterministic batched engine,
+so every *answer* (raw score, prediction, probability, attribution
+report) is **bitwise identical** to the single-process
+:class:`~repro.serve.service.ScoringService` on the same request
+stream, cache-cold and cache-hot (asserted in
+``tests/serve/test_router.py``).  The ``cached`` flag and hit
+statistics coincide with the single process as well while the distinct
+working set fits the cache; under eviction pressure the per-shard LRUs
+age entries by shard-local rather than global recency, which can only
+flip ``cached`` bookkeeping — never a value (also asserted, under
+forced eviction).
+
+Worker selection follows the executor's convention: ``n_jobs`` argument
+over ``REPRO_JOBS`` over the serial default; the serial path scores
+in-process on one plane-materialised service, with zero IPC.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.parallel import ShardedPool
+from repro.serve.cache import CacheStats
+from repro.serve.plane import ModelPlane
+from repro.serve.registry import ModelRegistry
+from repro.serve.service import (
+    ScoreRequest,
+    ScoreResult,
+    ScoringService,
+    registry_model,
+    stack_request_rows,
+)
+
+__all__ = ["RouterStats", "ScoringRouter"]
+
+
+@dataclass
+class RouterStats:
+    """Lifetime counters of one :class:`ScoringRouter`."""
+
+    requests: int = 0
+    micro_batches: int = 0
+    shard_batches: int = 0
+    total_seconds: float = 0.0
+
+    @property
+    def rows_per_second(self) -> float:
+        """Lifetime request throughput (0 when idle)."""
+        if self.total_seconds == 0.0:
+            return 0.0
+        return self.requests / self.total_seconds
+
+
+def _plane_service(
+    arrays: dict,
+    manifest: dict,
+    feature_names: tuple,
+    cache_size: int,
+    top_k: int,
+) -> ScoringService:
+    """Worker initializer: map the plane into one shard's service."""
+    model, explainer = ModelPlane.materialize(manifest, arrays)
+    return ScoringService(
+        model,
+        version=manifest["version"],
+        feature_names=list(feature_names),
+        cache_size=cache_size,
+        top_k=top_k,
+        explainer=explainer,
+    )
+
+
+def _score_shard(payload, service: ScoringService):
+    """One shard's slice of a micro-batch, scored on its own service."""
+    rows, explain, codes = payload
+    results = service.score_batch(
+        [
+            ScoreRequest(row=rows[i], explain=explain[i])
+            for i in range(rows.shape[0])
+        ],
+        codes=codes,
+    )
+    return results, os.getpid(), service.cache_stats
+
+
+class ScoringRouter:
+    """Route request streams over N plane-mapped scoring workers.
+
+    Parameters
+    ----------
+    model:
+        A fitted estimator carrying its ``mapper_`` and bin thresholds
+        (anything :class:`~repro.serve.plane.ModelPlane` accepts).
+    version:
+        Cache-namespace tag; defaults to the model's content
+        fingerprint (same convention as ``ScoringService``).
+    feature_names:
+        Column names for attribution reports.
+    n_jobs:
+        Scoring workers: argument over ``REPRO_JOBS`` over serial.
+        Results are bitwise-identical for every value.
+    max_batch:
+        Micro-batch size bound: a flush happens at the latest when this
+        many requests are pending.
+    max_delay:
+        Deadline bound in seconds: on the next :meth:`submit` or
+        :meth:`poll` after the oldest pending request has waited this
+        long, the batch flushes regardless of size.
+    cache_size:
+        Per-shard LRU capacity in rows (each worker owns one shard).
+    top_k:
+        Features per attribution report.
+    clock:
+        Injectable monotonic clock (tests drive the deadline logic).
+    """
+
+    def __init__(
+        self,
+        model,
+        *,
+        version: str | None = None,
+        feature_names: Sequence[str] | None = None,
+        n_jobs: int | None = None,
+        max_batch: int = 64,
+        max_delay: float = 0.005,
+        cache_size: int = 4096,
+        top_k: int = 5,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {max_delay}")
+        plane = ModelPlane.pack(model, version=version)
+        self.version = plane.version
+        self.n_features = int(model.n_features_)
+        if feature_names is None:
+            feature_names = [f"f{i}" for i in range(self.n_features)]
+        if len(feature_names) != self.n_features:
+            raise ValueError(
+                f"got {len(feature_names)} feature names for a model "
+                f"fitted on {self.n_features} features"
+            )
+        self.feature_names = list(feature_names)
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self._model = model  # parent-side binning for shard routing
+        self._clock = clock
+        self._pool = ShardedPool(
+            n_jobs=n_jobs,
+            shared=plane.arrays,
+            setup=_plane_service,
+            setup_args=(
+                plane.manifest,
+                tuple(self.feature_names),
+                cache_size,
+                top_k,
+            ),
+        )
+        self._pending: list[ScoreRequest] = []
+        self._pending_since: float | None = None
+        self._completed: list[ScoreResult] = []
+        self._stats = RouterStats()
+        self._shard_caches: dict[int, CacheStats] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_registry(
+        cls,
+        registry: ModelRegistry,
+        name: str,
+        tag: str | None = None,
+        **kwargs,
+    ) -> "ScoringRouter":
+        """Load ``name@tag`` (default latest) and wrap it in a router."""
+        return cls(registry_model(registry, name, tag, kwargs), **kwargs)
+
+    @property
+    def workers(self) -> int:
+        """Scoring worker count (1 = in-process serial path)."""
+        return self._pool.workers
+
+    # ------------------------------------------------------------------
+    # Cross-request coalescing.
+
+    def submit(self, request: ScoreRequest) -> None:
+        """Queue one request; flushes on the size or deadline bound.
+
+        Results of flushed batches accumulate in submission order and
+        are collected with :meth:`poll` or :meth:`drain`.
+        """
+        if self._pending and self._deadline_passed():
+            self._flush()
+        if not self._pending:
+            self._pending_since = self._clock()
+        self._pending.append(request)
+        if len(self._pending) >= self.max_batch:
+            self._flush()
+
+    def poll(self) -> list[ScoreResult]:
+        """Collect finished results; flushes first if the deadline passed."""
+        if self._pending and self._deadline_passed():
+            self._flush()
+        done = self._completed
+        self._completed = []
+        return done
+
+    def drain(self) -> list[ScoreResult]:
+        """Flush everything pending and collect all finished results."""
+        self._flush()
+        done = self._completed
+        self._completed = []
+        return done
+
+    def score_batch(self, requests: Sequence[ScoreRequest]) -> list[ScoreResult]:
+        """Score one pre-coalesced micro-batch (drop-in for the service).
+
+        Anything already pending is flushed first so the submission
+        order of results is preserved.
+        """
+        self._flush()
+        return self._execute(list(requests))
+
+    def score_rows(self, X: np.ndarray, explain: bool = False) -> list[ScoreResult]:
+        """Convenience wrapper: stream a matrix through the router."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"expected 2-D input, got shape {X.shape}")
+        for i in range(X.shape[0]):
+            self.submit(ScoreRequest(row=X[i], explain=explain))
+        return self.drain()
+
+    def _deadline_passed(self) -> bool:
+        return (
+            self._pending_since is not None
+            and self._clock() - self._pending_since >= self.max_delay
+        )
+
+    def _flush(self) -> None:
+        batch, self._pending, self._pending_since = self._pending, [], None
+        if batch:
+            self._completed.extend(self._execute(batch))
+
+    # ------------------------------------------------------------------
+    # Micro-batch execution.
+
+    def _execute(self, batch: list[ScoreRequest]) -> list[ScoreResult]:
+        if self._closed:
+            raise RuntimeError("router is closed")
+        if not batch:
+            return []
+        t0 = time.perf_counter()
+        rows = self._stack_rows(batch)
+        explain = tuple(bool(req.explain) for req in batch)
+        if self._pool.workers <= 1:
+            groups = [(0, np.arange(len(batch)))]
+            codes = None
+        else:
+            # One quantization pass serves both the shard hash and the
+            # workers' cache keys (codes ship in the payload, so a row
+            # is never binned twice).
+            codes = self._model.bin(rows)
+            shards = np.fromiter(
+                (
+                    zlib.crc32(codes[i].tobytes()) % self._pool.workers
+                    for i in range(len(batch))
+                ),
+                dtype=np.int64,
+                count=len(batch),
+            )
+            groups = [
+                (int(s), np.flatnonzero(shards == s))
+                for s in np.unique(shards)
+            ]
+        tasks = [
+            (
+                shard,
+                (
+                    rows[idx],
+                    tuple(explain[i] for i in idx),
+                    None if codes is None else codes[idx],
+                ),
+            )
+            for shard, idx in groups
+        ]
+        outcomes = self._pool.scatter(_score_shard, tasks)
+        results: list[ScoreResult | None] = [None] * len(batch)
+        for (shard, idx), (shard_results, pid, cache) in zip(groups, outcomes):
+            for i, result in zip(idx, shard_results):
+                results[i] = result
+            self._shard_caches[pid] = cache
+        self._stats.requests += len(batch)
+        self._stats.micro_batches += 1
+        self._stats.shard_batches += len(tasks)
+        self._stats.total_seconds += time.perf_counter() - t0
+        return results
+
+    def _stack_rows(self, requests: Sequence[ScoreRequest]) -> np.ndarray:
+        return stack_request_rows(requests, self.n_features)
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> RouterStats:
+        """Lifetime router counters."""
+        return self._stats
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Aggregated counters over every shard's result cache."""
+        snapshots = list(self._shard_caches.values())
+        return CacheStats(
+            hits=sum(s.hits for s in snapshots),
+            misses=sum(s.misses for s in snapshots),
+            evictions=sum(s.evictions for s in snapshots),
+            size=sum(s.size for s in snapshots),
+            capacity=sum(s.capacity for s in snapshots),
+        )
+
+    def close(self) -> None:
+        """Shut the worker pool down and unlink the plane (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._pool.close()
+
+    def __enter__(self) -> "ScoringRouter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -33,7 +33,55 @@ from repro.explain.treeshap import TreeShapExplainer
 from repro.serve.cache import CacheStats, LRUCache
 from repro.serve.registry import ModelRegistry, model_fingerprint
 
-__all__ = ["ScoreRequest", "ScoreResult", "ScoringService", "ServiceStats"]
+__all__ = [
+    "ScoreRequest",
+    "ScoreResult",
+    "ScoringService",
+    "ServiceStats",
+    "stack_request_rows",
+    "registry_model",
+]
+
+
+def stack_request_rows(
+    requests: Sequence["ScoreRequest"], n_features: int
+) -> np.ndarray:
+    """Validate and stack request rows into one ``(n, d)`` matrix.
+
+    Shared by the single-process service and the multi-worker router so
+    both fronts reject malformed rows identically.
+    """
+    rows = np.empty((len(requests), n_features), dtype=np.float64)
+    for i, req in enumerate(requests):
+        row = np.asarray(req.row, dtype=np.float64)
+        if row.shape != (n_features,):
+            raise ValueError(
+                f"request {i}: expected row of shape "
+                f"({n_features},), got {row.shape}"
+            )
+        rows[i] = row
+    return rows
+
+
+def registry_model(
+    registry: ModelRegistry, name: str, tag: str | None, kwargs: dict
+):
+    """Load ``name@tag`` and default the scoring-front kwargs.
+
+    Resolves the tag, loads the model, and fills in ``version`` (the
+    stable registry reference, no re-fingerprinting) and
+    ``feature_names`` (from the published metadata) unless the caller
+    set them — the one loading convention behind both
+    ``ScoringService.from_registry`` and ``ScoringRouter.from_registry``.
+    """
+    tag = registry.resolve(name, tag)
+    model = registry.load(name, tag)
+    kwargs.setdefault("version", f"{name}@{tag}")
+    if "feature_names" not in kwargs:
+        features = registry.describe(name, tag).metadata.get("features")
+        if features is not None:
+            kwargs["feature_names"] = list(features)
+    return model
 
 
 @dataclass(frozen=True)
@@ -142,6 +190,11 @@ class ScoringService:
         LRU capacity in rows (0 disables caching).
     top_k:
         Features per attribution report (the paper reports 5).
+    explainer:
+        Optional prebuilt :class:`TreeShapExplainer` over ``model``
+        (e.g. one materialised from a shared-memory
+        :class:`~repro.serve.plane.ModelPlane`); by default the service
+        preprocesses the trees itself.
     """
 
     def __init__(
@@ -152,6 +205,7 @@ class ScoringService:
         feature_names: Sequence[str] | None = None,
         cache_size: int = 4096,
         top_k: int = 5,
+        explainer: TreeShapExplainer | None = None,
     ):
         if getattr(model, "ensemble_", None) is None:
             raise ValueError("model is not fitted")
@@ -161,7 +215,7 @@ class ScoringService:
                 "through the registry (format v2) or refit"
             )
         self.model = model
-        self.explainer = TreeShapExplainer(model)
+        self.explainer = explainer or TreeShapExplainer(model)
         if not self.explainer.supports_binned:
             raise ValueError(
                 "model trees carry no bin thresholds; the service "
@@ -199,23 +253,36 @@ class ScoringService:
         The cache version is the registry reference, so it is stable
         across processes without re-fingerprinting the document.
         """
-        tag = registry.resolve(name, tag)
-        model = registry.load(name, tag)
-        kwargs.setdefault("version", f"{name}@{tag}")
-        if "feature_names" not in kwargs:
-            features = registry.describe(name, tag).metadata.get("features")
-            if features is not None:
-                kwargs["feature_names"] = list(features)
-        return cls(model, **kwargs)
+        return cls(registry_model(registry, name, tag, kwargs), **kwargs)
 
     # ------------------------------------------------------------------
-    def score_batch(self, requests: Sequence[ScoreRequest]) -> list[ScoreResult]:
-        """Score a heterogeneous micro-batch with single engine calls."""
+    def score_batch(
+        self,
+        requests: Sequence[ScoreRequest],
+        codes: np.ndarray | None = None,
+    ) -> list[ScoreResult]:
+        """Score a heterogeneous micro-batch with single engine calls.
+
+        ``codes`` optionally passes the rows' bin codes computed
+        upstream (they must come from this model's own mapper — the
+        router already quantizes every batch for shard hashing, so its
+        workers skip re-binning).  Codes from the same mapper are
+        bitwise identical wherever they are computed, so the option
+        never changes a result.
+        """
         if not requests:
             return []
         t0 = time.perf_counter()
         rows = self._stack_rows(requests)
-        codes = self.model.bin(rows)
+        if codes is None:
+            codes = self.model.bin(rows)
+        else:
+            codes = np.asarray(codes)
+            if codes.shape != rows.shape:
+                raise ValueError(
+                    f"expected codes of shape {rows.shape}, "
+                    f"got {codes.shape}"
+                )
         plan = self._plan(requests, codes)
         self._compute(plan, codes)
         results = self._assemble(requests, rows, plan)
@@ -235,16 +302,7 @@ class ScoringService:
 
     # ------------------------------------------------------------------
     def _stack_rows(self, requests: Sequence[ScoreRequest]) -> np.ndarray:
-        rows = np.empty((len(requests), self.n_features), dtype=np.float64)
-        for i, req in enumerate(requests):
-            row = np.asarray(req.row, dtype=np.float64)
-            if row.shape != (self.n_features,):
-                raise ValueError(
-                    f"request {i}: expected row of shape "
-                    f"({self.n_features},), got {row.shape}"
-                )
-            rows[i] = row
-        return rows
+        return stack_request_rows(requests, self.n_features)
 
     def _plan(self, requests: Sequence[ScoreRequest], codes: np.ndarray) -> _Plan:
         """Split a batch into cache hits, in-batch duplicates and misses."""

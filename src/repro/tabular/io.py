@@ -3,35 +3,48 @@
 The format is deliberately plain: a header row, comma separation, RFC-4180
 quoting via the standard library ``csv`` module.  Missing values are
 written as empty fields and read back as NaN (FLOAT) or None (STRING).
+
+Streaming
+---------
+Whole-file :func:`read_csv`/:func:`write_csv` materialise everything;
+for cohort-scale scoring (:mod:`repro.serve.driver`) the streamed
+counterparts bound peak memory by the chunk size instead of the file
+size:
+
+* :func:`scan_csv_types` infers every column's logical type in one
+  row-streaming pass (no rows retained) with exactly the same rules as
+  :func:`read_csv`, so chunked parsing is byte-equivalent to whole-file
+  parsing;
+* :func:`iter_csv_batches` yields :class:`Table` chunks of at most
+  ``batch_rows`` rows under those fixed types;
+* :class:`CsvBatchWriter` appends table chunks to one output file,
+  writing the header once.
 """
 
 from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Mapping, Sequence
+from typing import Iterator, Mapping, Sequence
 
 import numpy as np
 
 from repro.tabular.column import Column, ColumnType
 from repro.tabular.table import Table
 
-__all__ = ["read_csv", "write_csv"]
+__all__ = [
+    "read_csv",
+    "write_csv",
+    "scan_csv_types",
+    "iter_csv_batches",
+    "CsvBatchWriter",
+]
 
 
 def write_csv(table: Table, path: str | Path) -> None:
     """Write ``table`` to ``path`` as UTF-8 CSV with a header row."""
-    path = Path(path)
-    names = table.column_names
-    arrays = [table[n] for n in names]
-    types = [table.column(n).ctype for n in names]
-    with path.open("w", newline="", encoding="utf-8") as fh:
-        writer = csv.writer(fh)
-        writer.writerow(names)
-        for i in range(table.num_rows):
-            writer.writerow(
-                [_format_cell(arr[i], t) for arr, t in zip(arrays, types)]
-            )
+    with CsvBatchWriter(path) as writer:
+        writer.write(table)
 
 
 def read_csv(
@@ -83,6 +96,191 @@ def read_csv(
         ctype = types.get(name) if types else None
         out.append(_parse_column(name, raw, ctype))
     return Table(out)
+
+
+class _TypeScan:
+    """Incremental replica of :func:`_infer_csv_type` for one column.
+
+    Feeding every cell and then calling :meth:`resolve` gives exactly
+    the type the whole-column pass would infer, without retaining rows.
+    """
+
+    __slots__ = ("non_empty", "saw_empty", "all_bool", "all_float", "all_int")
+
+    def __init__(self):
+        self.non_empty = 0
+        self.saw_empty = False
+        self.all_bool = True
+        self.all_float = True
+        self.all_int = True
+
+    def feed(self, cell: str) -> None:
+        if cell == "":
+            self.saw_empty = True
+            return
+        self.non_empty += 1
+        if self.all_bool and cell.strip().lower() not in ("true", "false"):
+            self.all_bool = False
+        if self.all_float:
+            try:
+                value = float(cell)
+            except ValueError:
+                self.all_float = False
+                self.all_int = False
+            else:
+                if self.all_int and not value.is_integer():
+                    self.all_int = False
+
+    def resolve(self) -> ColumnType:
+        if self.non_empty == 0:
+            return ColumnType.STRING
+        if self.all_bool:
+            return ColumnType.BOOL
+        if not self.all_float:
+            return ColumnType.STRING
+        if self.all_int and not self.saw_empty:
+            return ColumnType.INT
+        return ColumnType.FLOAT
+
+
+def _open_rows(path: Path, columns: Sequence[str] | None):
+    """Header + selected (index, name) pairs + a live row reader."""
+    fh = path.open("r", newline="", encoding="utf-8")
+    reader = csv.reader(fh)
+    try:
+        header = next(reader)
+    except StopIteration:
+        fh.close()
+        if columns:
+            raise KeyError(f"CSV {path} has no columns {list(columns)!r}")
+        return None, [], None
+    if columns is None:
+        selected = list(enumerate(header))
+    else:
+        position = {name: j for j, name in enumerate(header)}
+        missing = [name for name in columns if name not in position]
+        if missing:
+            fh.close()
+            raise KeyError(f"CSV {path} has no columns {missing!r}")
+        selected = [(position[name], name) for name in columns]
+    return fh, selected, reader
+
+
+def scan_csv_types(
+    path: str | Path,
+    types: Mapping[str, ColumnType] | None = None,
+    columns: Sequence[str] | None = None,
+) -> dict[str, ColumnType]:
+    """Infer column types in one streaming pass (no rows retained).
+
+    The result matches what :func:`read_csv` would infer for the whole
+    file, with explicit ``types`` taking precedence — pinning the types
+    up front is what makes chunked parsing equivalent to whole-file
+    parsing (a column that *looks* INT in one chunk and FLOAT in
+    another must resolve identically everywhere).
+    """
+    path = Path(path)
+    fh, selected, reader = _open_rows(path, columns)
+    if fh is None:
+        return {}
+    scans = {name: _TypeScan() for _, name in selected}
+    try:
+        for row in reader:
+            for j, name in selected:
+                scans[name].feed(row[j] if j < len(row) else "")
+    finally:
+        fh.close()
+    out = {}
+    for _, name in selected:
+        explicit = types.get(name) if types else None
+        out[name] = explicit if explicit is not None else scans[name].resolve()
+    return out
+
+
+def iter_csv_batches(
+    path: str | Path,
+    batch_rows: int,
+    types: Mapping[str, ColumnType] | None = None,
+    columns: Sequence[str] | None = None,
+) -> Iterator[Table]:
+    """Yield :class:`Table` chunks of at most ``batch_rows`` rows.
+
+    Types are resolved once for the whole file (:func:`scan_csv_types`),
+    so the concatenation of the yielded chunks is cell-for-cell
+    identical to ``read_csv(path, types, columns)`` while peak memory is
+    bounded by the chunk size.  An empty file yields nothing.
+    """
+    if batch_rows < 1:
+        raise ValueError(f"batch_rows must be >= 1, got {batch_rows}")
+    path = Path(path)
+    resolved = scan_csv_types(path, types, columns)
+    fh, selected, reader = _open_rows(path, columns)
+    if fh is None:
+        return
+    try:
+        buffer: list[list[str]] = []
+        for row in reader:
+            buffer.append(row)
+            if len(buffer) >= batch_rows:
+                yield _parse_rows(buffer, selected, resolved)
+                buffer = []
+        if buffer:
+            yield _parse_rows(buffer, selected, resolved)
+    finally:
+        fh.close()
+
+
+def _parse_rows(rows: list[list[str]], selected, resolved) -> Table:
+    out = []
+    for j, name in selected:
+        raw = [row[j] if j < len(row) else "" for row in rows]
+        out.append(_parse_column(name, raw, resolved[name]))
+    return Table(out)
+
+
+class CsvBatchWriter:
+    """Stream table chunks into one CSV file (header written once).
+
+    Every chunk must carry the same columns in the same order; closing
+    (or exiting the context) flushes the file.  :func:`write_csv` is
+    the one-chunk special case, so whole-file and streamed output share
+    one serialisation code path (and stay byte-identical).  Writing
+    zero chunks leaves an empty, headerless file.
+    """
+
+    def __init__(self, path: str | Path):
+        self._path = Path(path)
+        self._fh = self._path.open("w", newline="", encoding="utf-8")
+        self._writer = csv.writer(self._fh)
+        self._names: list[str] | None = None
+
+    def write(self, table: Table) -> None:
+        """Append one chunk (the first chunk fixes header and order)."""
+        names = table.column_names
+        if self._names is None:
+            self._names = names
+            self._writer.writerow(names)
+        elif names != self._names:
+            raise ValueError(
+                f"chunk columns {names!r} do not match the header "
+                f"{self._names!r}"
+            )
+        arrays = [table[n] for n in names]
+        types = [table.column(n).ctype for n in names]
+        for i in range(table.num_rows):
+            self._writer.writerow(
+                [_format_cell(arr[i], t) for arr, t in zip(arrays, types)]
+            )
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "CsvBatchWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def _format_cell(value, ctype: ColumnType) -> str:

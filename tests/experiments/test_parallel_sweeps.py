@@ -1,0 +1,51 @@
+"""Fig. 6/7 SHAP sweeps fanned across the executor == serial, bitwise.
+
+The runners' ``n_jobs`` shards the population SHAP pass over the
+shared-memory model plane; because the batched engine is
+row-deterministic, the parallel artefacts must equal the serial ones
+bit for bit — not approximately.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentContext, run_fig6, run_fig7
+from repro.experiments.fig6_local_explanations import render_fig6
+from repro.experiments.fig7_global_dependence import render_fig7
+
+from tests.conftest import small_config
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(seed=11, n_folds=2, cohort_config=small_config())
+
+
+class TestFig6Parallel:
+    def test_two_workers_bitwise_equal_serial(self, ctx):
+        serial = run_fig6(ctx, n_jobs=1)
+        fanned = run_fig6(ctx, n_jobs=2)
+        assert fanned.patient_a == serial.patient_a
+        assert fanned.patient_b == serial.patient_b
+        assert fanned.prediction_a == serial.prediction_a
+        assert fanned.prediction_b == serial.prediction_b
+        assert (
+            fanned.explanation_a.contributions
+            == serial.explanation_a.contributions
+        )
+        assert (
+            fanned.explanation_b.contributions
+            == serial.explanation_b.contributions
+        )
+        assert render_fig6(fanned) == render_fig6(serial)
+
+
+class TestFig7Parallel:
+    def test_two_workers_bitwise_equal_serial(self, ctx):
+        serial = run_fig7(ctx, n_jobs=1)
+        fanned = run_fig7(ctx, n_jobs=2)
+        assert fanned.feature == serial.feature
+        assert np.array_equal(fanned.values, serial.values)
+        assert np.array_equal(fanned.mean_shap, serial.mean_shap)
+        assert fanned.threshold == serial.threshold
+        assert render_fig7(fanned) == render_fig7(serial)

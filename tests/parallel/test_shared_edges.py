@@ -1,0 +1,242 @@
+"""Edge cases of the shared-memory handoff and the worker pools.
+
+Covers the satellite contract of the multi-worker scoring plane:
+zero-row design matrices, dtype round trips, the map-once ``setup``
+mode, and — most load-bearing — that shared-memory segments are always
+unlinked, including when a worker dies mid-task.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from multiprocessing import shared_memory
+
+from repro.parallel import ShardedPool, parallel_map
+from repro.parallel.executor import in_worker
+from repro.parallel.shared import attach_shared, export_shared, release_shared
+
+
+def _segment_gone(name: str) -> bool:
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return True
+    segment.close()
+    return False
+
+
+class TestSharedArrayEdges:
+    def test_zero_row_matrix_round_trip(self):
+        arrays = {
+            "X": np.empty((0, 8), dtype=np.float64),
+            "y": np.empty(0, dtype=np.float64),
+        }
+        specs, segments = export_shared(arrays)
+        try:
+            attached = attach_shared(specs)
+            for name, original in arrays.items():
+                assert attached[name].shape == original.shape
+                assert attached[name].dtype == original.dtype
+                assert not attached[name].flags.writeable
+        finally:
+            release_shared(segments)
+
+    @pytest.mark.parametrize(
+        "dtype",
+        [np.float64, np.float32, np.int64, np.int32, np.uint8, np.bool_],
+    )
+    def test_dtype_round_trip(self, dtype):
+        rng = np.random.default_rng(5)
+        original = (rng.random((128, 16)) * 100).astype(dtype)
+        specs, segments = export_shared({"a": original})
+        try:
+            attached = attach_shared(specs)["a"]
+            assert attached.dtype == original.dtype
+            assert np.array_equal(attached, original)
+        finally:
+            release_shared(segments)
+
+    def test_zero_rows_through_parallel_map(self):
+        out = parallel_map(
+            _shape_probe,
+            [0, 1],
+            n_jobs=2,
+            shared={"X": np.empty((0, 5), dtype=np.float64)},
+        )
+        assert out == [(0, 5), (0, 5)]
+
+
+def _shape_probe(item, shared):
+    return shared["X"].shape
+
+
+def _setup_state(arrays, offset):
+    return {"sum": float(arrays["X"].sum()) + offset, "pid": os.getpid()}
+
+
+def _setup_task(item, state):
+    return (state["sum"] + item, state["pid"])
+
+
+def _kill_if_worker(item, state):
+    if item == "die" and in_worker():
+        os.kill(os.getpid(), 9)
+    return ("survived", item)
+
+
+class TestSetupMode:
+    def test_parallel_map_setup_runs_once_per_worker(self):
+        X = np.arange(64.0).reshape(8, 8)
+        out = parallel_map(
+            _setup_task,
+            range(6),
+            n_jobs=2,
+            shared={"X": X},
+            setup=_setup_state,
+            setup_args=(10.0,),
+        )
+        values = [value for value, _ in out]
+        assert values == [X.sum() + 10.0 + i for i in range(6)]
+        assert len({pid for _, pid in out}) <= 2
+
+    def test_parallel_map_setup_serial(self):
+        X = np.ones((2, 2))
+        out = parallel_map(
+            _setup_task,
+            range(3),
+            n_jobs=1,
+            shared={"X": X},
+            setup=_setup_state,
+            setup_args=(0.0,),
+        )
+        assert [value for value, _ in out] == [4.0, 5.0, 6.0]
+        assert all(pid == os.getpid() for _, pid in out)
+
+
+class TestWorkerDeathCleanup:
+    def test_sharded_pool_unlinks_segments_after_worker_death(self):
+        X = np.arange(4096.0).reshape(64, 64)
+        pool = ShardedPool(n_jobs=2, shared={"X": X}, setup=_setup_state,
+                           setup_args=(0.0,))
+        names = [segment.name for segment in pool._segments]
+        assert names, "expected at least one shared segment"
+        results = pool.scatter(
+            _kill_if_worker, [(0, "die"), (0, "a"), (1, "b")]
+        )
+        # The dead worker's tasks were recomputed in-process, in order.
+        assert results == [
+            ("survived", "die"),
+            ("survived", "a"),
+            ("survived", "b"),
+        ]
+        # The pool keeps serving after the death.
+        assert pool.scatter(_kill_if_worker, [(0, "c")]) == [
+            ("survived", "c")
+        ]
+        pool.close()
+        assert all(_segment_gone(name) for name in names)
+
+    def test_parallel_map_unlinks_segments_after_worker_death(self, monkeypatch):
+        from repro.parallel import executor as executor_mod
+
+        captured: list[str] = []
+        original = executor_mod.export_shared
+
+        def capturing_export(arrays):
+            specs, segments = original(arrays)
+            captured.extend(segment.name for segment in segments)
+            return specs, segments
+
+        monkeypatch.setattr(executor_mod, "export_shared", capturing_export)
+        X = np.arange(4096.0).reshape(64, 64)
+        out = parallel_map(
+            _kill_if_worker,
+            ["die", "x", "y"],
+            n_jobs=2,
+            shared={"X": X},
+        )
+        # BrokenProcessPool fell back to the serial path: same results.
+        assert out == [
+            ("survived", "die"),
+            ("survived", "x"),
+            ("survived", "y"),
+        ]
+        assert captured, "expected the export to create segments"
+        assert all(_segment_gone(name) for name in captured)
+
+
+class TestShardedPoolContract:
+    def test_affinity_and_order(self):
+        X = np.arange(4096.0).reshape(64, 64)
+        with ShardedPool(
+            n_jobs=2, shared={"X": X}, setup=_setup_state, setup_args=(0.0,)
+        ) as pool:
+            tasks = [(i % 4, i) for i in range(12)]
+            out = pool.scatter(_setup_task, tasks)
+            assert [value for value, _ in out] == [
+                X.sum() + i for i in range(12)
+            ]
+            by_worker = {}
+            for (shard, _), (_, pid) in zip(tasks, out):
+                by_worker.setdefault(shard % pool.workers, set()).add(pid)
+            assert all(len(pids) == 1 for pids in by_worker.values())
+
+    def test_task_error_propagates(self):
+        with ShardedPool(n_jobs=2, shared={}) as pool:
+            with pytest.raises(ValueError, match="boom 1"):
+                pool.scatter(_raise_on, [(0, 0), (1, 1), (0, 2)])
+
+    def test_serial_fallback_for_unpicklable_setup(self):
+        state_factory = lambda arrays: {"local": True}  # noqa: E731
+        with ShardedPool(n_jobs=4, shared={}, setup=state_factory) as pool:
+            assert pool.workers == 1
+            assert pool.scatter(_probe_state, [(0, None)]) == [True]
+
+    def test_closed_pool_rejects_work(self):
+        pool = ShardedPool(n_jobs=1, shared={})
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.scatter(_probe_state, [(0, None)])
+
+
+def _raise_on(item, state):
+    if item == 1:
+        raise ValueError(f"boom {item}")
+    return item
+
+
+def _probe_state(item, state):
+    return bool(state.get("local")) if isinstance(state, dict) else False
+
+
+class TestProtocolSync:
+    """Unsendable tasks must not desynchronise the pipe protocol."""
+
+    def test_unpicklable_payload_mid_batch(self):
+        with ShardedPool(n_jobs=2, shared={}) as pool:
+            bad = lambda: None  # noqa: E731 - unpicklable payload
+            out = pool.scatter(
+                _describe, [(0, "first"), (1, bad), (0, "third")]
+            )
+            assert out[0] == "first"
+            assert out[1] is bad  # computed in-process
+            assert out[2] == "third"
+            # The channel stayed in sync: the next scatter gets its own
+            # answers, not a stale result from the previous batch.
+            assert pool.scatter(_describe, [(0, "next"), (1, "batch")]) == [
+                "next",
+                "batch",
+            ]
+
+    def test_unpicklable_fn_degrades_to_serial(self):
+        with ShardedPool(n_jobs=2, shared={}) as pool:
+            fn = lambda payload, state: payload * 2  # noqa: E731
+            assert pool.scatter(fn, [(0, 1), (1, 2)]) == [2, 4]
+            # The pool itself is still healthy for picklable work.
+            assert pool.scatter(_describe, [(0, "ok")]) == ["ok"]
+
+
+def _describe(payload, state):
+    return payload

@@ -248,3 +248,105 @@ class TestVersions:
         write_csv(Table(cols), train)
         assert _publish(tmp_path, train, extra=("--kind", "classifier")) == 0
         assert "kind=classifier" in capsys.readouterr().out
+
+
+class TestChunkedStreaming:
+    """The streamed scorer is byte-identical to whole-table scoring."""
+
+    def _score(self, tmp_path, visits, out, extra=()):
+        rc = serve_main(
+            [
+                "score",
+                "--registry",
+                str(tmp_path / "registry"),
+                "--name",
+                "sppb",
+                "--input",
+                str(visits),
+                "--out",
+                str(out),
+                "--explain",
+                "--batch-size",
+                "16",
+                *extra,
+            ]
+        )
+        assert rc == 0
+
+    def test_chunked_equals_whole(self, tmp_path, csv_pair):
+        train, visits = csv_pair
+        _publish(tmp_path, train)
+        self._score(
+            tmp_path, visits, tmp_path / "whole.csv",
+            ("--chunk-rows", "100000"),
+        )
+        self._score(
+            tmp_path, visits, tmp_path / "chunked.csv", ("--chunk-rows", "7")
+        )
+        assert (tmp_path / "chunked.csv").read_bytes() == (
+            tmp_path / "whole.csv"
+        ).read_bytes()
+        assert (tmp_path / "chunked.reports.txt").read_bytes() == (
+            tmp_path / "whole.reports.txt"
+        ).read_bytes()
+
+    def test_multiworker_equals_serial(self, tmp_path, csv_pair, capsys):
+        train, visits = csv_pair
+        _publish(tmp_path, train)
+        self._score(tmp_path, visits, tmp_path / "serial.csv")
+        self._score(
+            tmp_path, visits, tmp_path / "jobs.csv",
+            ("--jobs", "2", "--chunk-rows", "13"),
+        )
+        assert (tmp_path / "jobs.csv").read_bytes() == (
+            tmp_path / "serial.csv"
+        ).read_bytes()
+        assert (tmp_path / "jobs.reports.txt").read_bytes() == (
+            tmp_path / "serial.reports.txt"
+        ).read_bytes()
+        assert "2 workers" in capsys.readouterr().out
+
+    def test_header_only_input(self, tmp_path, csv_pair):
+        train, _ = csv_pair
+        _publish(tmp_path, train)
+        empty = tmp_path / "empty.csv"
+        empty.write_text("x0,x1,x2,x3\n")
+        out = tmp_path / "scored.csv"
+        rc = serve_main(
+            [
+                "score",
+                "--registry",
+                str(tmp_path / "registry"),
+                "--name",
+                "sppb",
+                "--input",
+                str(empty),
+                "--out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        scored = read_csv(out)
+        assert scored.num_rows == 0
+        assert "prediction" in scored
+
+    def test_bad_chunk_rows_is_clean_error(self, tmp_path, csv_pair, capsys):
+        train, visits = csv_pair
+        _publish(tmp_path, train)
+        rc = serve_main(
+            [
+                "score",
+                "--registry",
+                str(tmp_path / "registry"),
+                "--name",
+                "sppb",
+                "--input",
+                str(visits),
+                "--out",
+                str(tmp_path / "s.csv"),
+                "--chunk-rows",
+                "0",
+            ]
+        )
+        assert rc == 2
+        assert "--chunk-rows" in capsys.readouterr().err

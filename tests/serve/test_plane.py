@@ -1,0 +1,161 @@
+"""Unit tests for the shared-memory model plane (repro.serve.plane)."""
+
+import numpy as np
+import pytest
+
+from repro.boosting import GBClassifier, GBRegressor
+from repro.explain import TreeShapExplainer
+from repro.serve import ModelPlane, parallel_shap
+
+
+@pytest.fixture(scope="module")
+def regressor():
+    rng = np.random.default_rng(17)
+    X = rng.normal(size=(300, 7))
+    X[rng.random(X.shape) < 0.1] = np.nan
+    y = 2 * np.nan_to_num(X[:, 0]) - np.nan_to_num(X[:, 3]) + rng.normal(
+        0, 0.1, 300
+    )
+    return GBRegressor(n_estimators=18, max_depth=3).fit(X, y), X
+
+
+@pytest.fixture(scope="module")
+def classifier():
+    rng = np.random.default_rng(18)
+    X = rng.normal(size=(220, 5))
+    y = (X[:, 0] + 0.5 * X[:, 1] > 0).astype(int)
+    return GBClassifier(n_estimators=10, max_depth=2).fit(X, y), X
+
+
+class TestPackMaterialize:
+    def test_predictions_bitwise_equal(self, regressor):
+        model, X = regressor
+        plane = ModelPlane.pack(model, version="v1")
+        rebuilt, _ = ModelPlane.materialize(plane.manifest, plane.arrays)
+        assert np.array_equal(rebuilt.predict(X), model.predict(X))
+        assert np.array_equal(rebuilt.bin(X), model.bin(X))
+
+    def test_classifier_round_trip(self, classifier):
+        model, X = classifier
+        plane = ModelPlane.pack(model, version="clf")
+        rebuilt, explainer = ModelPlane.materialize(
+            plane.manifest, plane.arrays
+        )
+        assert np.array_equal(rebuilt.predict(X), model.predict(X))
+        assert np.array_equal(
+            rebuilt.predict_proba(X), model.predict_proba(X)
+        )
+        assert np.array_equal(
+            explainer.shap_values(X[:25]),
+            TreeShapExplainer(model).shap_values(X[:25]),
+        )
+
+    def test_explainer_bitwise_equal(self, regressor):
+        model, X = regressor
+        plane = ModelPlane.pack(model, version="v1")
+        _, explainer = ModelPlane.materialize(plane.manifest, plane.arrays)
+        baseline = TreeShapExplainer(model)
+        assert explainer.expected_value == baseline.expected_value
+        assert np.array_equal(
+            explainer.shap_values(X[:50]), baseline.shap_values(X[:50])
+        )
+        codes = model.bin(X[:50])
+        assert np.array_equal(
+            explainer.shap_values_binned(codes),
+            baseline.shap_values_binned(codes),
+        )
+
+    def test_materialized_arrays_are_views(self, regressor):
+        model, _ = regressor
+        plane = ModelPlane.pack(model, version="v1")
+        rebuilt, explainer = ModelPlane.materialize(
+            plane.manifest, plane.arrays
+        )
+        tree = rebuilt.ensemble_.trees[0]
+        assert tree.children_left.base is plane.arrays["tree:children_left"]
+        assert tree.bin_threshold.base is plane.arrays["tree:bin_threshold"]
+        edges = rebuilt.mapper_.bin_edges_[0]
+        assert edges.base is plane.arrays["mapper:edges"]
+
+    def test_version_defaults_to_fingerprint(self, regressor):
+        model, _ = regressor
+        from repro.boosting.serialize import model_to_dict
+        from repro.serve import model_fingerprint
+
+        plane = ModelPlane.pack(model)
+        assert plane.version == model_fingerprint(model_to_dict(model))
+
+    def test_manifest_is_picklable(self, regressor):
+        import pickle
+
+        model, _ = regressor
+        plane = ModelPlane.pack(model, version="v1")
+        assert pickle.loads(pickle.dumps(plane.manifest)) == plane.manifest
+
+
+class TestPackValidation:
+    def test_unfitted_rejected(self):
+        with pytest.raises(ValueError, match="not fitted"):
+            ModelPlane.pack(GBRegressor(n_estimators=2))
+
+    def test_missing_mapper_rejected(self, regressor):
+        model, _ = regressor
+        plane_doc = ModelPlane.pack(model, version="x")  # sanity
+        assert plane_doc.version == "x"
+        import copy
+
+        stripped = copy.copy(model)
+        stripped.mapper_ = None
+        with pytest.raises(ValueError, match="BinMapper"):
+            ModelPlane.pack(stripped)
+
+    def test_missing_bin_thresholds_rejected(self, regressor):
+        import copy
+        import dataclasses
+
+        model, _ = regressor
+        stripped = copy.copy(model)
+        stripped.ensemble_ = dataclasses.replace(
+            model.ensemble_,
+            trees=[
+                dataclasses.replace(t, bin_threshold=None)
+                for t in model.ensemble_.trees
+            ],
+        )
+        with pytest.raises(ValueError, match="bin thresholds"):
+            ModelPlane.pack(stripped)
+
+
+class TestParallelShap:
+    def test_serial_matches_plain_explainer(self, regressor):
+        model, X = regressor
+        phi, expected = parallel_shap(model, X[:60], n_jobs=1)
+        baseline = TreeShapExplainer(model)
+        assert np.array_equal(phi, baseline.shap_values(X[:60]))
+        assert expected == baseline.expected_value
+
+    def test_two_workers_bitwise_equal_serial(self, regressor):
+        model, X = regressor
+        serial, expected_serial = parallel_shap(model, X, n_jobs=1)
+        fanned, expected_fanned = parallel_shap(model, X, n_jobs=2)
+        assert np.array_equal(fanned, serial)
+        assert expected_fanned == expected_serial
+
+    def test_more_workers_than_rows(self, regressor):
+        model, X = regressor
+        serial, _ = parallel_shap(model, X[:3], n_jobs=1)
+        fanned, _ = parallel_shap(model, X[:3], n_jobs=8)
+        assert np.array_equal(fanned, serial)
+
+
+class TestParallelShapFallback:
+    def test_mapperless_model_same_result_for_any_worker_count(self, regressor):
+        import copy
+
+        model, X = regressor
+        stripped = copy.copy(model)
+        stripped.mapper_ = None  # e.g. a reloaded format-v1 document
+        serial, e1 = parallel_shap(stripped, X[:40], n_jobs=1)
+        fanned, e2 = parallel_shap(stripped, X[:40], n_jobs=3)
+        assert np.array_equal(fanned, serial)
+        assert e1 == e2

@@ -1,0 +1,228 @@
+"""Unit tests for the multi-worker scoring router (repro.serve.router).
+
+The heart of the suite is the equivalence contract: on the same request
+stream the router's output is bitwise-identical to the single-process
+:class:`ScoringService`, cache-cold and cache-hot, for every worker
+count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.boosting import GBClassifier, GBRegressor
+from repro.serve import (
+    ModelRegistry,
+    ScoreRequest,
+    ScoringRouter,
+    ScoringService,
+)
+
+from tests.serve.test_service import explanations_equal
+
+
+@pytest.fixture(scope="module")
+def regressor():
+    rng = np.random.default_rng(21)
+    X = rng.normal(size=(300, 6))
+    X[rng.random(X.shape) < 0.1] = np.nan
+    y = 2 * np.nan_to_num(X[:, 0]) - np.nan_to_num(X[:, 3]) + rng.normal(
+        0, 0.1, 300
+    )
+    return GBRegressor(n_estimators=15, max_depth=3).fit(X, y), X
+
+
+@pytest.fixture(scope="module")
+def classifier():
+    rng = np.random.default_rng(22)
+    X = rng.normal(size=(200, 5))
+    y = (X[:, 0] + 0.5 * X[:, 1] > 0).astype(int)
+    return GBClassifier(n_estimators=10, max_depth=2).fit(X, y), X
+
+
+def _stream(X, revisits=3, explain_every=2):
+    """A repeated-cohort stream with mixed predict/explain flags."""
+    distinct = X[:80]
+    return [
+        ScoreRequest(row=row, explain=(i % explain_every == 0))
+        for _ in range(revisits)
+        for i, row in enumerate(distinct)
+    ]
+
+
+def _run_batched(target, stream, batch=32):
+    out = []
+    for lo in range(0, len(stream), batch):
+        out.extend(target.score_batch(stream[lo : lo + batch]))
+    return out
+
+
+def _assert_results_equal(got, want):
+    assert len(got) == len(want)
+    for a, b in zip(got, want):
+        assert a.raw_score == b.raw_score
+        assert a.prediction == b.prediction
+        assert a.probability == b.probability
+        assert a.cached == b.cached
+        if b.explanation is None:
+            assert a.explanation is None
+        else:
+            assert explanations_equal(a.explanation, b.explanation)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_bitwise_equal_to_service_cold_and_hot(self, regressor, jobs):
+        model, X = regressor
+        stream = _stream(X)
+        service = ScoringService(model, version="v")
+        reference = _run_batched(service, stream)
+        with ScoringRouter(model, version="v", n_jobs=jobs) as router:
+            got = _run_batched(router, stream)
+            _assert_results_equal(got, reference)
+            # Cache-hot second pass: every row recurs, both paths hit.
+            reference_hot = _run_batched(service, stream)
+            got_hot = _run_batched(router, stream)
+            _assert_results_equal(got_hot, reference_hot)
+            assert all(r.cached for r in got_hot)
+            # Shard caches jointly behave like the single LRU.
+            assert router.cache_stats.hits == service.cache_stats.hits
+            assert router.cache_stats.misses == service.cache_stats.misses
+
+    def test_classifier_probabilities_bitwise(self, classifier):
+        model, X = classifier
+        stream = _stream(X, revisits=2)
+        service = ScoringService(model, version="c")
+        reference = _run_batched(service, stream)
+        with ScoringRouter(model, version="c", n_jobs=2) as router:
+            _assert_results_equal(_run_batched(router, stream), reference)
+
+    def test_values_identical_under_eviction_pressure(self, regressor):
+        """Evictions may flip `cached` bookkeeping, never a value.
+
+        With more distinct rows than capacity, N per-shard LRUs age
+        entries by shard-local recency, so hit patterns can diverge
+        from one global LRU — every answer must still be bitwise equal.
+        """
+        model, X = regressor
+        stream = [
+            ScoreRequest(row=X[i % 60], explain=(i % 4 == 0))
+            for _ in range(3)
+            for i in range(60)
+        ]
+        service = ScoringService(model, version="v", cache_size=30)
+        reference = _run_batched(service, stream)
+        with ScoringRouter(
+            model, version="v", n_jobs=2, cache_size=30
+        ) as router:
+            got = _run_batched(router, stream)
+        for a, b in zip(got, reference):
+            assert a.raw_score == b.raw_score
+            assert a.prediction == b.prediction
+            if b.explanation is not None:
+                assert explanations_equal(a.explanation, b.explanation)
+
+    def test_score_rows_matches_service(self, regressor):
+        model, X = regressor
+        service = ScoringService(model, version="v")
+        reference = service.score_rows(X[:50], explain=True)
+        with ScoringRouter(
+            model, version="v", n_jobs=2, max_batch=16
+        ) as router:
+            got = router.score_rows(X[:50], explain=True)
+        _assert_results_equal(got, reference)
+
+
+class TestCoalescing:
+    def _router(self, model, clock, **kwargs):
+        kwargs.setdefault("n_jobs", 1)
+        kwargs.setdefault("max_batch", 4)
+        kwargs.setdefault("max_delay", 1.0)
+        return ScoringRouter(model, version="v", clock=clock, **kwargs)
+
+    def test_size_bound_flushes(self, regressor):
+        model, X = regressor
+        with self._router(model, clock=lambda: 0.0) as router:
+            for i in range(7):
+                router.submit(ScoreRequest(row=X[i]))
+            # 7 submits at max_batch=4: one full flush, 3 pending.
+            assert router.stats.micro_batches == 1
+            done = router.drain()
+            assert len(done) == 7
+            assert router.stats.micro_batches == 2
+
+    def test_deadline_bound_flushes(self, regressor):
+        model, X = regressor
+        now = [0.0]
+        with self._router(model, clock=lambda: now[0]) as router:
+            router.submit(ScoreRequest(row=X[0]))
+            router.submit(ScoreRequest(row=X[1]))
+            assert router.poll() == []  # deadline not reached
+            now[0] = 2.0
+            done = router.poll()  # deadline passed -> flushed
+            assert len(done) == 2
+            assert router.stats.micro_batches == 1
+
+    def test_submit_after_deadline_flushes_previous(self, regressor):
+        model, X = regressor
+        now = [0.0]
+        with self._router(model, clock=lambda: now[0]) as router:
+            router.submit(ScoreRequest(row=X[0]))
+            now[0] = 5.0
+            router.submit(ScoreRequest(row=X[1]))  # flushes request 0
+            assert router.stats.micro_batches == 1
+            assert len(router.poll()) == 1
+            assert len(router.drain()) == 1
+
+    def test_results_in_submission_order(self, regressor):
+        model, X = regressor
+        service = ScoringService(model, version="v")
+        expected = [
+            r.raw_score for r in service.score_rows(X[:10], explain=False)
+        ]
+        with self._router(model, clock=lambda: 0.0, n_jobs=2) as router:
+            for i in range(10):
+                router.submit(ScoreRequest(row=X[i]))
+            got = [r.raw_score for r in router.drain()]
+        assert got == expected
+
+
+class TestRegistryAndValidation:
+    def test_from_registry(self, regressor, tmp_path):
+        model, X = regressor
+        registry = ModelRegistry(tmp_path / "registry")
+        version = registry.publish(
+            "m", model, metadata={"features": [f"c{i}" for i in range(6)]}
+        )
+        with ScoringRouter.from_registry(
+            registry, "m", n_jobs=2
+        ) as router:
+            assert router.version == version.ref
+            assert router.feature_names == [f"c{i}" for i in range(6)]
+            results = router.score_rows(X[:5], explain=True)
+        assert results[0].explanation.features[0].startswith("c")
+
+    def test_bad_row_shape_rejected(self, regressor):
+        model, _ = regressor
+        with ScoringRouter(model, version="v", n_jobs=1) as router:
+            with pytest.raises(ValueError, match="request 0"):
+                router.score_batch([ScoreRequest(row=np.zeros(3))])
+
+    def test_feature_name_count_validated(self, regressor):
+        model, _ = regressor
+        with pytest.raises(ValueError, match="feature names"):
+            ScoringRouter(model, feature_names=["a"])
+
+    def test_bad_bounds_rejected(self, regressor):
+        model, _ = regressor
+        with pytest.raises(ValueError, match="max_batch"):
+            ScoringRouter(model, max_batch=0)
+        with pytest.raises(ValueError, match="max_delay"):
+            ScoringRouter(model, max_delay=-1)
+
+    def test_closed_router_rejects_work(self, regressor):
+        model, X = regressor
+        router = ScoringRouter(model, version="v", n_jobs=1)
+        router.close()
+        router.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            router.score_batch([ScoreRequest(row=X[0])])

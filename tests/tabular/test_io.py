@@ -130,3 +130,103 @@ class TestColumnProjection:
         path.write_text("a,b\n1,2\n")
         t = read_csv(path, types={"a": ColumnType.FLOAT}, columns=["a"])
         assert t.column("a").ctype is ColumnType.FLOAT
+
+
+class TestStreaming:
+    """scan_csv_types / iter_csv_batches / CsvBatchWriter."""
+
+    def _write(self, tmp_path, text):
+        path = tmp_path / "t.csv"
+        path.write_text(text)
+        return path
+
+    def test_scan_types_matches_whole_file_inference(self, tmp_path):
+        from repro.tabular.io import scan_csv_types
+
+        path = self._write(
+            tmp_path,
+            "i,f,b,s,e,fe\n1,1.5,true,x,,1\n2,2,false,7,,\n3,,true,y,,3\n",
+        )
+        whole = read_csv(path)
+        types = scan_csv_types(path)
+        for name in whole.column_names:
+            assert types[name] is whole.column(name).ctype, name
+
+    def test_scan_types_explicit_override(self, tmp_path):
+        from repro.tabular.io import scan_csv_types
+
+        path = self._write(tmp_path, "a\n1\n2\n")
+        assert scan_csv_types(path)["a"] is ColumnType.INT
+        forced = scan_csv_types(path, types={"a": ColumnType.FLOAT})
+        assert forced["a"] is ColumnType.FLOAT
+
+    @pytest.mark.parametrize("batch_rows", [1, 2, 3, 100])
+    def test_batches_concatenate_to_whole_read(self, tmp_path, batch_rows):
+        from repro.tabular.io import iter_csv_batches
+
+        path = self._write(
+            tmp_path,
+            "pid,age,fi\np1,61,0.5\np2,72,\np3,55,0.25\np4,40,1.0\n",
+        )
+        whole = read_csv(path)
+        chunks = list(iter_csv_batches(path, batch_rows))
+        assert sum(c.num_rows for c in chunks) == whole.num_rows
+        assert all(c.num_rows <= batch_rows for c in chunks)
+        offset = 0
+        for chunk in chunks:
+            assert chunk.column_names == whole.column_names
+            for name in whole.column_names:
+                assert chunk.column(name).ctype is whole.column(name).ctype
+                got = chunk[name]
+                want = whole[name][offset : offset + chunk.num_rows]
+                if chunk.column(name).ctype is ColumnType.FLOAT:
+                    assert np.array_equal(got, want, equal_nan=True)
+                else:
+                    assert list(got) == list(want)
+            offset += chunk.num_rows
+
+    def test_mixed_chunk_types_resolve_globally(self, tmp_path):
+        from repro.tabular.io import iter_csv_batches
+
+        # Chunk 1 alone would infer INT; the file as a whole is FLOAT.
+        path = self._write(tmp_path, "a\n1\n2\n2.5\n")
+        chunks = list(iter_csv_batches(path, 2))
+        assert all(c.column("a").ctype is ColumnType.FLOAT for c in chunks)
+
+    def test_empty_file_yields_nothing(self, tmp_path):
+        from repro.tabular.io import iter_csv_batches
+
+        path = self._write(tmp_path, "")
+        assert list(iter_csv_batches(path, 10)) == []
+
+    def test_header_only_yields_nothing(self, tmp_path):
+        from repro.tabular.io import iter_csv_batches
+
+        path = self._write(tmp_path, "a,b\n")
+        assert list(iter_csv_batches(path, 10)) == []
+
+    def test_bad_batch_rows_rejected(self, tmp_path):
+        from repro.tabular.io import iter_csv_batches
+
+        path = self._write(tmp_path, "a\n1\n")
+        with pytest.raises(ValueError, match="batch_rows"):
+            list(iter_csv_batches(path, 0))
+
+    def test_batch_writer_equals_write_csv(self, tmp_path, table):
+        from repro.tabular.io import CsvBatchWriter
+
+        whole = tmp_path / "whole.csv"
+        write_csv(table, whole)
+        streamed = tmp_path / "streamed.csv"
+        with CsvBatchWriter(streamed) as writer:
+            writer.write(table.take([0, 1]))
+            writer.write(table.take([2]))
+        assert streamed.read_bytes() == whole.read_bytes()
+
+    def test_batch_writer_rejects_column_mismatch(self, tmp_path, table):
+        from repro.tabular.io import CsvBatchWriter
+
+        with CsvBatchWriter(tmp_path / "out.csv") as writer:
+            writer.write(table)
+            with pytest.raises(ValueError, match="do not match"):
+                writer.write(table.drop(["fi"]))
