@@ -51,6 +51,25 @@ def latency_percentiles(latencies_s) -> dict[str, float]:
     return {"p50": float(p50), "p95": float(p95), "p99": float(p99)}
 
 
+def _lint_clean() -> bool:
+    """Whether ``src/repro`` passes ``python -m repro lint`` right now.
+
+    Run once per process and cached: a bench number recorded from a
+    tree that violates the determinism contract (REP rules) is not
+    comparable to one recorded from a clean tree, so every bench.json
+    entry carries the verdict alongside its timing.
+    """
+    global _LINT_CLEAN
+    if _LINT_CLEAN is None:
+        from repro.analysis import run_lint
+
+        _LINT_CLEAN = run_lint().clean
+    return _LINT_CLEAN
+
+
+_LINT_CLEAN: bool | None = None
+
+
 def record_bench(
     results_dir: Path,
     name: str,
@@ -62,13 +81,13 @@ def record_bench(
 ) -> None:
     """Update one machine-readable entry in ``results/bench.json``.
 
-    Every bench records (name, wall seconds, speedup, config) next to
-    its ``.txt`` render, keyed by name so re-runs update in place — the
-    file is the BENCH_* perf trajectory CI uploads with the artefacts.
-    Serving benches additionally record tail latency: ``latency_ms``
-    carries p50/p95/p99 per-request milliseconds (see
-    :func:`latency_percentiles`) so the trajectory captures the tail,
-    not just throughput.
+    Every bench records (name, wall seconds, speedup, config,
+    lint_clean) next to its ``.txt`` render, keyed by name so re-runs
+    update in place — the file is the BENCH_* perf trajectory CI
+    uploads with the artefacts.  Serving benches additionally record
+    tail latency: ``latency_ms`` carries p50/p95/p99 per-request
+    milliseconds (see :func:`latency_percentiles`) so the trajectory
+    captures the tail, not just throughput.
     """
     path = results_dir / "bench.json"
     entries: dict = {}
@@ -84,6 +103,7 @@ def record_bench(
         "seconds": round(float(seconds), 4),
         "speedup": None if speedup is None else round(float(speedup), 2),
         "config": config or {},
+        "lint_clean": _lint_clean(),
     }
     if latency_ms is not None:
         entry["latency_ms"] = {

@@ -41,8 +41,8 @@ Quickstart
 True
 """
 
-from repro.cohort import ClinicConfig, CohortConfig, CohortDataset, generate_cohort
 from repro.boosting import GBClassifier, GBConfig, GBRegressor
+from repro.cohort import ClinicConfig, CohortConfig, CohortDataset, generate_cohort
 from repro.explain import TreeShapExplainer
 from repro.frailty import FrailtyIndexCalculator
 from repro.knowledge import ICICalculator

@@ -7,6 +7,8 @@ Usage::
     python -m repro qa --out results/    # also write the artefact files
     python -m repro serve publish ...    # model registry + scoring
     python -m repro serve score ...      # (see repro.serve.driver)
+    python -m repro lint                 # determinism & concurrency lint
+    python -m repro lint --format=json   # (see repro.analysis.cli)
 
 Experiments: fig1, fig4, table1, fig5, fig6, fig7, qa, abl1, abl2, abl3, all.
 """
@@ -77,7 +79,8 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         choices=[*EXPERIMENTS, "all"],
         help="which artefact to regenerate ('serve' dispatches to the "
-        "scoring driver instead; see python -m repro serve --help)",
+        "scoring driver, 'lint' to the determinism analyzer; see "
+        "python -m repro serve --help / python -m repro lint --help)",
     )
     parser.add_argument("--seed", type=int, default=7, help="cohort/protocol seed")
     parser.add_argument(
@@ -111,6 +114,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.serve.driver import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "lint":
+        # The determinism analyzer owns its own parser too.
+        from repro.analysis.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.out is not None:
         try:

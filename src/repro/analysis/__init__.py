@@ -1,0 +1,38 @@
+"""Static analysis enforcing the repo's bitwise-reproducibility contract.
+
+Every guarantee this reproduction ships — bitwise-identical parallel
+grids, shard-affine multi-worker scoring, row-deterministic TreeSHAP —
+rests on coding rules that used to live only in review comments:
+fixed-order reductions, float64 sum channels, guaranteed shared-memory
+unlink, lock-guarded memos, picklable pool units, sorted iteration.
+``python -m repro lint`` walks the AST of every module and enforces
+those rules mechanically (REP001-REP007; see
+:mod:`repro.analysis.rulepack`), with per-module scoping
+(:mod:`repro.analysis.config`) and justified in-source suppressions
+(:mod:`repro.analysis.pragmas`).
+"""
+
+from repro.analysis.engine import (
+    LintReport,
+    Suppression,
+    lint_file,
+    lint_source,
+    run_lint,
+)
+from repro.analysis.report import render_json, render_text, report_to_dict
+from repro.analysis.rules import RULES, FileContext, Finding, Rule
+
+__all__ = [
+    "RULES",
+    "FileContext",
+    "Finding",
+    "LintReport",
+    "Rule",
+    "Suppression",
+    "lint_file",
+    "lint_source",
+    "render_json",
+    "render_text",
+    "report_to_dict",
+    "run_lint",
+]

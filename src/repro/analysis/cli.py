@@ -1,0 +1,81 @@
+"""``python -m repro lint``: the CI gate for the determinism contract.
+
+Exit codes: 0 clean, 1 violations found, 2 usage error — suitable for
+CI gating.  ``--out`` always writes the JSON report (regardless of the
+stdout ``--format``), so the artefact survives next to the human
+output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.engine import run_lint
+from repro.analysis.report import render_json, render_rule_table, render_text
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description=(
+            "AST-based determinism & concurrency analyzer: enforces the "
+            "repo's bitwise-reproducibility contract (REP rules)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="stdout report format (default: text)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="also write the JSON report to FILE",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered REP rules and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(render_rule_table())
+        return 0
+    for path in args.paths:
+        if not path.exists():
+            print(f"error: no such path: {path}", file=sys.stderr)
+            return 2
+    report = run_lint(args.paths or None)
+    if args.format == "json":
+        sys.stdout.write(render_json(report))
+    else:
+        print(render_text(report))
+    if args.out is not None:
+        try:
+            args.out.parent.mkdir(parents=True, exist_ok=True)
+            args.out.write_text(render_json(report), encoding="utf-8")
+        except OSError as exc:
+            print(f"error: cannot write --out {args.out}: {exc}", file=sys.stderr)
+            return 2
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

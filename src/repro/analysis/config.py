@@ -1,0 +1,100 @@
+"""Which determinism contracts apply where.
+
+The analyzer attaches *scope tags* to every scanned module; each rule
+declares the tags it needs (see :mod:`repro.analysis.rulepack`) and
+only fires inside matching modules.  Tags come from two places, unioned:
+
+* the :data:`DEFAULT_SCOPES` table below, keyed by dotted package
+  prefix — the repo-wide contract map; and
+* an in-file module marker comment, ``# repro: scope[tag, ...]``, for
+  modules whose obligations exceed their package default (e.g. the
+  Fig. 6/7 runners are ``row-deterministic`` because their SHAP
+  artefacts must not depend on how the batch was sharded).
+
+Tags
+----
+``row-deterministic``
+    A row's outputs must be bitwise identical in any batch: reductions
+    must have a fixed order (REP001).  Established by PR 5 for the
+    batched TreeSHAP engine and the whole serving plane.
+``deterministic``
+    Engine/pipeline code whose outputs feed reproducible artefacts: no
+    unseeded randomness or wall-clock values (REP002), no unsorted
+    filesystem/set iteration feeding ordered outputs (REP007).
+``float64-sums``
+    Sum channels must accumulate in float64 (REP004) — the PR 1
+    contract for histogram/leaf-value accumulation in the boosting
+    engine.
+
+REP003 (shared-memory lifecycle), REP005 (lock discipline) and REP006
+(unpicklable pool units) are structural hazards, not scoped contracts:
+they apply to every scanned file.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = [
+    "DETERMINISTIC",
+    "FLOAT64_SUMS",
+    "KNOWN_TAGS",
+    "ROW_DETERMINISTIC",
+    "DEFAULT_SCOPES",
+    "module_name_for",
+    "tags_for_module",
+]
+
+ROW_DETERMINISTIC = "row-deterministic"
+DETERMINISTIC = "deterministic"
+FLOAT64_SUMS = "float64-sums"
+
+#: Tags a ``# repro: scope[...]`` marker may declare.
+KNOWN_TAGS = frozenset({ROW_DETERMINISTIC, DETERMINISTIC, FLOAT64_SUMS})
+
+#: Dotted-module prefix -> contract tags.  A module inherits the tags of
+#: every prefix that contains it.
+DEFAULT_SCOPES: dict[str, frozenset[str]] = {
+    "repro.explain": frozenset({ROW_DETERMINISTIC, DETERMINISTIC}),
+    "repro.serve": frozenset({ROW_DETERMINISTIC, DETERMINISTIC}),
+    "repro.boosting": frozenset({DETERMINISTIC, FLOAT64_SUMS}),
+    "repro.analysis": frozenset({DETERMINISTIC}),
+    "repro.baselines": frozenset({DETERMINISTIC}),
+    "repro.clinical": frozenset({DETERMINISTIC}),
+    "repro.cohort": frozenset({DETERMINISTIC}),
+    "repro.experiments": frozenset({DETERMINISTIC}),
+    "repro.frailty": frozenset({DETERMINISTIC}),
+    "repro.knowledge": frozenset({DETERMINISTIC}),
+    "repro.learning": frozenset({DETERMINISTIC}),
+    "repro.parallel": frozenset({DETERMINISTIC}),
+    "repro.pipeline": frozenset({DETERMINISTIC}),
+    "repro.synth": frozenset({DETERMINISTIC}),
+    "repro.tabular": frozenset({DETERMINISTIC}),
+}
+
+
+def module_name_for(path: str | Path) -> str:
+    """Dotted module name of ``path``, anchored at the ``repro`` package.
+
+    Files outside a ``repro`` package directory (test fixtures, ad-hoc
+    snippets) get their bare stem — they match no default scope and are
+    governed solely by their in-file markers.
+    """
+    parts = list(Path(path).parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    if "repro" in parts:
+        parts = parts[parts.index("repro") :]
+        return ".".join(parts)
+    return parts[-1] if parts else ""
+
+
+def tags_for_module(module: str) -> frozenset[str]:
+    """Union of the default-scope tags whose prefix covers ``module``."""
+    tags: set[str] = set()
+    for prefix, scope_tags in DEFAULT_SCOPES.items():
+        if module == prefix or module.startswith(prefix + "."):
+            tags |= scope_tags
+    return frozenset(tags)

@@ -1,0 +1,163 @@
+"""Lint driver: walk files, apply scoped rules, honour pragmas.
+
+:func:`lint_source` is the core (and the unit-test surface): one source
+string, one tag set, one report.  :func:`lint_file` adds scope
+resolution from the file's package path plus its in-file markers, and
+:func:`run_lint` walks directories in sorted order so the report is
+byte-stable across hosts — the analyzer holds itself to the contract it
+enforces.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis import rulepack  # noqa: F401  (registers the rules)
+from repro.analysis.config import module_name_for, tags_for_module
+from repro.analysis.pragmas import scan_pragmas
+from repro.analysis.rules import (
+    RULES,
+    FileContext,
+    Finding,
+    attach_parents,
+    collect_aliases,
+)
+
+__all__ = ["LintReport", "Suppression", "lint_file", "lint_source", "run_lint"]
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A finding silenced by a justified ``allow`` pragma."""
+
+    finding: Finding
+    reason: str
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run (one file or a whole tree)."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Suppression] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def extend(self, other: "LintReport") -> None:
+        self.findings.extend(other.findings)
+        self.suppressed.extend(other.suppressed)
+        self.notes.extend(other.notes)
+        self.files_scanned += other.files_scanned
+
+    def sort(self) -> None:
+        self.findings.sort(key=lambda f: f.sort_key)
+        self.suppressed.sort(key=lambda s: s.finding.sort_key)
+
+
+def lint_source(
+    source: str,
+    path: str = "<snippet>",
+    tags: frozenset[str] | set[str] = frozenset(),
+    rule_ids: list[str] | None = None,
+) -> LintReport:
+    """Lint one source string under the given scope tags."""
+    report = LintReport(files_scanned=1)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        report.findings.append(
+            Finding(
+                rule="REP000",
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"file does not parse: {exc.msg}",
+            )
+        )
+        return report
+    sheet = scan_pragmas(source)
+    ctx = FileContext(
+        path=path,
+        tags=frozenset(tags) | sheet.scopes,
+        tree=tree,
+        source=source,
+        aliases=collect_aliases(tree),
+        parents=attach_parents(tree),
+    )
+    selected = rule_ids if rule_ids is not None else sorted(RULES)
+    raw: list[Finding] = []
+    for rule_id in selected:
+        rule = RULES[rule_id]
+        if rule.applies(ctx):
+            raw.extend(rule.check(ctx))
+    for finding in raw:
+        pragma = sheet.suppression_for(finding.rule, finding.line)
+        if pragma is None:
+            report.findings.append(finding)
+        else:
+            report.suppressed.append(Suppression(finding, pragma.reason))
+    for line, message in sheet.malformed:
+        # Pragma misuse is never itself suppressible.
+        report.findings.append(
+            Finding(rule="REP000", path=path, line=line, col=0, message=message)
+        )
+    for pragma in sheet.unused():
+        report.notes.append(
+            f"{path}:{pragma.line}: unused allow[{', '.join(pragma.rules)}] "
+            "pragma (nothing to suppress here any more)"
+        )
+    report.sort()
+    return report
+
+
+def lint_file(
+    path: str | Path,
+    display_root: Path | None = None,
+    rule_ids: list[str] | None = None,
+) -> LintReport:
+    """Lint one file; scope tags come from its package path + markers."""
+    path = Path(path)
+    source = path.read_text(encoding="utf-8")
+    tags = tags_for_module(module_name_for(path))
+    try:
+        display = str(path.relative_to(display_root or Path.cwd()))
+    except ValueError:
+        display = str(path)
+    return lint_source(source, path=display, tags=tags, rule_ids=rule_ids)
+
+
+def default_lint_root() -> Path:
+    """The ``repro`` package directory this module was loaded from."""
+    return Path(__file__).resolve().parent.parent
+
+
+def run_lint(
+    paths: list[str | Path] | None = None,
+    rule_ids: list[str] | None = None,
+) -> LintReport:
+    """Lint files/trees (default: the whole ``repro`` package)."""
+    if paths:
+        targets = [Path(p) for p in paths]
+        display_root = Path.cwd()
+    else:
+        root = default_lint_root()
+        targets = [root]
+        display_root = root.parent.parent  # .../src
+    report = LintReport()
+    for target in targets:
+        if target.is_dir():
+            files = sorted(target.rglob("*.py"))
+        else:
+            files = [target]
+        for file in files:
+            report.extend(
+                lint_file(file, display_root=display_root, rule_ids=rule_ids)
+            )
+    report.sort()
+    return report

@@ -1,0 +1,155 @@
+"""In-source pragmas: suppressions and module scope markers.
+
+Two comment forms are recognised (anywhere a comment is legal; the
+tokenizer, not a regex over raw lines, finds them, so string literals
+that merely *look* like pragmas are ignored):
+
+``# repro: allow[REP003] -- reason text``
+    Suppress the named rule(s) with a mandatory justification.  A
+    trailing pragma covers findings on its own line; a pragma alone on
+    a line covers the line below (the first line of the statement it
+    annotates).  A pragma without justification text, or naming an
+    unknown rule, is itself a violation (REP000) — silent suppressions
+    are not allowed.
+
+``# repro: scope[row-deterministic]``
+    Add contract tags to this module on top of its package default
+    (see :mod:`repro.analysis.config`).
+
+Unused ``allow`` pragmas are reported as notes so stale suppressions
+surface without failing the build.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.analysis.config import KNOWN_TAGS
+
+__all__ = ["Pragma", "PragmaSheet", "scan_pragmas"]
+
+_ALLOW_RE = re.compile(
+    r"^#\s*repro:\s*allow\[(?P<rules>[^\]]*)\]\s*(?:--\s*(?P<reason>.*\S))?\s*$"
+)
+_SCOPE_RE = re.compile(r"^#\s*repro:\s*scope\[(?P<tags>[^\]]*)\]\s*$")
+_ANY_PRAGMA_RE = re.compile(r"^#\s*repro\s*:")
+_RULE_ID_RE = re.compile(r"^REP\d{3}$")
+
+
+@dataclass
+class Pragma:
+    """One well-formed ``allow`` pragma."""
+
+    line: int  #: line the pragma *covers* (not necessarily its own)
+    rules: tuple[str, ...]
+    reason: str
+    used: bool = False
+
+
+@dataclass
+class PragmaSheet:
+    """Every pragma-ish comment of one source file, parsed."""
+
+    #: covered line -> allow pragmas for that line.
+    allows: dict[int, list[Pragma]] = field(default_factory=dict)
+    #: tags declared by ``scope[...]`` markers.
+    scopes: frozenset[str] = frozenset()
+    #: (line, message) for pragmas that must be reported as REP000.
+    malformed: list[tuple[int, str]] = field(default_factory=list)
+
+    def suppression_for(self, rule: str, line: int) -> Pragma | None:
+        """The pragma allowing ``rule`` on ``line``, if any (marks it used)."""
+        for pragma in self.allows.get(line, ()):
+            if rule in pragma.rules:
+                pragma.used = True
+                return pragma
+        return None
+
+    def unused(self) -> list[Pragma]:
+        """Allow pragmas that never suppressed a finding."""
+        out: list[Pragma] = []
+        for line in sorted(self.allows):
+            out.extend(p for p in self.allows[line] if not p.used)
+        return out
+
+
+def scan_pragmas(source: str) -> PragmaSheet:
+    """Parse every ``# repro:`` comment of ``source``."""
+    sheet = PragmaSheet()
+    scopes: set[str] = set()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, ValueError):
+        # The engine reports unparsable files separately; no pragmas.
+        return sheet
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        comment = token.string.strip()
+        if not _ANY_PRAGMA_RE.match(comment):
+            continue
+        line = token.start[0]
+        own_line = token.line[: token.start[1]].strip() == ""
+        allow = _ALLOW_RE.match(comment)
+        if allow is not None:
+            _parse_allow(sheet, allow, line, own_line)
+            continue
+        scope = _SCOPE_RE.match(comment)
+        if scope is not None:
+            _parse_scope(sheet, scopes, scope, line)
+            continue
+        sheet.malformed.append(
+            (line, f"unrecognised repro pragma: {comment!r}")
+        )
+    sheet.scopes = frozenset(scopes)
+    return sheet
+
+
+def _parse_allow(
+    sheet: PragmaSheet, match: re.Match, line: int, own_line: bool
+) -> None:
+    rules = tuple(
+        part.strip() for part in match.group("rules").split(",") if part.strip()
+    )
+    reason = (match.group("reason") or "").strip()
+    bad = [rule for rule in rules if not _RULE_ID_RE.match(rule)]
+    if not rules or bad:
+        sheet.malformed.append(
+            (line, f"allow pragma names no valid REP rule: {bad or '[]'}")
+        )
+        return
+    if not reason:
+        sheet.malformed.append(
+            (
+                line,
+                f"allow[{', '.join(rules)}] pragma is missing its "
+                "justification ('-- reason'); silent suppressions are "
+                "not allowed",
+            )
+        )
+        return
+    covered = line + 1 if own_line else line
+    pragma = Pragma(line=covered, rules=rules, reason=reason)
+    sheet.allows.setdefault(covered, []).append(pragma)
+
+
+def _parse_scope(
+    sheet: PragmaSheet, scopes: set[str], match: re.Match, line: int
+) -> None:
+    tags = [
+        part.strip() for part in match.group("tags").split(",") if part.strip()
+    ]
+    unknown = [tag for tag in tags if tag not in KNOWN_TAGS]
+    if not tags or unknown:
+        sheet.malformed.append(
+            (
+                line,
+                f"scope pragma names unknown tag(s) {unknown}; known: "
+                f"{sorted(KNOWN_TAGS)}",
+            )
+        )
+        return
+    scopes.update(tags)

@@ -1,0 +1,83 @@
+"""Reporters: human-readable text and machine-readable JSON.
+
+The JSON document is what CI archives (``python -m repro lint
+--format=json --out results/lint.json``): a stable, sorted record of
+findings, justified suppressions and notes, with ``clean`` as the gate
+bit.  The text form is for humans at the terminal.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import LintReport
+from repro.analysis.rules import RULES
+
+__all__ = ["render_json", "render_text", "report_to_dict"]
+
+#: Bump when the JSON shape changes.
+JSON_VERSION = 1
+
+
+def report_to_dict(report: LintReport) -> dict:
+    """The machine-readable form of a report (JSON-serialisable)."""
+    return {
+        "version": JSON_VERSION,
+        "clean": report.clean,
+        "files_scanned": report.files_scanned,
+        "findings": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col + 1,
+                "message": f.message,
+            }
+            for f in report.findings
+        ],
+        "suppressed": [
+            {
+                "rule": s.finding.rule,
+                "path": s.finding.path,
+                "line": s.finding.line,
+                "reason": s.reason,
+            }
+            for s in report.suppressed
+        ],
+        "notes": list(report.notes),
+    }
+
+
+def render_json(report: LintReport) -> str:
+    return json.dumps(report_to_dict(report), indent=2, sort_keys=True) + "\n"
+
+
+def render_text(report: LintReport) -> str:
+    lines: list[str] = []
+    for finding in report.findings:
+        lines.append(finding.render())
+    for note in report.notes:
+        lines.append(f"note: {note}")
+    n = len(report.findings)
+    summary = (
+        f"repro lint: {n} violation{'s' if n != 1 else ''}"
+        f" in {report.files_scanned} files"
+        f" ({len(report.suppressed)} pragma-suppressed)"
+    )
+    if report.clean:
+        summary = (
+            f"repro lint: clean ({report.files_scanned} files, "
+            f"{len(report.suppressed)} pragma-suppressed)"
+        )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_rule_table() -> str:
+    """One line per registered rule (``--list-rules``)."""
+    lines = []
+    for rule_id in sorted(RULES):
+        rule = RULES[rule_id]
+        scope = ", ".join(sorted(rule.tags)) if rule.tags else "all files"
+        lines.append(f"{rule_id}  [{scope}]  {rule.title}")
+    return "\n".join(lines)

@@ -1,0 +1,149 @@
+"""Rule engine core: findings, file context, registry, AST helpers.
+
+A :class:`Rule` is a stateless checker over one parsed file.  Rules
+declare the scope tags they require (``tags``; ``None`` means every
+scanned file) and yield :class:`Finding` objects from :meth:`Rule.check`.
+Concrete rules live in :mod:`repro.analysis.rulepack` and register
+themselves into :data:`RULES` at import time via :func:`register`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "RULES",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "collect_aliases",
+    "dotted_name",
+    "register",
+]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about one file."""
+
+    path: str
+    tags: frozenset[str]
+    tree: ast.AST
+    source: str
+    #: module kind -> names it is bound to in this file, e.g.
+    #: ``{"numpy": {"np"}, "random": {"random"}}`` (import-derived).
+    aliases: dict[str, set[str]] = field(default_factory=dict)
+    #: child AST node -> parent AST node, for ancestor walks.
+    parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Parents of ``node``, innermost first, up to the module."""
+        while node in self.parents:
+            node = self.parents[node]
+            yield node
+
+    def roots(self, kind: str) -> set[str]:
+        """Names the module ``kind`` is imported under in this file."""
+        return self.aliases.get(kind, set())
+
+
+class Rule:
+    """Base class: one determinism/concurrency check."""
+
+    id: str = "REP000"
+    title: str = ""
+    #: Scope tags that activate this rule; ``None`` = every file.
+    tags: frozenset[str] | None = None
+
+    def applies(self, ctx: FileContext) -> bool:
+        return self.tags is None or bool(self.tags & ctx.tags)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+#: rule id -> singleton rule instance (populated by :func:`register`).
+RULES: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and index a rule by its id."""
+    rule = cls()
+    if rule.id in RULES:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    RULES[rule.id] = rule
+    return cls
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+#: Top-level modules whose bindings rules care about.
+_TRACKED_MODULES = ("numpy", "random", "time", "datetime", "os", "glob")
+
+
+def collect_aliases(tree: ast.AST) -> dict[str, set[str]]:
+    """Names each tracked module is bound to (``import numpy as np`` ...)."""
+    aliases: dict[str, set[str]] = {name: set() for name in _TRACKED_MODULES}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                top = item.name.split(".")[0]
+                if top in aliases:
+                    aliases[top].add(item.asname or top)
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            top = node.module.split(".")[0]
+            if top == "datetime":
+                # from datetime import datetime/date: the class names
+                # become roots for the wall-clock checks.
+                for item in node.names:
+                    if item.name in ("datetime", "date"):
+                        aliases["datetime"].add(item.asname or item.name)
+    return aliases
+
+
+def attach_parents(tree: ast.AST) -> dict[ast.AST, ast.AST]:
+    """child -> parent map over the whole tree."""
+    parents: dict[ast.AST, ast.AST] = {}
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            parents[child] = parent
+    return parents

@@ -478,6 +478,12 @@ class TreeGrower:
         # cumulative sums over non-missing bins.  Candidate b sends
         # non-missing bins <= b left.
         cum = self._scratch_buf("cum", (k, nch, d, stride), dtype=dt)
+        # The float32 candidate scan is the documented exception to the
+        # float64 sum-channel contract: gain *ranking* tolerates the
+        # noise, the winning split's child sums are re-derived from the
+        # node's float64 histogram, and grow() switches the whole scan
+        # to float64 when the gradient scale could overflow.
+        # repro: allow[REP004] -- ranking-only float32 scan; exact child sums re-derived in float64
         np.cumsum(hist, axis=3, out=cum)
         gl = cum[:, 0, :, :-1]
         hl = cum[:, 1, :, :-1]

@@ -100,7 +100,9 @@ def aggregate_by_domain(
             negatives.setdefault(domain, [])
 
     out: dict[str, DomainImpact] = {}
-    for domain in set(negatives) | set(positives):
+    # sorted(): set order follows the per-process string-hash seed; the
+    # report's domain order must not.
+    for domain in sorted(set(negatives) | set(positives)):
         neg_features = sorted(negatives.get(domain, []), key=lambda kv: kv[1])
         out[domain] = DomainImpact(
             domain=domain,

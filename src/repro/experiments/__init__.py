@@ -20,17 +20,17 @@ ABL3       Falls class-weighting ablation   ``ablation_imbalance``
 =========  =======================================================
 """
 
+from repro.experiments.ablation_imbalance import run_imbalance_ablation
+from repro.experiments.ablation_imputation import run_imputation_ablation
+from repro.experiments.ablation_models import run_model_ablation
 from repro.experiments.context import ExperimentContext, default_context
 from repro.experiments.fig1_distributions import run_fig1
 from repro.experiments.fig4_performance import run_fig4
-from repro.experiments.table1_clinics import run_table1
 from repro.experiments.fig5_mae_by_clinic import run_fig5
 from repro.experiments.fig6_local_explanations import run_fig6
 from repro.experiments.fig7_global_dependence import run_fig7
 from repro.experiments.qa_gaps import run_qa
-from repro.experiments.ablation_models import run_model_ablation
-from repro.experiments.ablation_imputation import run_imputation_ablation
-from repro.experiments.ablation_imbalance import run_imbalance_ablation
+from repro.experiments.table1_clinics import run_table1
 
 __all__ = [
     "ExperimentContext",

@@ -9,6 +9,10 @@ different top-5 feature sets, and returns both reports.
 
 from __future__ import annotations
 
+# repro: scope[row-deterministic]
+# The matched pair is selected from per-row SHAP values computed by the
+# parallel plane; nothing here may depend on how the batch was sharded.
+
 from dataclasses import dataclass
 
 import numpy as np

@@ -10,6 +10,10 @@ that the DD model re-discovers KD-style cutoffs automatically.
 
 from __future__ import annotations
 
+# repro: scope[row-deterministic]
+# The artefact is built from per-row SHAP values computed by the
+# parallel plane; nothing here may depend on how the batch was sharded.
+
 import numpy as np
 
 from repro.cohort.schema import pro_item_names
@@ -54,10 +58,10 @@ def run_fig7(
     for item in pro_item_names():
         col = names.index(item)
         observed = ~np.isnan(X[:, col])
-        if observed.sum() < 30:
+        if np.count_nonzero(observed) < 30:
             continue
         curve = dependence_curve(shap[:, col], X[:, col], item)
-        mass = float(np.abs(shap[:, col]).sum())
+        mass = float(np.abs(shap[:, col]).sum(axis=0))
         score = mass + (1e6 if curve.threshold is not None else 0.0)
         if score > best_score:
             best_score = score

@@ -26,15 +26,12 @@ re-implements that machinery with two interchangeable engines:
     extraction the paper highlights in Fig. 7.
 """
 
-from repro.explain.treeshap import TreeShapExplainer
+from repro.explain.exact import brute_force_shap, tree_value_function
+from repro.explain.interactions import TreeShapInteractionExplainer
 from repro.explain.reference import (
     ReferenceTreeShapExplainer,
     ReferenceTreeShapInteractionExplainer,
 )
-from repro.explain.structure import TreeStructure, tree_expected_value
-from repro.explain.exact import brute_force_shap, tree_value_function
-from repro.explain.sampling import PermutationShapEstimator
-from repro.explain.interactions import TreeShapInteractionExplainer
 from repro.explain.reports import (
     GlobalDependence,
     GlobalImportance,
@@ -45,6 +42,9 @@ from repro.explain.reports import (
     local_reports,
     top_k_features,
 )
+from repro.explain.sampling import PermutationShapEstimator
+from repro.explain.structure import TreeStructure, tree_expected_value
+from repro.explain.treeshap import TreeShapExplainer
 
 __all__ = [
     "TreeShapExplainer",

@@ -36,9 +36,9 @@ import numpy as np
 
 from repro.explain.structure import TreeStructure
 from repro.explain.treeshap import (
-    _PreprocessedExplainer,
     _extend_weights,
     _plain_deltas,
+    _PreprocessedExplainer,
     _unwound_sums,
 )
 

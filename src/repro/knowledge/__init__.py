@@ -19,9 +19,14 @@ This package models that expert knowledge explicitly:
     The expert rule set used by the reproduction's KD arm.
 """
 
-from repro.knowledge.ontology import IntrinsicCapacityOntology
-from repro.knowledge.scoring import CutoffRule, LinearBandScore, ScoreFunction, ThresholdScore
 from repro.knowledge.ici import ICICalculator, ICISpecification, default_ici_specification
+from repro.knowledge.ontology import IntrinsicCapacityOntology
+from repro.knowledge.scoring import (
+    CutoffRule,
+    LinearBandScore,
+    ScoreFunction,
+    ThresholdScore,
+)
 
 __all__ = [
     "IntrinsicCapacityOntology",

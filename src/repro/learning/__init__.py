@@ -13,12 +13,17 @@
     Per-clinic model training (Table 1).
 """
 
+from repro.learning.framework import (
+    EvaluationResult,
+    ModelFactory,
+    default_model_factory,
+    run_protocol,
+)
 from repro.learning.metrics import (
     ClassificationReport,
-    brier_score,
-    roc_auc,
     RegressionReport,
     accuracy,
+    brier_score,
     classification_report,
     confusion_counts,
     mae,
@@ -26,14 +31,9 @@ from repro.learning.metrics import (
     one_minus_mape,
     precision_recall_f1,
     regression_report,
+    roc_auc,
 )
 from repro.learning.split import KFoldSplitter, train_test_split
-from repro.learning.framework import (
-    EvaluationResult,
-    ModelFactory,
-    default_model_factory,
-    run_protocol,
-)
 from repro.learning.stratify import per_clinic_results
 
 __all__ = [

@@ -67,6 +67,10 @@ def export_shared(
             specs[name] = _ArraySpec(None, array.shape, str(array.dtype), array)
             continue
         try:
+            # Every segment is returned to the caller, whose contract is
+            # to release_shared() them in a finally (parallel_map does;
+            # ShardedPool.close() runs even after worker crashes).
+            # repro: allow[REP003] -- ownership transfers to the caller, which must release_shared() in a finally
             segment = shared_memory.SharedMemory(create=True, size=array.nbytes)
         except OSError:
             specs[name] = _ArraySpec(None, array.shape, str(array.dtype), array)

@@ -18,13 +18,13 @@ Mirrors section 3 of the paper ("Observational data and feature space" +
 
 from repro.pipeline.aggregate import monthly_activity
 from repro.pipeline.impute import interpolate_bounded, interpolate_matrix
+from repro.pipeline.qa import GapReport, gap_report, retention_sweep
 from repro.pipeline.samples import (
     SampleSet,
+    build_all_sample_sets,
     build_dd_samples,
     build_kd_samples,
-    build_all_sample_sets,
 )
-from repro.pipeline.qa import GapReport, gap_report, retention_sweep
 
 __all__ = [
     "monthly_activity",

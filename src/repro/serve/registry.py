@@ -97,6 +97,9 @@ class ModelRegistry:
                 "kind": doc["kind"],
                 "n_features": doc["n_features"],
                 "n_trees": len(doc["trees"]),
+                # The version tag (and everything scoring reads) hashes
+                # only the model document, never this field.
+                # repro: allow[REP002] -- created_at is intentional wall-clock publication metadata
                 "created_at": time.time(),
                 "metadata": dict(metadata or {}),
             }
@@ -165,7 +168,7 @@ class ModelRegistry:
             raise KeyError(f"no model named {name!r} in registry {self.root}")
         out = [
             self.describe(name, child.name)
-            for child in model_dir.iterdir()
+            for child in sorted(model_dir.iterdir())
             if child.is_dir() and (child / _META_FILE).is_file()
         ]
         return sorted(out, key=lambda v: (v.created_at, v.tag))

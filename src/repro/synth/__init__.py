@@ -19,10 +19,10 @@ primitives that the generator composes:
     Bursty missing-data process calibrated to the paper's gap statistics.
 """
 
-from repro.synth.seeding import SeedSequenceFactory
-from repro.synth.processes import ar1_process, clipped_noise, weekly_profile
-from repro.synth.ordinal import OrdinalLink
 from repro.synth.gaps import burst_gap_mask, gap_lengths
+from repro.synth.ordinal import OrdinalLink
+from repro.synth.processes import ar1_process, clipped_noise, weekly_profile
+from repro.synth.seeding import SeedSequenceFactory
 
 __all__ = [
     "SeedSequenceFactory",

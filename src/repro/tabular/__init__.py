@@ -22,8 +22,8 @@ Public API
 """
 
 from repro.tabular.column import Column, ColumnType
-from repro.tabular.table import Table, concat_tables
 from repro.tabular.io import read_csv, write_csv
+from repro.tabular.table import Table, concat_tables
 
 __all__ = [
     "Column",

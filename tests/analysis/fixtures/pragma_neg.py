@@ -1,0 +1,14 @@
+"""Pragma negative: a justified suppression silences its finding."""
+
+# repro: scope[deterministic]
+
+import time
+
+
+def stamp():
+    # repro: allow[REP002] -- fixture: wall clock is the point here
+    return time.time()
+
+
+def trailing():
+    return time.time()  # repro: allow[REP002] -- trailing form works too

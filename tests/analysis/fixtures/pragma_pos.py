@@ -1,0 +1,15 @@
+"""REP000 positive: malformed pragmas are themselves violations."""
+
+# repro: scope[deterministic]
+
+import time
+
+
+def stamp():
+    # repro: allow[REP002]
+    return time.time()  # suppression without justification: rejected
+
+
+def other():
+    # repro: allow[NOTARULE] -- bogus rule id
+    return 1

@@ -1,0 +1,26 @@
+"""REP001 negative: fixed-axis reductions and fixed-order folds."""
+
+# repro: scope[row-deterministic]
+
+import numpy as np
+
+
+def per_row(matrix):
+    return matrix.sum(axis=-1)  # axis kwarg: fixed order
+
+
+def positional_axis(matrix):
+    return matrix.sum(0)  # positional axis counts as fixed too
+
+
+def np_level(matrix):
+    return np.sum(matrix, axis=1)
+
+
+def fixed_order_matvec(matrix, weights):
+    # The PR 5 replacement idiom: elementwise product + fixed-axis sum.
+    return (matrix * weights[None, :]).sum(axis=1)
+
+
+def reduceat_fold(values, starts):
+    return np.add.reduceat(values, starts)

@@ -1,0 +1,25 @@
+"""REP001 positive: batch-shape-dependent reductions, every spelling."""
+
+# repro: scope[row-deterministic]
+
+import numpy as np
+
+
+def total(matrix):
+    return matrix.sum()  # no axis: full reduction over the batch
+
+
+def axis_none(matrix):
+    return matrix.sum(axis=None)  # explicit None is still unfixed
+
+
+def projected(matrix, weights):
+    return matrix @ weights  # BLAS matmul: order depends on batch shape
+
+
+def dotted(matrix, weights):
+    return np.dot(matrix, weights)
+
+
+def einsummed(matrix, weights):
+    return np.einsum("ij,j->i", matrix, weights)

@@ -1,0 +1,20 @@
+"""REP002 negative: seeded generators and argument-fed time formatting."""
+
+# repro: scope[deterministic]
+
+import random
+import time
+
+import numpy as np
+
+
+def draw(n, seed):
+    return np.random.default_rng(seed).random(n)
+
+
+def local_rng(seed):
+    return random.Random(seed).random()
+
+
+def render_stamp(created_at):
+    return time.strftime("%Y-%m-%d", time.gmtime(created_at))

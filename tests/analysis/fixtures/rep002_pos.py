@@ -1,0 +1,25 @@
+"""REP002 positive: global RNG, unseeded generators, wall clock."""
+
+# repro: scope[deterministic]
+
+import random
+import time
+
+import numpy as np
+
+
+def draw(n):
+    return np.random.rand(n)  # module-level global RNG
+
+
+def unseeded():
+    return np.random.default_rng()  # OS entropy
+
+
+def shuffled(items):
+    random.shuffle(items)
+    return items
+
+
+def stamp():
+    return time.time()

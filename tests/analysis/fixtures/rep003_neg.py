@@ -1,0 +1,27 @@
+"""REP003 negative: unlink on an always-executed path (nested finally)."""
+
+from multiprocessing import shared_memory
+
+
+def guarded(nbytes):
+    segment = shared_memory.SharedMemory(create=True, size=nbytes)
+    try:
+        return bytes(segment.buf)
+    finally:
+        segment.close()
+        segment.unlink()
+
+
+def nested(nbytes):
+    outer = None
+    try:
+        try:
+            outer = shared_memory.SharedMemory(create=True, size=nbytes)
+        except OSError:
+            return b""
+        return bytes(outer.buf)
+    finally:
+        # The unlink lives on the *outer* finally: still always executed.
+        if outer is not None:
+            outer.close()
+            outer.unlink()

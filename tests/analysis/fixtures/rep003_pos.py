@@ -1,0 +1,11 @@
+"""REP003 positive: created segment with no guaranteed unlink path."""
+
+from multiprocessing import shared_memory
+
+
+def leaky(nbytes):
+    segment = shared_memory.SharedMemory(create=True, size=nbytes)
+    buffer = bytes(segment.buf)  # if this raises, the segment leaks
+    segment.close()
+    segment.unlink()  # reached only on the happy path
+    return buffer

@@ -1,0 +1,19 @@
+"""REP004 negative: float64 channels, or an explicit float64 widen."""
+
+# repro: scope[float64-sums]
+
+import numpy as np
+
+
+def wide_sum(n):
+    buf = np.ones(n, dtype=np.float64)
+    return float(buf.sum())
+
+
+def widened_at_the_sum(n, dt):
+    buf = np.zeros(n, dtype=dt)
+    return buf.sum(dtype=np.float64)  # the sum itself widens
+
+
+def untyped(values):
+    return values.sum()  # no dtype evidence in this function: not flagged

@@ -1,0 +1,22 @@
+"""REP005 negative: every memo write holds the owning lock."""
+
+import threading
+
+
+class Memo:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._cache = {}  # __init__ is single-threaded by contract
+
+    def put(self, key, value):
+        with self._lock:
+            self._cache[key] = value
+
+    def get_or_build(self, key, build):
+        with self._lock:
+            if key not in self._cache:
+                self._cache[key] = build(key)
+            return self._cache[key]
+
+    def peek(self, key):
+        return self._cache.get(key)  # reads are not flagged

@@ -1,0 +1,15 @@
+"""REP005 positive: memo writes outside the class's own lock."""
+
+import threading
+
+
+class Memo:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._cache = {}
+
+    def put(self, key, value):
+        self._cache[key] = value  # racy: not under self._lock
+
+    def merge(self, other):
+        self._cache.update(other)  # racy mutator call

@@ -1,0 +1,11 @@
+"""REP006 negative: module-level (picklable) pool units."""
+
+from repro.parallel import parallel_map
+
+
+def unit(item, state):
+    return item
+
+
+def run(items):
+    return parallel_map(unit, items)

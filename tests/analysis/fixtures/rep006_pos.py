@@ -1,0 +1,14 @@
+"""REP006 positive: unpicklable callables handed to the pools."""
+
+from repro.parallel import parallel_map
+
+
+def run_with_lambda(items):
+    return parallel_map(lambda item, state: item, items)
+
+
+def run_with_closure(items, offset):
+    def unit(item, state):
+        return item + offset  # closure: unpicklable
+
+    return parallel_map(unit, items)

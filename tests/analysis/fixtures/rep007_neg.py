@@ -1,0 +1,24 @@
+"""REP007 negative: sorted iteration, order-insensitive set use."""
+
+# repro: scope[deterministic]
+
+import os
+
+
+def domains(negatives, positives):
+    out = []
+    for domain in sorted(set(negatives) | set(positives)):
+        out.append(domain)
+    return out
+
+
+def listing(root):
+    return sorted(os.listdir(root))
+
+
+def tree(root):
+    return [child for child in sorted(root.iterdir())]
+
+
+def membership(name, names):
+    return name in set(names)  # membership is order-insensitive

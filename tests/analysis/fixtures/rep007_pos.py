@@ -1,0 +1,20 @@
+"""REP007 positive: unsorted set / filesystem iteration."""
+
+# repro: scope[deterministic]
+
+import os
+
+
+def domains(negatives, positives):
+    out = []
+    for domain in set(negatives) | set(positives):
+        out.append(domain)  # order follows the per-process hash seed
+    return out
+
+
+def listing(root):
+    return [name for name in os.listdir(root)]
+
+
+def tree(root):
+    return [child for child in root.iterdir()]

@@ -1,0 +1,80 @@
+"""Exit-code and report-format contract for ``python -m repro lint``."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+POSITIVES = sorted(FIXTURES.glob("*_pos.py"))
+NEGATIVES = sorted(FIXTURES.glob("*_neg.py"))
+
+
+@pytest.mark.parametrize("fixture", POSITIVES, ids=lambda p: p.stem)
+def test_positive_fixtures_exit_nonzero(fixture, capsys):
+    assert main([str(fixture)]) == 1
+    out = capsys.readouterr().out
+    assert "violation" in out
+
+
+@pytest.mark.parametrize("fixture", NEGATIVES, ids=lambda p: p.stem)
+def test_negative_fixtures_exit_zero(fixture, capsys):
+    assert main([str(fixture)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_json_format_is_valid(capsys):
+    assert main([str(FIXTURES / "rep001_pos.py"), "--format=json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 1
+    assert payload["clean"] is False
+    assert all(f["rule"] == "REP001" for f in payload["findings"])
+    # Columns are 1-based in reports.
+    assert all(f["col"] >= 1 for f in payload["findings"])
+
+
+def test_json_records_suppressions(capsys):
+    assert main([str(FIXTURES / "pragma_neg.py"), "--format=json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["clean"] is True
+    assert len(payload["suppressed"]) == 2
+    assert all(s["reason"] for s in payload["suppressed"])
+
+
+def test_out_writes_json_file(tmp_path, capsys):
+    out_file = tmp_path / "reports" / "lint.json"
+    code = main([str(FIXTURES / "rep002_pos.py"), "--out", str(out_file)])
+    assert code == 1
+    payload = json.loads(out_file.read_text(encoding="utf-8"))
+    assert payload["clean"] is False
+    # Human-readable report still goes to stdout alongside --out.
+    assert "REP002" in capsys.readouterr().out
+
+
+def test_missing_path_is_usage_error(capsys):
+    assert main([str(FIXTURES / "no_such_file.py")]) == 2
+    assert "no_such_file" in capsys.readouterr().err
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in (f"REP{i:03d}" for i in range(1, 8)):
+        assert rule_id in out
+
+
+def test_module_dispatch_runs_lint():
+    """``python -m repro lint`` reaches the analyzer CLI."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", str(FIXTURES / "rep004_pos.py")],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        cwd=Path(__file__).resolve().parents[2],
+    )
+    assert proc.returncode == 1
+    assert "REP004" in proc.stdout

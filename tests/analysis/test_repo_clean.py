@@ -1,0 +1,24 @@
+"""Meta-test: the shipped tree satisfies its own determinism contract.
+
+This is the tier-1 enforcement point for the REP rule pack — if a
+change introduces a batch-shape-dependent reduction in a
+row-deterministic module, an unseeded RNG in engine code, a leaked
+shared-memory segment, or any other rule violation, this test fails
+with the same findings ``python -m repro lint`` would print in CI.
+"""
+
+from repro.analysis import run_lint
+
+
+def test_src_tree_is_lint_clean():
+    report = run_lint()
+    assert report.files_scanned > 50  # guard against scanning the wrong root
+    assert report.clean, "\n" + "\n".join(f.render() for f in report.findings)
+
+
+def test_suppressions_are_justified():
+    report = run_lint()
+    for suppression in report.suppressed:
+        assert suppression.reason, (
+            f"unjustified pragma for {suppression.finding.render()}"
+        )

@@ -10,25 +10,24 @@ import pytest
 
 from repro.experiments import (
     ExperimentContext,
-    run_imbalance_ablation,
     run_fig1,
     run_fig4,
     run_fig5,
     run_fig6,
     run_fig7,
+    run_imbalance_ablation,
     run_imputation_ablation,
     run_model_ablation,
     run_qa,
 )
+from repro.experiments.ablation_imputation import render_imputation_ablation
+from repro.experiments.ablation_models import render_model_ablation
 from repro.experiments.fig1_distributions import render_fig1
 from repro.experiments.fig4_performance import render_fig4
 from repro.experiments.fig5_mae_by_clinic import BoxStats, render_fig5
 from repro.experiments.fig6_local_explanations import render_fig6
 from repro.experiments.fig7_global_dependence import render_fig7
 from repro.experiments.qa_gaps import render_qa
-from repro.experiments.ablation_imputation import render_imputation_ablation
-from repro.experiments.ablation_models import render_model_ablation
-
 from tests.conftest import small_config
 
 

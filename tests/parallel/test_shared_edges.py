@@ -7,10 +7,10 @@ unlinked, including when a worker dies mid-task.
 """
 
 import os
+from multiprocessing import shared_memory
 
 import numpy as np
 import pytest
-from multiprocessing import shared_memory
 
 from repro.parallel import ShardedPool, parallel_map
 from repro.parallel.executor import in_worker

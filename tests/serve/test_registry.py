@@ -10,9 +10,9 @@ import numpy as np
 import pytest
 
 from repro.boosting import GBClassifier, GBRegressor
+from repro.boosting.serialize import model_to_dict
 from repro.explain import TreeShapExplainer
 from repro.serve import ModelRegistry, model_fingerprint
-from repro.boosting.serialize import model_to_dict
 
 
 @pytest.fixture(scope="module")
