@@ -78,6 +78,9 @@ def record_bench(
     speedup: float | None = None,
     config: dict | None = None,
     latency_ms: dict[str, float] | None = None,
+    model_nodes: int | None = None,
+    model_bytes: int | None = None,
+    compression_ratio: float | None = None,
 ) -> None:
     """Update one machine-readable entry in ``results/bench.json``.
 
@@ -87,7 +90,10 @@ def record_bench(
     uploads with the artefacts.  Serving benches additionally record
     tail latency: ``latency_ms`` carries p50/p95/p99 per-request
     milliseconds (see :func:`latency_percentiles`) so the trajectory
-    captures the tail, not just throughput.
+    captures the tail, not just throughput.  Model-size benches stamp
+    the footprint next to the timing: ``model_nodes`` (source ensemble
+    nodes), ``model_bytes`` (in-memory table bytes) and
+    ``compression_ratio`` (source nodes per hash-consed DAG row).
     """
     path = results_dir / "bench.json"
     entries: dict = {}
@@ -109,11 +115,19 @@ def record_bench(
         entry["latency_ms"] = {
             key: round(float(value), 3) for key, value in latency_ms.items()
         }
+    if model_nodes is not None:
+        entry["model_nodes"] = int(model_nodes)
+    if model_bytes is not None:
+        entry["model_bytes"] = int(model_bytes)
+    if compression_ratio is not None:
+        entry["compression_ratio"] = round(float(compression_ratio), 3)
     entries[name] = entry
     path.write_text(
         json.dumps(entries, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
     tail = f" ({speedup:.1f}x)" if speedup is not None else ""
+    if compression_ratio is not None:
+        tail += f" compression={compression_ratio:.2f}x"
     if latency_ms is not None:
         tail += (
             f" p50={latency_ms['p50']:.2f}ms"

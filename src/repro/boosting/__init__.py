@@ -16,6 +16,10 @@ Public API
 ``Tree`` / ``TreeEnsemble``
     The fitted tree structures (array-of-nodes layout, consumed directly
     by :mod:`repro.explain`'s TreeSHAP).
+``CompactEnsemble``
+    Hash-consed DAG of a fitted ensemble: one shared node table for all
+    trees (the serving-plane representation; see
+    :mod:`repro.boosting.dag`).
 ``BinMapper``
     Quantile histogram binning of raw feature matrices.
 ``SquaredErrorLoss`` / ``LogisticLoss``
@@ -24,13 +28,20 @@ Public API
 
 from repro.boosting.binning import BinMapper
 from repro.boosting.config import GBConfig
+from repro.boosting.dag import CompactEnsemble
 from repro.boosting.gbm import GBClassifier, GBRegressor
 from repro.boosting.losses import LogisticLoss, SquaredErrorLoss
-from repro.boosting.serialize import load_model, model_from_dict, model_to_dict, save_model
+from repro.boosting.serialize import (
+    load_model,
+    model_from_dict,
+    model_to_dict,
+    save_model,
+)
 from repro.boosting.tree import Tree, TreeEnsemble
 
 __all__ = [
     "BinMapper",
+    "CompactEnsemble",
     "GBConfig",
     "GBClassifier",
     "GBRegressor",

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.boosting.binning import BinMapper
 from repro.boosting.config import GBConfig
+from repro.boosting.dag import CompactEnsemble
 from repro.boosting.grower import TreeGrower
 from repro.boosting.losses import LogisticLoss, Loss, SquaredErrorLoss
 from repro.boosting.tree import TreeEnsemble
@@ -48,6 +49,9 @@ class _BaseGB:
         #: The fitted bin mapper; consumers such as the TreeSHAP
         #: explainer use it to route samples in bin-code space.
         self.mapper_: BinMapper | None = None
+        #: Cached hash-consed DAG of the fitted ensemble (see
+        #: :meth:`compact`); rebuilt lazily, invalidated by ``fit``.
+        self.compact_: "CompactEnsemble | None" = None
 
     def _make_loss(self) -> Loss:  # pragma: no cover - abstract hook
         raise NotImplementedError
@@ -158,7 +162,23 @@ class _BaseGB:
         else:
             self.best_iteration_ = len(ensemble.trees)
         self.ensemble_ = ensemble
+        self.compact_ = None
         return self
+
+    # ------------------------------------------------------------------
+    def compact(self) -> CompactEnsemble:
+        """Hash-consed DAG view of the fitted ensemble (cached).
+
+        Identical subtrees across all trees are interned into one
+        shared node table (:class:`~repro.boosting.dag.CompactEnsemble`);
+        its ``predict_raw_binned`` is bitwise identical to the per-tree
+        path, which is why the serving layer scores through it.
+        """
+        if self.ensemble_ is None:
+            raise RuntimeError("estimator is not fitted; call fit() first")
+        if self.compact_ is None:
+            self.compact_ = CompactEnsemble.from_ensemble(self.ensemble_)
+        return self.compact_
 
     # ------------------------------------------------------------------
     def _raw(self, X: np.ndarray) -> np.ndarray:

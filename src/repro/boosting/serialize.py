@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.boosting.binning import BinMapper
 from repro.boosting.config import GBConfig
+from repro.boosting.dag import CompactEnsemble, canonical_order
 from repro.boosting.gbm import GBClassifier, GBRegressor
 from repro.boosting.tree import Tree, TreeEnsemble
 
@@ -32,11 +33,16 @@ __all__ = [
 ]
 
 #: Format version written into every document.  Version 2 added the
-#: fitted ``BinMapper`` (``mapper_``); version-1 documents are still
-#: readable but their models fall back to raw-threshold prediction.
-FORMAT_VERSION = 2
+#: fitted ``BinMapper`` (``mapper_``); version 3 stores the ensemble as
+#: a hash-consed DAG (one shared node table + per-tree roots, leaf
+#: values and node statistics — see :mod:`repro.boosting.dag`).  v1/v2
+#: documents are still readable; models whose trees carry no bin-space
+#: thresholds (e.g. v1 restores) cannot be compacted and are written as
+#: v2.
+FORMAT_VERSION = 3
+_DENSE_VERSION = 2
 
-_READABLE_VERSIONS = frozenset({1, FORMAT_VERSION})
+_READABLE_VERSIONS = frozenset({1, _DENSE_VERSION, FORMAT_VERSION})
 
 _KINDS = {"regressor": GBRegressor, "classifier": GBClassifier}
 
@@ -118,17 +124,47 @@ def mapper_from_dict(doc: dict) -> BinMapper:
     return mapper
 
 
-def model_to_dict(model) -> dict:
-    """Serialise a fitted ``GBRegressor``/``GBClassifier`` to a dict."""
+def _model_kind(model, verb: str) -> str:
     if isinstance(model, GBRegressor):
-        kind = "regressor"
-    elif isinstance(model, GBClassifier):
-        kind = "classifier"
-    else:
-        raise TypeError(f"cannot serialise {type(model).__name__}")
+        return "regressor"
+    if isinstance(model, GBClassifier):
+        return "classifier"
+    raise TypeError(f"cannot {verb} {type(model).__name__}")
+
+
+def _ensure_compact(model) -> CompactEnsemble:
+    """The model's cached DAG, building (and caching) it if needed."""
+    builder = getattr(model, "compact", None)
+    if callable(builder):
+        return builder()
+    return CompactEnsemble.from_ensemble(model.ensemble_)
+
+
+#: Shared-table columns of a v3 ``dag`` section, in document order.
+_DAG_COLUMNS = (
+    "children_left",
+    "children_right",
+    "feature",
+    "bin_threshold",
+    "missing_left",
+    "leaves_left",
+)
+
+
+def model_to_dict(model) -> dict:
+    """Serialise a fitted ``GBRegressor``/``GBClassifier`` to a dict.
+
+    Writes format v3: the shared hash-consed node table under ``dag``
+    plus one entry per tree holding its root row, leaf values (in leaf
+    ordinal order) and canonical-order ``cover``/``threshold`` node
+    statistics.  Models whose trees carry no bin thresholds (restored
+    v1 documents) cannot be compacted and fall back to a v2 document.
+    """
+    kind = _model_kind(model, "serialise")
     if model.ensemble_ is None:
         raise ValueError("model is not fitted; nothing to serialise")
-    return {
+    trees = model.ensemble_.trees
+    doc = {
         "format_version": FORMAT_VERSION,
         "kind": kind,
         "config": dataclasses.asdict(model.config),
@@ -141,18 +177,58 @@ def model_to_dict(model) -> dict:
         "mapper": (
             None if model.mapper_ is None else mapper_to_dict(model.mapper_)
         ),
-        "trees": [_tree_to_dict(t) for t in model.ensemble_.trees],
     }
-
-
-def model_from_dict(doc: dict):
-    """Rebuild a fitted estimator from :func:`model_to_dict` output."""
-    version = doc.get("format_version")
-    if version not in _READABLE_VERSIONS:
-        raise ValueError(
-            f"unsupported model format version {version!r} "
-            f"(expected one of {sorted(_READABLE_VERSIONS)})"
+    if any(t.bin_threshold is None for t in trees):
+        doc["format_version"] = _DENSE_VERSION
+        doc["trees"] = [_tree_to_dict(t) for t in trees]
+        return doc
+    compact = _ensure_compact(model)
+    doc["dag"] = {
+        name: getattr(compact, name).tolist() for name in _DAG_COLUMNS
+    }
+    tree_docs = []
+    for t, tree in enumerate(trees):
+        perm = canonical_order(tree)
+        lo = int(compact.leaf_offset[t])
+        hi = lo + tree.n_leaves
+        tree_docs.append(
+            {
+                "root": int(compact.roots[t]),
+                "value": compact.leaf_values[lo:hi].tolist(),
+                "cover": tree.cover[perm].tolist(),
+                "threshold": [_encode_float(v) for v in tree.threshold[perm]],
+            }
         )
+    doc["trees"] = tree_docs
+    return doc
+
+
+def _compact_from_doc(doc: dict) -> CompactEnsemble:
+    """Rebuild the shared table + per-tree arrays of a v3 document."""
+    dag = doc["dag"]
+    leaf_values: list[float] = []
+    leaf_offset: list[int] = []
+    for tree_doc in doc["trees"]:
+        leaf_offset.append(len(leaf_values))
+        leaf_values.extend(float(v) for v in tree_doc["value"])
+    return CompactEnsemble(
+        base_score=float(doc["base_score"]),
+        children_left=np.asarray(dag["children_left"], dtype=np.int64),
+        children_right=np.asarray(dag["children_right"], dtype=np.int64),
+        feature=np.asarray(dag["feature"], dtype=np.int64),
+        bin_threshold=np.asarray(dag["bin_threshold"], dtype=np.int64),
+        missing_left=np.asarray(dag["missing_left"], dtype=bool),
+        leaves_left=np.asarray(dag["leaves_left"], dtype=np.int64),
+        roots=np.asarray(
+            [int(t["root"]) for t in doc["trees"]], dtype=np.int64
+        ),
+        leaf_offset=np.asarray(leaf_offset, dtype=np.int64),
+        leaf_values=np.asarray(leaf_values, dtype=np.float64),
+        n_source_nodes=sum(len(t["cover"]) for t in doc["trees"]),
+    )
+
+
+def _new_model(doc: dict):
     kind = doc.get("kind")
     if kind not in _KINDS:
         raise ValueError(f"unknown estimator kind {kind!r}")
@@ -166,8 +242,46 @@ def model_from_dict(doc: dict):
     model.best_iteration_ = (
         None if doc["best_iteration"] is None else int(doc["best_iteration"])
     )
+    return model
+
+
+def model_from_dict(doc: dict):
+    """Rebuild a fitted estimator from :func:`model_to_dict` output.
+
+    All readable versions load: v1 (no mapper, raw-threshold prediction
+    only), v2 (dense per-tree node arrays) and v3 (shared DAG table).
+    A v3 restore re-expands canonically numbered trees from the table
+    and keeps the :class:`CompactEnsemble` attached as ``compact_``, so
+    the serving fast path never re-cons the ensemble.
+    """
+    version = doc.get("format_version")
+    if version not in _READABLE_VERSIONS:
+        raise ValueError(
+            f"unsupported model format version {version!r} "
+            f"(expected one of {sorted(_READABLE_VERSIONS)})"
+        )
+    model = _new_model(doc)
     mapper_doc = doc.get("mapper")
     model.mapper_ = None if mapper_doc is None else mapper_from_dict(mapper_doc)
+    if version == FORMAT_VERSION:
+        compact = _compact_from_doc(doc)
+        trees = compact.expand(
+            covers=[
+                np.asarray(t["cover"], dtype=np.float64) for t in doc["trees"]
+            ],
+            thresholds=[
+                np.asarray(
+                    [_decode_float(v) for v in t["threshold"]],
+                    dtype=np.float64,
+                )
+                for t in doc["trees"]
+            ],
+        )
+        model.ensemble_ = TreeEnsemble(
+            base_score=float(doc["base_score"]), trees=trees
+        )
+        model.compact_ = compact
+        return model
     model.ensemble_ = TreeEnsemble(
         base_score=float(doc["base_score"]),
         trees=[_tree_from_dict(t) for t in doc["trees"]],
@@ -187,39 +301,80 @@ _NODE_FIELDS = (
 )
 
 
-def model_to_arrays(model) -> tuple[dict, dict[str, np.ndarray]]:
+#: Shared-table / per-tree arrays of the ``dag`` handoff layout.
+_DAG_TABLE_ARRAYS = (
+    ("children_left", np.int64),
+    ("children_right", np.int64),
+    ("feature", np.int64),
+    ("bin_threshold", np.int64),
+    ("missing_left", bool),
+    ("leaves_left", np.int64),
+    ("roots", np.int64),
+    ("leaf_offset", np.int64),
+    ("leaf_values", np.float64),
+)
+
+
+def model_to_arrays(model, layout: str = "auto") -> tuple[dict, dict[str, np.ndarray]]:
     """Pack a fitted estimator into flat arrays + a picklable manifest.
 
     The JSON document (:func:`model_to_dict`) is the *persistence*
-    format; this is the *process-handoff* format: every per-tree node
-    array is concatenated per field into one contiguous array (ditto the
-    fitted mapper's bin edges), so the whole model plane can travel in a
-    handful of POSIX shared-memory segments.  The manifest carries only
-    scalars (config, per-tree node counts, per-feature edge counts).
+    format; this is the *process-handoff* format: the model's working
+    set travels in a handful of contiguous arrays so the whole model
+    plane fits in a few POSIX shared-memory segments, and the manifest
+    carries only scalars.
+
+    ``layout`` picks the packing:
+
+    * ``"dag"`` — the hash-consed shared node table (``dag:*`` arrays)
+      plus per-tree canonical-order ``cover``/``threshold`` statistics;
+      the deduplicated table is what every scoring worker maps.
+    * ``"dense"`` — the legacy per-field concatenation of every tree's
+      node arrays (the only layout for models without bin thresholds).
+    * ``"auto"`` (default) — ``dag`` when the trees carry bin-space
+      thresholds, else ``dense``.
 
     :func:`model_from_arrays` rebuilds the estimator with **zero-copy
     views** into the given arrays — N scoring workers map one exported
     plane instead of each unpickling a full copy.
     """
-    if isinstance(model, GBRegressor):
-        kind = "regressor"
-    elif isinstance(model, GBClassifier):
-        kind = "classifier"
-    else:
-        raise TypeError(f"cannot pack {type(model).__name__}")
+    kind = _model_kind(model, "pack")
     if model.ensemble_ is None:
         raise ValueError("model is not fitted; nothing to pack")
     trees = model.ensemble_.trees
     binnable = all(t.bin_threshold is not None for t in trees)
+    if layout == "auto":
+        layout = "dag" if binnable else "dense"
+    if layout not in ("dag", "dense"):
+        raise ValueError(f"unknown pack layout {layout!r}")
+    if layout == "dag" and not binnable:
+        raise ValueError(
+            "model trees carry no bin thresholds; only the dense layout "
+            "can pack them"
+        )
     arrays: dict[str, np.ndarray] = {}
-    for name, dtype in _NODE_FIELDS:
-        arrays[f"tree:{name}"] = np.concatenate(
-            [np.asarray(getattr(t, name), dtype=dtype) for t in trees]
+    if layout == "dag":
+        compact = _ensure_compact(model)
+        for name, dtype in _DAG_TABLE_ARRAYS:
+            arrays[f"dag:{name}"] = np.asarray(
+                getattr(compact, name), dtype=dtype
+            )
+        perms = [canonical_order(t) for t in trees]
+        arrays["tree:cover"] = np.concatenate(
+            [t.cover[perm] for t, perm in zip(trees, perms)]
         )
-    if binnable:
-        arrays["tree:bin_threshold"] = np.concatenate(
-            [np.asarray(t.bin_threshold, dtype=np.int64) for t in trees]
+        arrays["tree:threshold"] = np.concatenate(
+            [t.threshold[perm] for t, perm in zip(trees, perms)]
         )
+    else:
+        for name, dtype in _NODE_FIELDS:
+            arrays[f"tree:{name}"] = np.concatenate(
+                [np.asarray(getattr(t, name), dtype=dtype) for t in trees]
+            )
+        if binnable:
+            arrays["tree:bin_threshold"] = np.concatenate(
+                [np.asarray(t.bin_threshold, dtype=np.int64) for t in trees]
+            )
     manifest = {
         "kind": kind,
         "config": dataclasses.asdict(model.config),
@@ -228,8 +383,11 @@ def model_to_arrays(model) -> tuple[dict, dict[str, np.ndarray]]:
         "base_score": float(model.ensemble_.base_score),
         "n_nodes": [t.n_nodes for t in trees],
         "binnable": binnable,
+        "layout": layout,
         "mapper": None,
     }
+    if layout == "dag":
+        manifest["n_source_nodes"] = int(compact.n_source_nodes)
     mapper = model.mapper_
     if mapper is not None:
         if mapper.bin_edges_ is None or mapper.n_bins_ is None:
@@ -247,49 +405,63 @@ def model_to_arrays(model) -> tuple[dict, dict[str, np.ndarray]]:
     return manifest, arrays
 
 
+def _trees_from_dag_arrays(
+    manifest: dict, arrays: dict[str, np.ndarray]
+) -> tuple[CompactEnsemble, list[Tree]]:
+    """Zero-copy ``CompactEnsemble`` + canonical trees from ``dag:*``."""
+    table = {name: arrays[f"dag:{name}"] for name, _ in _DAG_TABLE_ARRAYS}
+    compact = CompactEnsemble(
+        base_score=float(manifest["base_score"]),
+        n_source_nodes=int(manifest["n_source_nodes"]),
+        **table,
+    )
+    covers, thresholds = [], []
+    offset = 0
+    for n in manifest["n_nodes"]:
+        covers.append(arrays["tree:cover"][offset : offset + n])
+        thresholds.append(arrays["tree:threshold"][offset : offset + n])
+        offset += n
+    return compact, compact.expand(covers=covers, thresholds=thresholds)
+
+
 def model_from_arrays(manifest: dict, arrays: dict[str, np.ndarray]):
     """Rebuild a fitted estimator from :func:`model_to_arrays` output.
 
-    Every tree/mapper array is a *view* (slice) of the packed arrays —
-    nothing numeric is copied, so arrays backed by shared memory stay
-    shared (and read-only) in the reconstructed model.
+    Every mapper array — and, per layout, the shared DAG table
+    (``dag``) or every tree node array (``dense``) — is a *view*
+    (slice) of the packed arrays: nothing large is copied, so arrays
+    backed by shared memory stay shared (and read-only) in the
+    reconstructed model.  A ``dag`` reconstruction attaches the mapped
+    :class:`CompactEnsemble` as ``model.compact_``, which is the engine
+    the scoring service predicts through.
     """
-    kind = manifest["kind"]
-    if kind not in _KINDS:
-        raise ValueError(f"unknown estimator kind {kind!r}")
-    config_doc = dict(manifest["config"])
-    if config_doc.get("monotone_constraints") is not None:
-        config_doc["monotone_constraints"] = tuple(
-            config_doc["monotone_constraints"]
+    model = _new_model(manifest)
+    if manifest.get("layout", "dense") == "dag":
+        compact, trees = _trees_from_dag_arrays(manifest, arrays)
+        model.ensemble_ = TreeEnsemble(
+            base_score=float(manifest["base_score"]), trees=trees
         )
-    model = _KINDS[kind](GBConfig(**config_doc))
-    model.n_features_ = int(manifest["n_features"])
-    model.best_iteration_ = (
-        None
-        if manifest["best_iteration"] is None
-        else int(manifest["best_iteration"])
-    )
-    trees = []
-    offset = 0
-    binnable = manifest["binnable"]
-    for n in manifest["n_nodes"]:
-        fields = {
-            name: arrays[f"tree:{name}"][offset : offset + n]
-            for name, _ in _NODE_FIELDS
-        }
-        if binnable:
-            fields["bin_threshold"] = arrays["tree:bin_threshold"][
-                offset : offset + n
-            ]
-        trees.append(Tree(**fields))
-        offset += n
-    model.ensemble_ = TreeEnsemble(
-        base_score=float(manifest["base_score"]), trees=trees
-    )
-    mapper_info = manifest["mapper"]
-    if mapper_info is None:
-        model.mapper_ = None
+        model.compact_ = compact
     else:
+        trees = []
+        offset = 0
+        binnable = manifest["binnable"]
+        for n in manifest["n_nodes"]:
+            fields = {
+                name: arrays[f"tree:{name}"][offset : offset + n]
+                for name, _ in _NODE_FIELDS
+            }
+            if binnable:
+                fields["bin_threshold"] = arrays["tree:bin_threshold"][
+                    offset : offset + n
+                ]
+            trees.append(Tree(**fields))
+            offset += n
+        model.ensemble_ = TreeEnsemble(
+            base_score=float(manifest["base_score"]), trees=trees
+        )
+    mapper_info = manifest["mapper"]
+    if mapper_info is not None:
         mapper = BinMapper(max_bins=int(mapper_info["max_bins"]))
         edges = arrays["mapper:edges"]
         cuts, lo = [], 0

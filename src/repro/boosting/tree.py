@@ -45,7 +45,14 @@ class Tree:
 
     def __post_init__(self):
         n = len(self.children_left)
-        for name in ("children_right", "feature", "threshold", "missing_left", "value", "cover"):
+        for name in (
+            "children_right",
+            "feature",
+            "threshold",
+            "missing_left",
+            "value",
+            "cover",
+        ):
             if len(getattr(self, name)) != n:
                 raise ValueError(f"node array {name!r} length mismatch")
         if self.bin_threshold is not None and len(self.bin_threshold) != n:
@@ -68,15 +75,23 @@ class Tree:
         return self.children_left[node] == LEAF
 
     def max_depth(self) -> int:
-        """Depth of the deepest leaf (root = 0)."""
-        depth = np.zeros(self.n_nodes, dtype=np.int64)
-        best = 0
-        for i in range(self.n_nodes):
-            if self.children_left[i] != LEAF:
-                for child in (self.children_left[i], self.children_right[i]):
-                    depth[child] = depth[i] + 1
-                    best = max(best, int(depth[child]))
-        return best
+        """Depth of the deepest leaf (root = 0).
+
+        Level-synchronous descent: each iteration advances one whole
+        tree level with two array gathers, so the Python-loop count is
+        the depth, not the node count.
+        """
+        frontier = np.zeros(1, dtype=np.int64)
+        depth = 0
+        while True:
+            internal = self.children_left[frontier] != LEAF
+            if not internal.any():
+                return depth
+            splits = frontier[internal]
+            frontier = np.concatenate(
+                (self.children_left[splits], self.children_right[splits])
+            )
+            depth += 1
 
     def decision_path(self, x: np.ndarray) -> list[int]:
         """Node indices visited by a single sample (root to leaf)."""
@@ -201,9 +216,26 @@ class TreeEnsemble:
         return len(self.trees)
 
     def total_cover_by_feature(self, n_features: int) -> np.ndarray:
-        """Sum of split covers per feature (a cheap global importance)."""
-        importance = np.zeros(n_features, dtype=np.float64)
-        for tree in self.trees:
-            internal = tree.children_left != LEAF
-            np.add.at(importance, tree.feature[internal], tree.cover[internal])
-        return importance
+        """Sum of split covers per feature (a cheap global importance).
+
+        One ``np.bincount`` over the concatenated internal nodes of all
+        trees.  Both bincount and the ``np.add.at`` loop it replaces
+        accumulate element-by-element in input order from zero, so the
+        result is bitwise identical to the per-tree scatter-add.
+        """
+        feats = [tree.feature[tree.children_left != LEAF] for tree in self.trees]
+        covers = [tree.cover[tree.children_left != LEAF] for tree in self.trees]
+        split_features = (
+            np.concatenate(feats) if feats else np.empty(0, dtype=np.int64)
+        )
+        split_covers = (
+            np.concatenate(covers) if covers else np.empty(0, dtype=np.float64)
+        )
+        if split_features.size and int(split_features.max()) >= n_features:
+            raise IndexError(
+                f"split feature {int(split_features.max())} out of range "
+                f"for {n_features} features"
+            )
+        return np.bincount(
+            split_features, weights=split_covers, minlength=n_features
+        )

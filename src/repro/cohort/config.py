@@ -55,11 +55,32 @@ class ClinicConfig:
 def _default_clinics() -> tuple[ClinicConfig, ...]:
     """The paper's three clinics with calibrated generation parameters."""
     return (
-        ClinicConfig("modena", 128, health_mean=0.62, health_spread=0.15, protocol_noise=0.00, missing_rate=0.50),
-        ClinicConfig("sydney", 100, health_mean=0.65, health_spread=0.13, protocol_noise=0.05, missing_rate=0.48),
+        ClinicConfig(
+            "modena",
+            128,
+            health_mean=0.62,
+            health_spread=0.15,
+            protocol_noise=0.00,
+            missing_rate=0.50,
+        ),
+        ClinicConfig(
+            "sydney",
+            100,
+            health_mean=0.65,
+            health_spread=0.13,
+            protocol_noise=0.05,
+            missing_rate=0.48,
+        ),
         # Hong Kong: small, homogeneous baseline, noisier collection
         # protocol -> the per-clinic anomalies of Table 1 / Fig. 5.
-        ClinicConfig("hong_kong", 33, health_mean=0.60, health_spread=0.07, protocol_noise=0.18, missing_rate=0.56),
+        ClinicConfig(
+            "hong_kong",
+            33,
+            health_mean=0.60,
+            health_spread=0.07,
+            protocol_noise=0.18,
+            missing_rate=0.56,
+        ),
     )
 
 

@@ -90,7 +90,9 @@ def _pro_table(cfg, patients, clinics, seeds) -> Table:
     parts: dict[str, list[np.ndarray]] = {}
     for p in patients:
         answers = generate_pro_answers(cfg, clinics[p.clinic], p, seeds)
-        answers = apply_missingness(cfg, clinics[p.clinic], p.patient_id, answers, seeds)
+        answers = apply_missingness(
+            cfg, clinics[p.clinic], p.patient_id, answers, seeds
+        )
         n = len(answers["month"])
         ids.append(np.array([p.patient_id] * n, dtype=object))
         for key, arr in answers.items():

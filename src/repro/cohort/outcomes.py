@@ -62,7 +62,9 @@ def generate_outcomes(
         qol_mean = 0.30 + 0.78 * (0.40 * psy + 0.25 * vita + 0.35 * h)
         qol[idx] = float(np.clip(qol_mean + rng.normal(0.0, 0.045), 0.0, 1.0))
 
-        sppb_latent = 12.0 * np.clip(0.22 + 1.05 * loco + rng.normal(0.0, 0.05), 0.0, 1.0)
+        sppb_latent = 12.0 * np.clip(
+            0.22 + 1.05 * loco + rng.normal(0.0, 0.05), 0.0, 1.0
+        )
         sppb[idx] = int(np.clip(np.round(sppb_latent), 0, 12))
 
         # Calibrated so the marginal rate ~ cfg.falls_base_rate at the

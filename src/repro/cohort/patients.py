@@ -114,7 +114,9 @@ def _one_patient(
     )
 
 
-def generate_patients(cfg: CohortConfig, seeds: SeedSequenceFactory) -> list[PatientLatent]:
+def generate_patients(
+    cfg: CohortConfig, seeds: SeedSequenceFactory
+) -> list[PatientLatent]:
     """Generate all patients of all clinics (deterministic in the seed)."""
     patients: list[PatientLatent] = []
     for clinic in cfg.clinics:

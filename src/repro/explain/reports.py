@@ -238,7 +238,11 @@ def dependence_curve(
         distinct = np.array(
             [xs[codes == b].mean() for b in range(len(edges) - 1) if (codes == b).any()]
         )
-        groups = [np.flatnonzero(codes == b) for b in range(len(edges) - 1) if (codes == b).any()]
+        groups = [
+            np.flatnonzero(codes == b)
+            for b in range(len(edges) - 1)
+            if (codes == b).any()
+        ]
     else:
         groups = [np.flatnonzero(xs == v) for v in distinct]
 

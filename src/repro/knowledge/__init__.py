@@ -19,7 +19,11 @@ This package models that expert knowledge explicitly:
     The expert rule set used by the reproduction's KD arm.
 """
 
-from repro.knowledge.ici import ICICalculator, ICISpecification, default_ici_specification
+from repro.knowledge.ici import (
+    ICICalculator,
+    ICISpecification,
+    default_ici_specification,
+)
 from repro.knowledge.ontology import IntrinsicCapacityOntology
 from repro.knowledge.scoring import (
     CutoffRule,

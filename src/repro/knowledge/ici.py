@@ -111,8 +111,12 @@ def _default_threshold(item: ProItem) -> ThresholdScore:
     above 70 % of the scale.
     """
     if item.reversed_scale:
-        return ThresholdScore(threshold=np.ceil(0.3 * item.n_levels), healthy_if_low=True)
-    return ThresholdScore(threshold=np.ceil(0.7 * item.n_levels), healthy_if_low=False)
+        return ThresholdScore(
+            threshold=np.ceil(0.3 * item.n_levels), healthy_if_low=True
+        )
+    return ThresholdScore(
+        threshold=np.ceil(0.7 * item.n_levels), healthy_if_low=False
+    )
 
 
 def default_ici_specification(items_per_domain: int = 2) -> ICISpecification:

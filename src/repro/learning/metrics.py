@@ -220,7 +220,9 @@ def classification_report(y_true, y_pred) -> ClassificationReport:
     pos = precision_recall_f1(y_true, y_pred, positive=True)
     neg = precision_recall_f1(y_true, y_pred, positive=False)
     return ClassificationReport(
-        accuracy=accuracy(np.asarray(y_true, dtype=bool), np.asarray(y_pred, dtype=bool)),
+        accuracy=accuracy(
+            np.asarray(y_true, dtype=bool), np.asarray(y_pred, dtype=bool)
+        ),
         precision_true=pos["precision"],
         precision_false=neg["precision"],
         recall_true=pos["recall"],

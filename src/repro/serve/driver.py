@@ -194,8 +194,16 @@ def _versions(args: argparse.Namespace) -> int:
     for v in registry.versions(args.name):
         stamp = time.strftime("%Y-%m-%d %H:%M:%S", time.gmtime(v.created_at))
         marker = " (latest)" if v.tag == latest else ""
+        nodes = "?" if v.n_nodes is None else str(v.n_nodes)
+        compacted = ""
+        if v.compaction is not None:
+            compacted = (
+                f" table_rows={v.compaction['table_rows']}"
+                f" compression={v.compaction['ratio']:.2f}x"
+            )
         print(
-            f"{v.ref}  kind={v.kind} trees={v.n_trees} "
+            f"{v.ref}  kind={v.kind} trees={v.n_trees} nodes={nodes} "
+            f"bytes={v.size_on_disk}{compacted} "
             f"features={v.n_features} published={stamp}{marker}"
         )
     return 0

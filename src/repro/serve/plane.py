@@ -67,6 +67,11 @@ class ModelPlane:
     def version(self) -> str:
         return self.manifest["version"]
 
+    @property
+    def nbytes(self) -> int:
+        """Total bytes of the packed arrays (what every worker maps)."""
+        return sum(array.nbytes for array in self.arrays.values())
+
     # ------------------------------------------------------------------
     @classmethod
     def pack(cls, model, *, version: str | None = None) -> "ModelPlane":
@@ -93,7 +98,13 @@ class ModelPlane:
             version = model_fingerprint(model_to_dict(model))
         manifest["version"] = version
 
-        structures = [TreeStructure(t) for t in model.ensemble_.trees]
+        # The dag layout re-expands trees in canonical node order, so
+        # the packed TreeSHAP structures must be built from the same
+        # canonical trees the workers will map — structure output is
+        # topology-driven, hence bitwise identical to the originals,
+        # but its node indices must match the worker-side trees.
+        canonical = model_from_arrays(manifest, arrays)
+        structures = [TreeStructure(t) for t in canonical.ensemble_.trees]
         shapes: list[dict] = []
         scalars: list[dict] = []
         per_field: dict[str, list[np.ndarray]] = {

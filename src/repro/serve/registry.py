@@ -6,7 +6,7 @@ A registry is a plain directory tree::
         <name>/
             LATEST              # tag of the most recently published version
             <tag>/
-                model.json      # the serialize.py document (format v2)
+                model.json      # the serialize.py document (format v3)
                 meta.json       # version descriptor + user metadata
 
 The version ``tag`` is :func:`model_fingerprint` of the model document:
@@ -62,6 +62,17 @@ class ModelVersion:
     created_at: float
     path: Path
     metadata: dict = field(default_factory=dict)
+    #: Total source node count (None for versions published before the
+    #: registry recorded compaction stats).
+    n_nodes: int | None = None
+    #: Hash-consed table stats (``nodes``/``table_rows``/``ratio``),
+    #: None when the version pre-dates compaction or cannot be consed.
+    compaction: dict | None = None
+
+    @property
+    def size_on_disk(self) -> int:
+        """Bytes of the stored model document."""
+        return (self.path / _MODEL_FILE).stat().st_size
 
     @property
     def ref(self) -> str:
@@ -83,6 +94,12 @@ class ModelRegistry:
         Idempotent: republishing an identical fitted model reuses the
         existing version directory (the original ``created_at`` is
         kept) and only refreshes the ``LATEST`` pointer.
+
+        Publishing auto-compacts: serialisation cons-es the ensemble
+        into its hash-consed DAG (cached on the model as ``compact_``),
+        the document is written in format v3 when the trees are
+        binnable, and the meta records the compression accounting so
+        ``repro serve versions`` can show it without loading documents.
         """
         _check_name(name)
         doc = model_to_dict(model)
@@ -97,6 +114,8 @@ class ModelRegistry:
                 "kind": doc["kind"],
                 "n_features": doc["n_features"],
                 "n_trees": len(doc["trees"]),
+                "n_nodes": _doc_node_count(doc),
+                "compaction": _doc_compaction(doc),
                 # The version tag (and everything scoring reads) hashes
                 # only the model document, never this field.
                 # repro: allow[REP002] -- created_at is intentional wall-clock publication metadata
@@ -149,6 +168,7 @@ class ModelRegistry:
         meta = json.loads(
             (self.root / name / tag / _META_FILE).read_text(encoding="utf-8")
         )
+        n_nodes = meta.get("n_nodes")
         return ModelVersion(
             name=meta["name"],
             tag=meta["tag"],
@@ -158,6 +178,8 @@ class ModelRegistry:
             created_at=float(meta["created_at"]),
             path=self.root / name / tag,
             metadata=meta.get("metadata", {}),
+            n_nodes=None if n_nodes is None else int(n_nodes),
+            compaction=meta.get("compaction"),
         )
 
     def versions(self, name: str) -> list[ModelVersion]:
@@ -180,6 +202,26 @@ class ModelRegistry:
             for child in self.root.iterdir()
             if child.is_dir() and (child / _LATEST).is_file()
         )
+
+
+def _doc_node_count(doc: dict) -> int:
+    """Source node count of a model document (any readable format)."""
+    if "dag" in doc:
+        return sum(len(tree["cover"]) for tree in doc["trees"])
+    return sum(len(tree["children_left"]) for tree in doc["trees"])
+
+
+def _doc_compaction(doc: dict) -> dict | None:
+    """Compression accounting of a v3 (DAG) document, else None."""
+    if "dag" not in doc:
+        return None
+    nodes = _doc_node_count(doc)
+    rows = len(doc["dag"]["children_left"])
+    return {
+        "nodes": nodes,
+        "table_rows": rows,
+        "ratio": round(nodes / rows, 4),
+    }
 
 
 def _check_name(name: str) -> None:

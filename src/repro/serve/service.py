@@ -221,6 +221,15 @@ class ScoringService:
                 "model trees carry no bin thresholds; the service "
                 "requires the binned fast path"
             )
+        # Predict through the hash-consed DAG (one shared node table,
+        # all trees advanced in one fused frontier loop) — bitwise
+        # identical to the per-tree ensemble path.  Models mapped from
+        # a ModelPlane arrive with compact_ attached; otherwise the
+        # model cons-es (and caches) its own table here.
+        compact = getattr(model, "compact_", None)
+        if compact is None and callable(getattr(model, "compact", None)):
+            compact = model.compact()
+        self._engine = compact if compact is not None else model.ensemble_
         self.n_features = int(model.n_features_)
         if version is None:
             from repro.boosting.serialize import model_to_dict
@@ -340,7 +349,7 @@ class ScoringService:
         touched: dict = {}
         if plan.predict_rows:
             idx = np.fromiter(plan.predict_rows.values(), dtype=np.int64)
-            raw = self.model.ensemble_.predict_raw_binned(
+            raw = self._engine.predict_raw_binned(
                 codes[idx], self.model.mapper_.missing_bin
             )
             for key, r in zip(plan.predict_rows, raw):

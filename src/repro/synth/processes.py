@@ -59,7 +59,11 @@ def ar1_process(
         start = float(rng.normal(mean, stationary_sd))
     x[0] = means[0] + phi * (start - mean) + sigma * rng.standard_normal()
     for t in range(1, n_steps):
-        x[t] = means[t] + phi * (x[t - 1] - means[t - 1]) + sigma * rng.standard_normal()
+        x[t] = (
+            means[t]
+            + phi * (x[t - 1] - means[t - 1])
+            + sigma * rng.standard_normal()
+        )
     return x
 
 

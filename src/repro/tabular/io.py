@@ -300,7 +300,11 @@ def _parse_column(name: str, raw: list[str], ctype: ColumnType | None) -> Column
         vals = [float(c) if c else np.nan for c in raw]
         return Column(name, np.asarray(vals, dtype=np.float64), ColumnType.FLOAT)
     if ctype is ColumnType.INT:
-        return Column(name, np.asarray([int(float(c)) for c in raw], dtype=np.int64), ColumnType.INT)
+        return Column(
+            name,
+            np.asarray([int(float(c)) for c in raw], dtype=np.int64),
+            ColumnType.INT,
+        )
     if ctype is ColumnType.BOOL:
         return Column(
             name,

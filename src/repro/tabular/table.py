@@ -82,7 +82,15 @@ class Table:
         cols: dict[str, Column] = {}
         if isinstance(columns, Mapping):
             for name, values in columns.items():
-                cols[name] = values if isinstance(values, Column) and values.name == name else Column(name, values.values if isinstance(values, Column) else values)
+                if isinstance(values, Column) and values.name == name:
+                    cols[name] = values
+                else:
+                    cols[name] = Column(
+                        name,
+                        values.values
+                        if isinstance(values, Column)
+                        else values,
+                    )
         else:
             for col in columns:
                 if not isinstance(col, Column):
@@ -156,7 +164,10 @@ class Table:
         raise TypeError("Table is not hashable")
 
     def __repr__(self) -> str:
-        return f"Table({self.num_rows} rows x {self.num_columns} cols: {list(self._columns)})"
+        return (
+            f"Table({self.num_rows} rows x {self.num_columns} cols: "
+            f"{list(self._columns)})"
+        )
 
     def row(self, index: int) -> dict[str, object]:
         """Return row ``index`` as a dict (scalars, not arrays)."""
@@ -223,7 +234,9 @@ class Table:
             )
         return Table([c[mask] for c in self._columns.values()])
 
-    def where(self, name: str, predicate: Callable[[np.ndarray], np.ndarray]) -> "Table":
+    def where(
+        self, name: str, predicate: Callable[[np.ndarray], np.ndarray]
+    ) -> "Table":
         """Filter rows with a vectorised predicate over one column."""
         return self.filter(np.asarray(predicate(self[name]), dtype=bool))
 
@@ -427,10 +440,18 @@ class Table:
         out_cols: list[Column] = []
         left_order = left_rows + unmatched
         for col in self._columns.values():
-            out_cols.append(col[np.asarray(left_order, dtype=np.int64)] if left_order else col[np.asarray([], dtype=np.int64)])
+            out_cols.append(
+                col[np.asarray(left_order, dtype=np.int64)]
+                if left_order
+                else col[np.asarray([], dtype=np.int64)]
+            )
         for name in right_names:
             col = other.column(name)
-            taken = col[np.asarray(right_rows, dtype=np.int64)] if right_rows else col[np.asarray([], dtype=np.int64)]
+            taken = (
+                col[np.asarray(right_rows, dtype=np.int64)]
+                if right_rows
+                else col[np.asarray([], dtype=np.int64)]
+            )
             if unmatched:
                 taken = _pad_missing(taken, len(unmatched))
             out_name = name if name not in self._columns else name + suffix

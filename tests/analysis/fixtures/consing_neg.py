@@ -1,0 +1,34 @@
+"""Hash-consing shaped negative: the pass as repro.boosting.dag does it.
+
+Interned rows are appended in a canonical left-first postorder walk, so
+the table itself never needs re-sorting; any diagnostic sweep over the
+intern table iterates its keys sorted, and tie-breaks are positional
+(first-interned wins) rather than random.
+"""
+
+# repro: scope[deterministic]
+
+
+def intern_nodes(trees, walk):
+    # Insertion order is the canonical walk order — dict preserves it,
+    # so iteration over rows is deterministic by construction.
+    table = {}
+    rows = []
+    for tree in trees:
+        for key in walk(tree):
+            if key not in table:
+                table[key] = len(rows)
+                rows.append(key)
+    return table, rows
+
+
+def emit_rows(intern_table):
+    return [intern_table[key] for key in sorted(intern_table)]
+
+
+def dedupe_features(trees):
+    return sorted({t.feature for t in trees})
+
+
+def tie_break(candidates):
+    return min(candidates)  # first-interned wins; no RNG involved

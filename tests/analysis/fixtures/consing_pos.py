@@ -1,0 +1,30 @@
+"""Hash-consing shaped positive: the two ways a consing pass goes wrong.
+
+A structure-interning table is a dict keyed by node-shape tuples.  The
+pass stays reproducible only if (a) any sweep over the intern table
+runs in a sorted order and (b) tie-breaks never touch an unseeded RNG.
+This fixture violates both.
+"""
+
+# repro: scope[deterministic]
+
+import numpy as np
+
+
+def emit_rows(intern_table):
+    # Sweeping the *key set* of the intern table: set order follows the
+    # per-process hash seed, so the emitted row order is unstable.
+    rows = []
+    for key in set(intern_table):
+        rows.append(intern_table[key])
+    return rows
+
+
+def dedupe_features(trees):
+    return [f for f in {t.feature for t in trees}]
+
+
+def jitter_tie_break(candidates):
+    # Unseeded generator deciding which duplicate subtree wins.
+    rng = np.random.default_rng()
+    return candidates[rng.integers(len(candidates))]

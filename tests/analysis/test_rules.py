@@ -45,6 +45,28 @@ class TestFixturePairs:
         assert all(s.reason for s in report.suppressed)
 
 
+class TestConsingFixtures:
+    """Rule coverage shaped like the hash-consing pass in boosting.dag.
+
+    The compaction pass is reproducible because it iterates the intern
+    table in canonical insertion order (or sorted) and never reaches
+    for an RNG to break ties.  The positive fixture commits both sins;
+    the negative mirrors how ``CompactEnsemble.from_ensemble`` works.
+    """
+
+    def test_positive_flags_iteration_and_rng(self):
+        report = lint_file(FIXTURES / "consing_pos.py")
+        assert rules_in(report) == {"REP002", "REP007"}
+        # Both the for-loop sweep and the comprehension are caught.
+        assert (
+            sum(f.rule == "REP007" for f in report.findings) == 2
+        ), [f.render() for f in report.findings]
+
+    def test_negative_consing_shape_is_clean(self):
+        report = lint_file(FIXTURES / "consing_neg.py")
+        assert report.clean, [f.render() for f in report.findings]
+
+
 ROW_DET = frozenset({"row-deterministic"})
 
 

@@ -1,0 +1,240 @@
+"""Unit tests for repro.boosting.dag (hash-consed ensemble DAG).
+
+The acceptance contract: ``CompactEnsemble.predict_raw_binned`` is
+bitwise identical to ``TreeEnsemble.predict_raw_binned`` on every
+fitted model shape in the grid — deep/shallow, subsampled, classifier,
+single tree, stumps — including missing-value routing and prefix
+(``n_trees``) evaluation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.boosting import GBClassifier, GBRegressor
+from repro.boosting.dag import LEAF_ROW, CompactEnsemble, canonical_order
+from repro.boosting.tree import LEAF, Tree, TreeEnsemble
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(11)
+    X = rng.normal(size=(400, 6))
+    X[rng.random(X.shape) < 0.1] = np.nan
+    y = (
+        2.0 * np.nan_to_num(X[:, 0])
+        + np.sin(np.nan_to_num(X[:, 1]))
+        + rng.normal(0, 0.1, 400)
+    )
+    y_cls = np.nan_to_num(X[:, 0]) > 0
+    return X, y, y_cls
+
+
+def _model_grid(data):
+    X, y, y_cls = data
+    return [
+        ("deep", GBRegressor(n_estimators=40, max_depth=4).fit(X, y)),
+        (
+            "shallow-subsampled",
+            GBRegressor(
+                n_estimators=80,
+                max_depth=2,
+                subsample=0.8,
+                colsample_bytree=0.8,
+            ).fit(X, y),
+        ),
+        ("classifier", GBClassifier(n_estimators=30, max_depth=3).fit(X, y_cls)),
+        ("single-tree", GBRegressor(n_estimators=1, max_depth=2).fit(X, y)),
+        (
+            "stumps",
+            GBRegressor(n_estimators=5, max_depth=3).fit(X, np.ones(len(X))),
+        ),
+    ]
+
+
+@pytest.fixture(scope="module")
+def grid(data):
+    return _model_grid(data)
+
+
+class TestBitwiseEquivalence:
+    def test_predict_raw_binned_bitwise_identical(self, data, grid):
+        X = data[0]
+        for name, model in grid:
+            compact = model.compact()
+            codes = model.bin(X)
+            missing_bin = model.mapper_.missing_bin
+            ref = model.ensemble_.predict_raw_binned(codes, missing_bin)
+            got = compact.predict_raw_binned(codes, missing_bin)
+            assert np.array_equal(ref, got), name
+
+    def test_all_missing_rows_bitwise_identical(self, data, grid):
+        X = data[0][:40].copy()
+        X[:, :] = np.nan
+        for name, model in grid:
+            codes = model.bin(X)
+            missing_bin = model.mapper_.missing_bin
+            assert np.array_equal(
+                model.compact().predict_raw_binned(codes, missing_bin),
+                model.ensemble_.predict_raw_binned(codes, missing_bin),
+            ), name
+
+    def test_n_trees_prefix_bitwise_identical(self, data, grid):
+        X = data[0]
+        for name, model in grid:
+            codes = model.bin(X)
+            missing_bin = model.mapper_.missing_bin
+            for k in (0, 1, model.ensemble_.n_trees // 2):
+                assert np.array_equal(
+                    model.compact().predict_raw_binned(
+                        codes, missing_bin, n_trees=k
+                    ),
+                    model.ensemble_.predict_raw_binned(
+                        codes, missing_bin, n_trees=k
+                    ),
+                ), (name, k)
+
+    def test_empty_batch(self, grid):
+        model = grid[0][1]
+        codes = np.zeros((0, 6), dtype=np.uint8)
+        out = model.compact().predict_raw_binned(
+            codes, model.mapper_.missing_bin
+        )
+        assert out.shape == (0,)
+
+
+class TestTableInvariants:
+    def test_row_zero_is_shared_terminal(self, grid):
+        for _, model in grid:
+            compact = model.compact()
+            assert compact.children_left[LEAF_ROW] == LEAF
+            assert compact.children_right[LEAF_ROW] == LEAF
+
+    def test_table_is_topologically_sorted(self, grid):
+        for _, model in grid:
+            compact = model.compact()
+            internal = np.flatnonzero(compact.children_left != LEAF)
+            assert (compact.children_left[internal] < internal).all()
+            assert (compact.children_right[internal] < internal).all()
+
+    def test_compression_never_expands(self, grid):
+        for name, model in grid:
+            compact = model.compact()
+            assert compact.n_rows <= compact.n_source_nodes, name
+            assert compact.compression_ratio >= 1.0, name
+
+    def test_leaf_values_account_for_every_leaf(self, grid):
+        for _, model in grid:
+            compact = model.compact()
+            total_leaves = sum(t.n_leaves for t in model.ensemble_.trees)
+            assert len(compact.leaf_values) == total_leaves
+
+    def test_stats_keys(self, grid):
+        stats = grid[0][1].compact().stats()
+        assert {
+            "nodes",
+            "table_rows",
+            "n_trees",
+            "n_leaf_values",
+            "ratio",
+            "nbytes",
+        } <= set(stats)
+
+    def test_requires_bin_thresholds(self):
+        tree = Tree(
+            children_left=np.array([LEAF]),
+            children_right=np.array([LEAF]),
+            feature=np.array([LEAF]),
+            threshold=np.array([np.nan]),
+            missing_left=np.array([False]),
+            value=np.array([0.5]),
+            cover=np.array([1.0]),
+        )
+        with pytest.raises(ValueError, match="bin thresholds"):
+            CompactEnsemble.from_ensemble(
+                TreeEnsemble(base_score=0.0, trees=[tree])
+            )
+
+
+class TestExpansion:
+    def test_expand_round_trips_predictions(self, data, grid):
+        X = data[0]
+        for name, model in grid:
+            ens = model.ensemble_
+            compact = model.compact()
+            perms = [canonical_order(t) for t in ens.trees]
+            trees = compact.expand(
+                covers=[t.cover[p] for t, p in zip(ens.trees, perms)],
+                thresholds=[t.threshold[p] for t, p in zip(ens.trees, perms)],
+            )
+            rebuilt = TreeEnsemble(base_score=ens.base_score, trees=trees)
+            codes = model.bin(X)
+            missing_bin = model.mapper_.missing_bin
+            assert np.array_equal(
+                rebuilt.predict_raw_binned(codes, missing_bin),
+                ens.predict_raw_binned(codes, missing_bin),
+            ), name
+            assert np.array_equal(
+                rebuilt.predict_raw(X), ens.predict_raw(X)
+            ), name
+
+    def test_reconsing_expanded_trees_is_byte_stable(self, data, grid):
+        for name, model in grid:
+            ens = model.ensemble_
+            compact = model.compact()
+            perms = [canonical_order(t) for t in ens.trees]
+            trees = compact.expand(
+                covers=[t.cover[p] for t, p in zip(ens.trees, perms)],
+                thresholds=[t.threshold[p] for t, p in zip(ens.trees, perms)],
+            )
+            again = CompactEnsemble.from_ensemble(
+                TreeEnsemble(base_score=ens.base_score, trees=trees)
+            )
+            for field in (
+                "children_left",
+                "children_right",
+                "feature",
+                "bin_threshold",
+                "missing_left",
+                "leaves_left",
+                "roots",
+                "leaf_offset",
+                "leaf_values",
+            ):
+                assert np.array_equal(
+                    getattr(compact, field), getattr(again, field)
+                ), (name, field)
+
+    def test_canonical_order_is_identity_on_expanded_trees(self, grid):
+        model = grid[0][1]
+        compact = model.compact()
+        perms = [canonical_order(t) for t in model.ensemble_.trees]
+        trees = compact.expand(
+            covers=[
+                t.cover[p] for t, p in zip(model.ensemble_.trees, perms)
+            ],
+            thresholds=[
+                t.threshold[p] for t, p in zip(model.ensemble_.trees, perms)
+            ],
+        )
+        for tree in trees:
+            assert np.array_equal(
+                canonical_order(tree), np.arange(tree.n_nodes)
+            )
+
+
+class TestModelIntegration:
+    def test_compact_is_cached(self, grid):
+        model = grid[0][1]
+        assert model.compact() is model.compact()
+
+    def test_fit_invalidates_cache(self, data):
+        X, y, _ = data
+        model = GBRegressor(n_estimators=3, max_depth=2).fit(X, y)
+        first = model.compact()
+        model.fit(X, y)
+        assert model.compact_ is None
+        assert model.compact() is not first
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            GBRegressor().compact()

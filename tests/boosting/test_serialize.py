@@ -1,6 +1,7 @@
 """Unit tests for repro.boosting.serialize (JSON model round trips)."""
 
 import json
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -69,9 +70,20 @@ class TestRoundTrip:
         save_model(model, path)
         doc = json.loads(path.read_text())
         assert doc["kind"] == "regressor"
-        assert doc["format_version"] == 2
+        assert doc["format_version"] == 3
         assert doc["mapper"] is not None
         assert len(doc["trees"]) == model.ensemble_.n_trees
+        # v3 stores the shared hash-consed node table once...
+        assert set(doc["dag"]) == {
+            "children_left",
+            "children_right",
+            "feature",
+            "bin_threshold",
+            "missing_left",
+            "leaves_left",
+        }
+        # ...and per tree only the root row, leaf values and node stats.
+        assert set(doc["trees"][0]) == {"root", "value", "cover", "threshold"}
 
     def test_inf_threshold_round_trips(self):
         # A split separating non-missing from missing uses a +inf
@@ -148,10 +160,22 @@ class TestMapperRoundTrip:
         assert np.array_equal(restored.bin(X), model.bin(X))
 
     def test_v1_document_still_loads_without_mapper(self, fitted_regressor):
+        # v1 documents store dense per-tree node arrays and no mapper;
+        # fabricate one from the fitted trees directly (the current
+        # writer emits the v3 DAG layout).
+        from repro.boosting.serialize import _tree_to_dict
+
         model, X = fitted_regressor
-        doc = model_to_dict(model)
-        doc["format_version"] = 1
-        del doc["mapper"]
+        v3 = model_to_dict(model)
+        doc = {
+            "format_version": 1,
+            "kind": v3["kind"],
+            "config": v3["config"],
+            "n_features": v3["n_features"],
+            "best_iteration": v3["best_iteration"],
+            "base_score": v3["base_score"],
+            "trees": [_tree_to_dict(t) for t in model.ensemble_.trees],
+        }
         restored = model_from_dict(doc)
         assert restored.mapper_ is None
         assert np.array_equal(restored.predict(X), model.predict(X))
@@ -164,6 +188,79 @@ class TestMapperRoundTrip:
 
         with pytest.raises(ValueError, match="not fitted"):
             mapper_to_dict(BinMapper())
+
+
+class TestGoldenDocuments:
+    """Committed fixture documents pin the on-disk formats.
+
+    ``goldens/`` holds one frozen document per readable format version
+    (all serialising the same fitted regressor) plus the model's
+    expected predictions on ten fixed rows.  These files never change:
+    they prove that documents written by *older* code keep loading and
+    predicting bitwise-identically, and that the current writer is
+    byte-stable over a load/save cycle.
+    """
+
+    GOLDENS = Path(__file__).parent / "goldens"
+
+    @pytest.fixture(scope="class")
+    def expected(self):
+        doc = json.loads((self.GOLDENS / "expected.json").read_text())
+        X = np.array(
+            [
+                [np.nan if v is None else v for v in row]
+                for row in doc["X"]
+            ],
+            dtype=np.float64,
+        )
+        return X, np.asarray(doc["raw_predict"], dtype=np.float64)
+
+    def _load(self, version: int):
+        return json.loads(
+            (self.GOLDENS / f"model_v{version}.json").read_text()
+        )
+
+    @pytest.mark.parametrize("version", [1, 2, 3])
+    def test_golden_document_loads_and_predicts(self, version, expected):
+        X, raw = expected
+        model = model_from_dict(self._load(version))
+        assert np.array_equal(model.predict(X), raw)
+
+    def test_golden_v1_has_no_mapper(self, expected):
+        model = model_from_dict(self._load(1))
+        assert model.mapper_ is None
+
+    @pytest.mark.parametrize("version", [2, 3])
+    def test_golden_binned_path_survives(self, version, expected):
+        X, raw = expected
+        model = model_from_dict(self._load(version))
+        assert np.array_equal(model.predict_binned(model.bin(X)), raw)
+
+    def test_golden_v3_round_trips_bitwise(self):
+        doc = self._load(3)
+        rebuilt = model_to_dict(model_from_dict(doc))
+        assert json.dumps(rebuilt, sort_keys=True) == json.dumps(
+            doc, sort_keys=True
+        )
+
+    def test_golden_v3_carries_compact_ensemble(self, expected):
+        X, raw = expected
+        model = model_from_dict(self._load(3))
+        assert model.compact_ is not None
+        codes = model.bin(X)
+        assert np.array_equal(
+            model.compact_.predict_raw_binned(
+                codes, model.mapper_.missing_bin
+            ),
+            raw,
+        )
+
+    def test_golden_v2_resaves_as_v3_with_same_predictions(self, expected):
+        X, raw = expected
+        model = model_from_dict(self._load(2))
+        resaved = model_to_dict(model)
+        assert resaved["format_version"] == 3
+        assert np.array_equal(model_from_dict(resaved).predict(X), raw)
 
 
 class TestValidation:

@@ -179,3 +179,82 @@ class TestEnsemble:
         assert imp[0] == pytest.approx(16.0)
         assert imp[1] == pytest.approx(16.0)  # two internal nodes, 8 + 8
         assert imp[2] == 0.0
+
+
+class TestVectorizedEquivalence:
+    """The vectorized max_depth / bincount cover paths must agree with
+    straightforward reference implementations on fitted models."""
+
+    @staticmethod
+    def _reference_max_depth(tree):
+        depth = np.zeros(tree.n_nodes, dtype=np.int64)
+        best = 0
+        for i in range(tree.n_nodes):
+            if tree.children_left[i] != -1:
+                for child in (tree.children_left[i], tree.children_right[i]):
+                    depth[child] = depth[i] + 1
+                    best = max(best, int(depth[child]))
+        return best
+
+    @staticmethod
+    def _reference_total_cover(ens, n_features):
+        importance = np.zeros(n_features, dtype=np.float64)
+        for tree in ens.trees:
+            internal = tree.children_left != -1
+            np.add.at(
+                importance, tree.feature[internal], tree.cover[internal]
+            )
+        return importance
+
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        from repro.boosting import GBRegressor
+
+        rng = np.random.default_rng(23)
+        X = rng.normal(size=(300, 5))
+        X[rng.random(X.shape) < 0.1] = np.nan
+        y = np.nan_to_num(X[:, 0]) - 2 * np.nan_to_num(X[:, 3])
+        return GBRegressor(n_estimators=25, max_depth=4).fit(X, y)
+
+    def test_max_depth_matches_reference(self, fitted):
+        for tree in fitted.ensemble_.trees:
+            assert tree.max_depth() == self._reference_max_depth(tree)
+
+    def test_max_depth_of_stump(self):
+        assert make_stump().max_depth() == 1
+
+    def test_max_depth_of_single_leaf(self):
+        leaf = Tree(
+            children_left=np.array([-1]),
+            children_right=np.array([-1]),
+            feature=np.array([-1]),
+            threshold=np.array([np.nan]),
+            missing_left=np.array([False]),
+            value=np.array([1.0]),
+            cover=np.array([1.0]),
+        )
+        assert leaf.max_depth() == 0
+
+    def test_total_cover_bitwise_matches_scatter_add(self, fitted):
+        ens = fitted.ensemble_
+        got = ens.total_cover_by_feature(5)
+        ref = self._reference_total_cover(ens, 5)
+        assert np.array_equal(got, ref)
+
+    def test_total_cover_all_stump_trees(self):
+        leaf = Tree(
+            children_left=np.array([-1]),
+            children_right=np.array([-1]),
+            feature=np.array([-1]),
+            threshold=np.array([np.nan]),
+            missing_left=np.array([False]),
+            value=np.array([1.0]),
+            cover=np.array([1.0]),
+        )
+        ens = TreeEnsemble(base_score=0.0, trees=[leaf])
+        assert ens.total_cover_by_feature(4).tolist() == [0.0] * 4
+
+    def test_total_cover_out_of_range_feature_raises(self):
+        ens = TreeEnsemble(base_score=0.0, trees=[make_depth2()])
+        with pytest.raises(IndexError):
+            ens.total_cover_by_feature(1)

@@ -309,11 +309,16 @@ class TestBinnedFastPath:
 
     def test_format_v1_document_falls_back_to_raw(self, fitted_regressor):
         # Old documents carry no mapper; explanation must still be exact
-        # through raw-threshold routing.
+        # through raw-threshold routing.  Fabricate a dense v1 document
+        # (the current writer emits the v3 DAG layout).
+        from repro.boosting.serialize import _tree_to_dict
+
         model, X = fitted_regressor
         doc = model_to_dict(model)
         doc["format_version"] = 1
+        doc["trees"] = [_tree_to_dict(t) for t in model.ensemble_.trees]
         del doc["mapper"]
+        del doc["dag"]
         restored = model_from_dict(doc)
         explainer = TreeShapExplainer(restored)
         assert explainer.bin_mapper is None

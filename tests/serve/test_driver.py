@@ -239,6 +239,38 @@ class TestVersions:
         assert len(lines) == 2
         assert sum("(latest)" in line for line in lines) == 1
 
+    def test_versions_reports_size_and_compaction(
+        self, tmp_path, csv_pair, capsys
+    ):
+        from repro.serve import ModelRegistry
+
+        train, _ = csv_pair
+        _publish(tmp_path, train)
+        capsys.readouterr()
+        assert (
+            serve_main(
+                [
+                    "versions",
+                    "--registry",
+                    str(tmp_path / "registry"),
+                    "--name",
+                    "sppb",
+                ]
+            )
+            == 0
+        )
+        line = capsys.readouterr().out.splitlines()[0]
+        version = ModelRegistry(tmp_path / "registry").versions("sppb")[0]
+        assert f"trees={version.n_trees}" in line
+        assert f"nodes={version.n_nodes}" in line
+        assert f"bytes={version.size_on_disk}" in line
+        assert version.n_nodes == version.compaction["nodes"]
+        assert (
+            f"table_rows={version.compaction['table_rows']}"
+            f" compression={version.compaction['ratio']:.2f}x" in line
+        )
+        assert version.size_on_disk > 0
+
     def test_classifier_kind_publishes(self, tmp_path, capsys):
         rng = np.random.default_rng(12)
         n = 80

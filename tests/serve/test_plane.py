@@ -71,9 +71,14 @@ class TestPackMaterialize:
         rebuilt, explainer = ModelPlane.materialize(
             plane.manifest, plane.arrays
         )
+        # The shared DAG node table is mapped directly, not copied.
+        assert rebuilt.compact_ is not None
+        assert rebuilt.compact_.children_left is plane.arrays["dag:children_left"]
+        assert rebuilt.compact_.leaf_values is plane.arrays["dag:leaf_values"]
+        # Per-tree node stats are slices of the packed concatenations.
         tree = rebuilt.ensemble_.trees[0]
-        assert tree.children_left.base is plane.arrays["tree:children_left"]
-        assert tree.bin_threshold.base is plane.arrays["tree:bin_threshold"]
+        assert tree.cover.base is plane.arrays["tree:cover"]
+        assert tree.threshold.base is plane.arrays["tree:threshold"]
         edges = rebuilt.mapper_.bin_edges_[0]
         assert edges.base is plane.arrays["mapper:edges"]
 

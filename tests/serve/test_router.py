@@ -88,6 +88,25 @@ class TestEquivalence:
             assert router.cache_stats.hits == service.cache_stats.hits
             assert router.cache_stats.misses == service.cache_stats.misses
 
+    @pytest.mark.parametrize("jobs", [1, 2, 3])
+    def test_raw_scores_bitwise_equal_to_ensemble_per_worker_count(
+        self, regressor, jobs
+    ):
+        # The acceptance contract for the compact DAG path: at every
+        # ShardedPool worker count, raw scores through the router (whose
+        # workers map the shared table) equal the per-tree ensemble
+        # path bitwise — cache-cold and cache-hot.
+        model, X = regressor
+        reference = model.ensemble_.predict_raw_binned(
+            model.bin(X[:60]), model.mapper_.missing_bin
+        )
+        with ScoringRouter(model, version="v", n_jobs=jobs) as router:
+            cold = router.score_rows(X[:60])
+            assert np.array_equal([r.raw_score for r in cold], reference)
+            hot = router.score_rows(X[:60])
+            assert np.array_equal([r.raw_score for r in hot], reference)
+            assert all(r.cached for r in hot)
+
     def test_classifier_probabilities_bitwise(self, classifier):
         model, X = classifier
         stream = _stream(X, revisits=2)

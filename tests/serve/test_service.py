@@ -106,6 +106,70 @@ class TestExactness:
         )
 
 
+class TestCompactPath:
+    """The service predicts through the hash-consed DAG; its raw scores
+    must be bitwise identical to the per-tree ensemble path, cache-cold
+    and cache-hot."""
+
+    def test_service_engine_is_compact(self, regressor):
+        from repro.boosting import CompactEnsemble
+
+        model, _ = regressor
+        service = ScoringService(model)
+        assert isinstance(service._engine, CompactEnsemble)
+
+    def test_raw_scores_bitwise_equal_to_ensemble_cold_and_hot(
+        self, regressor
+    ):
+        model, X = regressor
+        codes = model.bin(X[:80])
+        reference = model.ensemble_.predict_raw_binned(
+            codes, model.mapper_.missing_bin
+        )
+        service = ScoringService(model)
+        cold = service.score_rows(X[:80])
+        assert np.array_equal([r.raw_score for r in cold], reference)
+        hot = service.score_rows(X[:80])
+        assert np.array_equal([r.raw_score for r in hot], reference)
+        assert all(r.cached for r in hot)
+
+    def test_classifier_raw_scores_bitwise_equal(self, classifier):
+        model, X = classifier
+        codes = model.bin(X[:60])
+        reference = model.ensemble_.predict_raw_binned(
+            codes, model.mapper_.missing_bin
+        )
+        service = ScoringService(model)
+        for _ in range(2):  # cold, then hot
+            results = service.score_rows(X[:60])
+            assert np.array_equal(
+                [r.raw_score for r in results], reference
+            )
+
+    def test_materialized_model_uses_mapped_compact(self, regressor):
+        from repro.serve.plane import ModelPlane
+
+        model, X = regressor
+        plane = ModelPlane.pack(model, version="t")
+        worker_model, explainer = ModelPlane.materialize(
+            plane.manifest, plane.arrays
+        )
+        service = ScoringService(
+            worker_model, version="t", explainer=explainer
+        )
+        # The worker service's engine is the zero-copy mapped table,
+        # not a freshly consed one.
+        assert service._engine is worker_model.compact_
+        assert (
+            service._engine.children_left is plane.arrays["dag:children_left"]
+        )
+        reference = model.ensemble_.predict_raw_binned(
+            model.bin(X[:50]), model.mapper_.missing_bin
+        )
+        results = service.score_rows(X[:50])
+        assert np.array_equal([r.raw_score for r in results], reference)
+
+
 class TestCacheBehaviour:
     def test_partial_hit_upgrades_entry(self, regressor):
         model, X = regressor
@@ -226,10 +290,16 @@ class TestValidation:
             ScoringService(GBRegressor())
 
     def test_model_without_mapper_rejected(self, regressor):
+        # Fabricate a dense v1 document (no mapper, per-tree node
+        # arrays) — the current writer emits the v3 DAG layout.
+        from repro.boosting.serialize import _tree_to_dict
+
         model, _ = regressor
         doc = model_to_dict(model)
         doc["format_version"] = 1
+        doc["trees"] = [_tree_to_dict(t) for t in model.ensemble_.trees]
         del doc["mapper"]
+        del doc["dag"]
         v1_model = model_from_dict(doc)
         with pytest.raises(ValueError, match="BinMapper"):
             ScoringService(v1_model)
