@@ -215,6 +215,23 @@ class ShardedPool:
     slower, never different (tasks must be pure).  :meth:`close` (or the
     context manager) shuts workers down and **unlinks every shared
     segment** even when workers crashed.
+
+    Lifecycle under an event loop
+    -----------------------------
+    The pool is **single-owner**: all of :meth:`scatter` and
+    :meth:`close` must be issued from one thread at a time.  An asyncio
+    front end (``repro.serve.server``) satisfies this by funnelling
+    every pool interaction through one dedicated executor thread —
+    construction, scoring and teardown may each happen on *different*
+    threads (a pool built on thread A closes fine from thread B), they
+    just must not overlap.  Note that constructing a pool while other
+    threads are alive selects the ``spawn`` start method (see
+    :func:`_start_method`), so worker startup pays one interpreter
+    boot + import per worker; an event-loop server therefore builds its
+    pool once per model version and keeps it hot across requests.
+    :attr:`workers_alive` exposes how many workers still serve (dead
+    workers' shards are recomputed in-process) so an ops plane can
+    surface degraded capacity.
     """
 
     def __init__(
@@ -257,6 +274,19 @@ class ShardedPool:
             self.close()
             self._closed = False
             self.workers = 1
+
+    # ------------------------------------------------------------------
+    @property
+    def workers_alive(self) -> int:
+        """Workers still executing remotely (1 when running in-process).
+
+        Dead workers' shards fall back to in-process recompute, so the
+        pool keeps answering — this is the ops-plane signal that
+        capacity is degraded, not correctness.
+        """
+        if self.workers <= 1 or self._closed:
+            return 0 if self._closed else 1
+        return self.workers - len(self._dead)
 
     # ------------------------------------------------------------------
     def __enter__(self) -> "ShardedPool":

@@ -31,35 +31,52 @@ fitted model assisting many clinical visits, scaled to heavy traffic:
     requests across callers into size/deadline-bounded micro-batches
     sharded by bin-code hash.  Output is bitwise-identical to the
     single-process service for every worker count.
+``ScoringServer``
+    The network edge (:mod:`repro.serve.server`): an asyncio HTTP/1.1
+    front end with a background flush timer over the router, admission
+    control (:mod:`repro.serve.admission`), hot model swap driven by
+    the registry's ``LATEST`` pointer, and a ``/metrics`` ops endpoint
+    (:mod:`repro.serve.stats`).  Responses stay bitwise-identical to
+    the in-process service at every worker count.
 ``python -m repro serve``
-    Offline driver (:mod:`repro.serve.driver`): publish models into a
-    registry and score cohort CSV tables end-to-end (streamed in
-    chunks, optionally multi-worker via ``--jobs``).
+    Driver (:mod:`repro.serve.driver`): publish models into a registry,
+    score cohort CSV tables end-to-end (streamed in chunks, optionally
+    multi-worker via ``--jobs``), and ``start`` the HTTP server.
 """
 
+from repro.serve.admission import AdmissionController
 from repro.serve.cache import CacheStats, LRUCache
 from repro.serve.plane import ModelPlane, parallel_shap
 from repro.serve.registry import ModelRegistry, ModelVersion, model_fingerprint
 from repro.serve.router import RouterStats, ScoringRouter
+from repro.serve.server import ScoringServer, ServerThread, result_to_wire
 from repro.serve.service import (
     ScoreRequest,
     ScoreResult,
     ScoringService,
     ServiceStats,
 )
+from repro.serve.stats import LatencyWindow, ServerStats, metrics_payload
 
 __all__ = [
+    "AdmissionController",
     "CacheStats",
+    "LatencyWindow",
     "LRUCache",
     "ModelPlane",
     "ModelRegistry",
     "ModelVersion",
     "model_fingerprint",
+    "metrics_payload",
     "parallel_shap",
+    "result_to_wire",
     "RouterStats",
     "ScoreRequest",
     "ScoreResult",
     "ScoringRouter",
+    "ScoringServer",
     "ScoringService",
+    "ServerThread",
+    "ServerStats",
     "ServiceStats",
 ]

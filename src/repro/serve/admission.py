@@ -1,0 +1,80 @@
+"""Admission control for the scoring server: a bounded request queue.
+
+The HTTP front end (:mod:`repro.serve.server`) must not buffer work
+without bound: a burst beyond what the scoring plane drains would grow
+the queue — and every queued request's latency — indefinitely.  The
+:class:`AdmissionController` bounds the number of *admitted but not yet
+answered* rows; a POST that would exceed the bound is refused up front
+with **429 Too Many Requests** plus a ``Retry-After`` estimate, so
+clients shed load at the edge instead of timing out deep in the queue.
+
+Accounting is in rows (not posts) because rows are what the micro-batch
+executor actually drains — a 64-row post occupies the plane 64 times as
+long as a single-row post.  The controller is plain bookkeeping on the
+event-loop thread: no locks, no clocks.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Bound the rows admitted into the server but not yet answered.
+
+    Parameters
+    ----------
+    max_queue:
+        Row capacity.  :meth:`try_admit` refuses any request that would
+        push the in-flight row count past this bound.
+    """
+
+    def __init__(self, max_queue: int):
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        self.max_queue = max_queue
+        self._depth = 0
+        self.admitted = 0
+        self.rejected = 0
+
+    @property
+    def depth(self) -> int:
+        """Rows currently admitted and awaiting their response."""
+        return self._depth
+
+    def try_admit(self, rows: int) -> bool:
+        """Admit ``rows`` more rows, or refuse without side effects.
+
+        Returns True and charges the queue when the request fits;
+        returns False (and counts the rejection) when it would overflow.
+        """
+        if rows < 1:
+            raise ValueError(f"rows must be >= 1, got {rows}")
+        if self._depth + rows > self.max_queue:
+            self.rejected += 1
+            return False
+        self._depth += rows
+        self.admitted += 1
+        return True
+
+    def release(self, rows: int) -> None:
+        """Return ``rows`` to the budget once their response is settled."""
+        if rows < 0 or rows > self._depth:
+            raise ValueError(
+                f"cannot release {rows} rows from a depth of {self._depth}"
+            )
+        self._depth -= rows
+
+    def retry_after(self, drain_rate: float) -> int:
+        """Whole seconds a refused client should wait before retrying.
+
+        ``drain_rate`` is the plane's observed throughput in rows per
+        second; the estimate is the time to drain the current backlog,
+        rounded up, floored at one second (the coarsest honest answer
+        when the plane is cold and no rate has been observed yet).
+        """
+        if drain_rate <= 0 or self._depth == 0:
+            return 1
+        return max(1, math.ceil(self._depth / drain_rate))

@@ -1,6 +1,6 @@
-"""Offline serving driver behind ``python -m repro serve``.
+"""Serving driver behind ``python -m repro serve``.
 
-Three subcommands cover the train-once / score-later lifecycle::
+Four subcommands cover the train-once / score-later lifecycle::
 
     # fit a model on a training CSV and publish it into a registry
     python -m repro serve publish --registry models/ --name sppb \\
@@ -14,6 +14,11 @@ Three subcommands cover the train-once / score-later lifecycle::
     # scoring plane)
     python -m repro serve score --registry models/ --name sppb \\
         --input visits.csv --out scored.csv --explain --jobs 4
+
+    # serve scoring over HTTP (asyncio front end, hot model swap,
+    # admission control, /metrics; see docs/serving-ops.md)
+    python -m repro serve start --registry models/ --name sppb \\
+        --port 8000 --jobs 4
 
 ``score`` appends a ``prediction`` column (plus ``probability`` for
 classifiers) to the input table, writes per-row attribution reports next
@@ -29,6 +34,7 @@ count.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 import time
 from pathlib import Path
@@ -111,6 +117,64 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="stream the input CSV in chunks of N rows (bounds peak "
         "memory; does not change any output byte)",
     )
+
+    st = sub.add_parser("start", help="serve scoring over HTTP")
+    st.add_argument("--registry", type=Path, required=True, metavar="DIR")
+    st.add_argument("--name", required=True)
+    st.add_argument(
+        "--tag",
+        default=None,
+        help="pin one version (default: follow LATEST and hot-swap)",
+    )
+    st.add_argument("--host", default="127.0.0.1")
+    st.add_argument(
+        "--port",
+        type=int,
+        default=8000,
+        help="listen port (0 binds an ephemeral port)",
+    )
+    st.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="scoring worker processes (default: REPRO_JOBS, else "
+        "serial; 0 or -1 = one per CPU).  Responses are byte-identical "
+        "for every value.",
+    )
+    st.add_argument("--max-batch", type=int, default=64)
+    st.add_argument(
+        "--flush-interval",
+        type=float,
+        default=0.002,
+        metavar="SECONDS",
+        help="background flush timer: how long a post may wait for "
+        "co-travellers before its micro-batch executes",
+    )
+    st.add_argument(
+        "--max-queue",
+        type=int,
+        default=256,
+        metavar="ROWS",
+        help="admission bound; beyond it posts get 429 + Retry-After",
+    )
+    st.add_argument(
+        "--poll-interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="registry LATEST poll period for hot swaps (0 disables)",
+    )
+    st.add_argument("--cache-size", type=int, default=4096)
+    st.add_argument("--top-k", type=int, default=5)
+    st.add_argument(
+        "--for-seconds",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="serve for a fixed duration then drain and exit "
+        "(default: until SIGINT/SIGTERM)",
+    )
     return parser
 
 
@@ -121,6 +185,8 @@ def main(argv: list[str] | None = None) -> int:
             return _publish(args)
         if args.command == "versions":
             return _versions(args)
+        if args.command == "start":
+            return _start(args)
         return _score(args)
     except (OSError, KeyError, ValueError) as exc:
         print(f"error: {_message(exc)}", file=sys.stderr)
@@ -206,6 +272,70 @@ def _versions(args: argparse.Namespace) -> int:
             f"bytes={v.size_on_disk}{compacted} "
             f"features={v.n_features} published={stamp}{marker}"
         )
+    return 0
+
+
+def _start(args: argparse.Namespace) -> int:
+    """Run the asyncio HTTP front end until a signal (or a deadline)."""
+    from repro.serve.server import ScoringServer
+
+    if args.for_seconds is not None and args.for_seconds < 0:
+        raise ValueError("--for-seconds must be >= 0")
+    server = ScoringServer(
+        ModelRegistry(args.registry),
+        args.name,
+        tag=args.tag,
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        max_batch=args.max_batch,
+        flush_interval=args.flush_interval,
+        max_queue=args.max_queue,
+        poll_interval=args.poll_interval,
+        cache_size=args.cache_size,
+        top_k=args.top_k,
+    )
+    return asyncio.run(_serve_until_signal(args, server))
+
+
+async def _serve_until_signal(args, server) -> int:
+    import signal
+
+    await server.start()
+    workers = server.workers
+    print(
+        f"serving {server.model_ref} on http://{args.host}:{server.port} "
+        f"({workers} worker{'s' if workers != 1 else ''}, "
+        f"max_batch={args.max_batch}, max_queue={args.max_queue} rows)"
+    )
+    stop_requested = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    installed: list[int] = []
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop_requested.set)
+            installed.append(signum)
+        except (NotImplementedError, RuntimeError):
+            pass  # non-unix event loop: --for-seconds still works
+    try:
+        if args.for_seconds is None:
+            await stop_requested.wait()
+        else:
+            try:
+                await asyncio.wait_for(
+                    stop_requested.wait(), timeout=args.for_seconds
+                )
+            except (asyncio.TimeoutError, TimeoutError):
+                pass
+    finally:
+        for signum in installed:
+            loop.remove_signal_handler(signum)
+        await server.stop()
+    stats = server.stats
+    print(
+        f"drained and stopped: {stats.posts} posts / {stats.rows} rows "
+        f"answered, {stats.swaps} hot swaps, {stats.errors} errors"
+    )
     return 0
 
 

@@ -35,7 +35,7 @@ from __future__ import annotations
 import os
 import time
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
@@ -63,6 +63,9 @@ class RouterStats:
     micro_batches: int = 0
     shard_batches: int = 0
     total_seconds: float = 0.0
+    #: Rows executed per cache shard (shard id -> row count); the
+    #: occupancy view the ops plane's ``/metrics`` endpoint exposes.
+    shard_rows: dict[int, int] = field(default_factory=dict)
 
     @property
     def rows_per_second(self) -> float:
@@ -202,6 +205,11 @@ class ScoringRouter:
         """Scoring worker count (1 = in-process serial path)."""
         return self._pool.workers
 
+    @property
+    def workers_alive(self) -> int:
+        """Workers still executing remotely (degraded-capacity signal)."""
+        return self._pool.workers_alive
+
     # ------------------------------------------------------------------
     # Cross-request coalescing.
 
@@ -209,30 +217,59 @@ class ScoringRouter:
         """Queue one request; flushes on the size or deadline bound.
 
         Results of flushed batches accumulate in submission order and
-        are collected with :meth:`poll` or :meth:`drain`.
+        are collected with :meth:`poll` or :meth:`drain`.  Callers that
+        drive flushing themselves (the HTTP server's background flush
+        timer) construct the router with a large ``max_delay`` and call
+        :meth:`flush` on their own schedule — then a submit only
+        flushes on the size bound.
         """
         if self._pending and self._deadline_passed():
-            self._flush()
+            self.flush()
         if not self._pending:
             self._pending_since = self._clock()
         self._pending.append(request)
         if len(self._pending) >= self.max_batch:
-            self._flush()
+            self.flush()
 
     def poll(self) -> list[ScoreResult]:
         """Collect finished results; flushes first if the deadline passed."""
         if self._pending and self._deadline_passed():
-            self._flush()
+            self.flush()
         done = self._completed
         self._completed = []
         return done
 
     def drain(self) -> list[ScoreResult]:
         """Flush everything pending and collect all finished results."""
-        self._flush()
+        self.flush()
         done = self._completed
         self._completed = []
         return done
+
+    def flush(self) -> None:
+        """Execute whatever is pending as one micro-batch, now.
+
+        The external half of the flush API: a background timer (rather
+        than the submit/poll deadline check) can drive batch formation
+        by watching :attr:`pending` / :meth:`oldest_wait` and calling
+        this when the deadline it owns expires.  Results accumulate for
+        :meth:`poll` / :meth:`drain` as usual; flushing with nothing
+        pending is a no-op.
+        """
+        batch, self._pending, self._pending_since = self._pending, [], None
+        if batch:
+            self._completed.extend(self._execute(batch))
+
+    @property
+    def pending(self) -> int:
+        """Requests queued but not yet flushed into a micro-batch."""
+        return len(self._pending)
+
+    def oldest_wait(self) -> float | None:
+        """Seconds the oldest pending request has waited (None if none)."""
+        if self._pending_since is None:
+            return None
+        return self._clock() - self._pending_since
 
     def score_batch(self, requests: Sequence[ScoreRequest]) -> list[ScoreResult]:
         """Score one pre-coalesced micro-batch (drop-in for the service).
@@ -240,7 +277,7 @@ class ScoringRouter:
         Anything already pending is flushed first so the submission
         order of results is preserved.
         """
-        self._flush()
+        self.flush()
         return self._execute(list(requests))
 
     def score_rows(self, X: np.ndarray, explain: bool = False) -> list[ScoreResult]:
@@ -257,11 +294,6 @@ class ScoringRouter:
             self._pending_since is not None
             and self._clock() - self._pending_since >= self.max_delay
         )
-
-    def _flush(self) -> None:
-        batch, self._pending, self._pending_since = self._pending, [], None
-        if batch:
-            self._completed.extend(self._execute(batch))
 
     # ------------------------------------------------------------------
     # Micro-batch execution.
@@ -311,6 +343,9 @@ class ScoringRouter:
             for i, result in zip(idx, shard_results):
                 results[i] = result
             self._shard_caches[pid] = cache
+            self._stats.shard_rows[shard] = self._stats.shard_rows.get(
+                shard, 0
+            ) + len(idx)
         self._stats.requests += len(batch)
         self._stats.micro_batches += 1
         self._stats.shard_batches += len(tasks)
@@ -339,8 +374,16 @@ class ScoringRouter:
         )
 
     def close(self) -> None:
-        """Shut the worker pool down and unlink the plane (idempotent)."""
+        """Flush in-flight batches, then tear the pool down (idempotent).
+
+        The shutdown contract: anything submitted before ``close`` is
+        **executed** before the workers and the shared plane go away —
+        a SIGTERM-style shutdown drops zero requests.  The flushed
+        results stay collectable through :meth:`poll` / :meth:`drain`
+        after the close; only *new* work is rejected.
+        """
         if not self._closed:
+            self.flush()
             self._closed = True
             self._pool.close()
 

@@ -1,0 +1,51 @@
+"""Tests for the server's admission controller (repro.serve.admission)."""
+
+import pytest
+
+from repro.serve import AdmissionController
+
+
+class TestAdmission:
+    def test_admits_until_the_row_bound(self):
+        admission = AdmissionController(10)
+        assert admission.try_admit(6)
+        assert admission.try_admit(4)
+        assert admission.depth == 10
+        assert not admission.try_admit(1)
+        assert admission.depth == 10  # a refusal charges nothing
+        assert admission.admitted == 2
+        assert admission.rejected == 1
+
+    def test_release_frees_budget(self):
+        admission = AdmissionController(4)
+        assert admission.try_admit(4)
+        assert not admission.try_admit(1)
+        admission.release(4)
+        assert admission.depth == 0
+        assert admission.try_admit(3)
+
+    def test_oversized_single_request_is_refused(self):
+        admission = AdmissionController(4)
+        assert not admission.try_admit(5)
+        assert admission.depth == 0
+
+    def test_release_cannot_go_negative(self):
+        admission = AdmissionController(4)
+        admission.try_admit(2)
+        with pytest.raises(ValueError):
+            admission.release(3)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            AdmissionController(0)
+        with pytest.raises(ValueError):
+            AdmissionController(4).try_admit(0)
+
+    def test_retry_after_estimates_drain_time(self):
+        admission = AdmissionController(100)
+        admission.try_admit(50)
+        assert admission.retry_after(10.0) == 5
+        assert admission.retry_after(1000.0) == 1  # floored at a second
+        assert admission.retry_after(0.0) == 1  # cold plane: no rate yet
+        admission.release(50)
+        assert admission.retry_after(10.0) == 1

@@ -382,3 +382,51 @@ class TestChunkedStreaming:
         )
         assert rc == 2
         assert "--chunk-rows" in capsys.readouterr().err
+
+
+class TestStart:
+    def test_start_help_parses(self, capsys):
+        from repro.serve.driver import build_serve_parser
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_serve_parser().parse_args(["start", "--help"])
+        assert excinfo.value.code == 0
+
+    def test_start_serves_then_drains(self, tmp_path, csv_pair, capsys):
+        train, _visits = csv_pair
+        _publish(tmp_path, train)
+        rc = serve_main(
+            [
+                "start",
+                "--registry",
+                str(tmp_path / "registry"),
+                "--name",
+                "sppb",
+                "--port",
+                "0",
+                "--poll-interval",
+                "0",
+                "--for-seconds",
+                "0.2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "serving sppb@" in out
+        assert "drained and stopped" in out
+
+    def test_start_unknown_model_is_clean_error(self, tmp_path, capsys):
+        (tmp_path / "registry").mkdir()
+        rc = serve_main(
+            [
+                "start",
+                "--registry",
+                str(tmp_path / "registry"),
+                "--name",
+                "nope",
+                "--for-seconds",
+                "0.1",
+            ]
+        )
+        assert rc == 2
+        assert "no model named" in capsys.readouterr().err

@@ -245,3 +245,62 @@ class TestRegistryAndValidation:
         router.close()  # idempotent
         with pytest.raises(RuntimeError, match="closed"):
             router.score_batch([ScoreRequest(row=X[0])])
+
+
+class TestFlushApiAndShutdown:
+    def test_external_flush_drives_batches(self, regressor):
+        model, X = regressor
+        service = ScoringService(model, version="v")
+        expected = [
+            r.raw_score for r in service.score_rows(X[:6], explain=False)
+        ]
+        # A huge deadline: nothing flushes until the external timer does.
+        with ScoringRouter(
+            model, version="v", n_jobs=1, max_delay=1e9
+        ) as router:
+            for i in range(6):
+                router.submit(ScoreRequest(row=X[i]))
+            assert router.pending == 6
+            assert router.oldest_wait() is not None
+            assert router.poll() == []  # deadline has not passed
+            router.flush()
+            assert router.pending == 0
+            assert router.oldest_wait() is None
+            got = [r.raw_score for r in router.poll()]
+        assert got == expected
+
+    def test_flush_with_nothing_pending_is_noop(self, regressor):
+        model, _X = regressor
+        with ScoringRouter(model, version="v", n_jobs=1) as router:
+            router.flush()
+            assert router.stats.micro_batches == 0
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_close_flushes_pending_requests(self, regressor, jobs):
+        """SIGTERM-style shutdown: close() drops zero submitted requests."""
+        model, X = regressor
+        service = ScoringService(model, version="v")
+        expected = service.score_rows(X[:5], explain=False)
+        router = ScoringRouter(
+            model, version="v", n_jobs=jobs, max_delay=1e9
+        )
+        try:
+            for i in range(5):
+                router.submit(ScoreRequest(row=X[i]))
+            assert router.pending == 5
+        finally:
+            router.close()
+        # The flushed results stay collectable after the close.
+        got = router.poll()
+        _assert_results_equal(got, expected)
+        assert router.drain() == []  # drain after close is safe too
+        router.close()  # and close stays idempotent
+
+    def test_shard_rows_accounting(self, regressor):
+        model, X = regressor
+        with ScoringRouter(model, version="v", n_jobs=2) as router:
+            router.score_rows(X[:20], explain=False)
+            occupancy = router.stats.shard_rows
+        assert sum(occupancy.values()) == 20
+        assert all(shard in (0, 1) for shard in occupancy)
+        assert router.workers_alive in (0, 1, 2)

@@ -1,0 +1,501 @@
+"""Tests for the asyncio HTTP front end (repro.serve.server).
+
+The load-bearing contract is the HTTP edition of the router's: every
+response is **bitwise identical** to the in-process ``ScoringService``
+on the same request stream — cache-cold and cache-hot, at every worker
+count — because JSON round-trips every finite float64 exactly.  On top
+of that: hot model swaps drop zero requests and never mix versions
+within a response, saturation answers 429 with a ``Retry-After``, and a
+SIGTERM-style ``stop()`` answers everything already admitted.
+"""
+
+import http.client
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.boosting import GBClassifier, GBRegressor
+from repro.serve import (
+    ModelRegistry,
+    ScoreRequest,
+    ScoringServer,
+    ScoringService,
+    ServerThread,
+    result_to_wire,
+)
+
+FEATURES = [f"f{i}" for i in range(6)]
+
+
+@pytest.fixture(scope="module")
+def cohort():
+    rng = np.random.default_rng(21)
+    X = rng.normal(size=(300, 6))
+    X[rng.random(X.shape) < 0.1] = np.nan
+    y = 2 * np.nan_to_num(X[:, 0]) - np.nan_to_num(X[:, 3]) + rng.normal(
+        0, 0.1, 300
+    )
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def registry(cohort, tmp_path_factory):
+    """A registry holding one published regressor and one classifier."""
+    X, y = cohort
+    root = tmp_path_factory.mktemp("registry")
+    registry = ModelRegistry(root)
+    registry.publish(
+        "reg",
+        GBRegressor(n_estimators=15, max_depth=3).fit(X, y),
+        metadata={"features": FEATURES},
+    )
+    registry.publish(
+        "clf",
+        GBClassifier(n_estimators=10, max_depth=2).fit(
+            np.nan_to_num(X), (y > 0).astype(float)
+        ),
+        metadata={"features": FEATURES},
+    )
+    return registry
+
+
+def _wire_rows(X):
+    """Rows as their JSON wire form (NaN -> null)."""
+    return [
+        [None if np.isnan(value) else float(value) for value in row]
+        for row in X
+    ]
+
+
+def _request(conn, method, path, payload=None):
+    body = None if payload is None else json.dumps(payload)
+    conn.request(method, path, body=body)
+    response = conn.getresponse()
+    headers = {k.lower(): v for k, v in response.getheaders()}
+    return response.status, headers, json.loads(response.read())
+
+
+def _reference_wire(service, X, explain=False, batch=8):
+    """What the wire must carry: the service's answers, wire-encoded."""
+    out = []
+    for lo in range(0, X.shape[0], batch):
+        block = X[lo : lo + batch]
+        results = service.score_batch(
+            [
+                ScoreRequest(row=block[i], explain=explain)
+                for i in range(block.shape[0])
+            ]
+        )
+        out.extend(result_to_wire(r) for r in results)
+    return out
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_bitwise_equal_to_service_cold_and_hot(
+        self, registry, cohort, jobs
+    ):
+        X, _y = cohort
+        # Two passes over the same cohort: pass one is cache-cold, pass
+        # two is cache-hot; sequential posts make each POST one
+        # micro-batch, so the reference batches the same way.
+        cohort_rows = np.concatenate([X[:40], X[:40]])
+        service = ScoringService.from_registry(registry, "reg")
+        expected = _reference_wire(service, cohort_rows, explain=False)
+        expected += _reference_wire(service, cohort_rows[:16], explain=True)
+        server = ScoringServer(
+            registry, "reg", jobs=jobs, flush_interval=0.001, poll_interval=0
+        )
+        got = []
+        with ServerThread(server) as handle:
+            conn = http.client.HTTPConnection("127.0.0.1", handle.port)
+            for lo in range(0, cohort_rows.shape[0], 8):
+                status, _headers, doc = _request(
+                    conn,
+                    "POST",
+                    "/predict",
+                    {"rows": _wire_rows(cohort_rows[lo : lo + 8])},
+                )
+                assert status == 200
+                got.extend(doc["results"])
+            for lo in range(0, 16, 8):
+                status, _headers, doc = _request(
+                    conn,
+                    "POST",
+                    "/explain",
+                    {"rows": _wire_rows(cohort_rows[lo : lo + 8])},
+                )
+                assert status == 200
+                got.extend(doc["results"])
+            conn.close()
+        # Wire documents compare exactly: JSON float round-tripping is
+        # bitwise, and even the cached flags coincide.
+        assert got == expected
+
+    def test_classifier_probability_on_the_wire(self, registry, cohort):
+        X, _y = cohort
+        rows = np.nan_to_num(X[:10])
+        service = ScoringService.from_registry(registry, "clf")
+        expected = _reference_wire(service, rows, batch=10)
+        server = ScoringServer(
+            registry, "clf", jobs=1, flush_interval=0.001, poll_interval=0
+        )
+        with ServerThread(server) as handle:
+            conn = http.client.HTTPConnection("127.0.0.1", handle.port)
+            status, _headers, doc = _request(
+                conn, "POST", "/predict", {"rows": _wire_rows(rows)}
+            )
+            conn.close()
+        assert status == 200
+        assert doc["results"] == expected
+        assert all(r["probability"] is not None for r in doc["results"])
+
+    def test_single_row_sugar(self, registry, cohort):
+        X, _y = cohort
+        service = ScoringService.from_registry(registry, "reg")
+        expected = _reference_wire(service, X[:1], explain=True, batch=1)
+        server = ScoringServer(
+            registry, "reg", jobs=1, flush_interval=0.0, poll_interval=0
+        )
+        with ServerThread(server) as handle:
+            conn = http.client.HTTPConnection("127.0.0.1", handle.port)
+            status, _headers, doc = _request(
+                conn, "POST", "/explain", {"row": _wire_rows(X[:1])[0]}
+            )
+            conn.close()
+        assert status == 200
+        assert doc["results"] == expected
+
+
+class TestHotSwap:
+    def test_swap_drops_nothing_and_never_mixes_versions(
+        self, cohort, tmp_path
+    ):
+        X, y = cohort
+        registry = ModelRegistry(tmp_path / "registry")
+        v1 = registry.publish(
+            "m", GBRegressor(n_estimators=8, max_depth=2).fit(X, y)
+        ).ref
+        server = ScoringServer(
+            registry,
+            "m",
+            jobs=1,
+            flush_interval=0.001,
+            poll_interval=0.05,
+        )
+        rows = _wire_rows(X[:4])
+        with ServerThread(server) as handle:
+            conn = http.client.HTTPConnection("127.0.0.1", handle.port)
+            status, _headers, doc = _request(
+                conn, "POST", "/predict", {"rows": rows}
+            )
+            assert status == 200 and doc["version"] == v1
+            v2 = registry.publish(
+                "m", GBRegressor(n_estimators=12, max_depth=3).fit(X, y)
+            ).ref
+            assert v2 != v1
+            versions = []
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                status, _headers, doc = _request(
+                    conn, "POST", "/predict", {"rows": rows}
+                )
+                # Zero drops: every post during the swap is answered.
+                assert status == 200
+                versions.append(doc["version"])
+                if doc["version"] == v2:
+                    break
+                time.sleep(0.02)
+            assert versions[-1] == v2, "hot swap never happened"
+            # Monotone: v1 answers, then v2 answers, never interleaved.
+            first_v2 = versions.index(v2)
+            assert all(v == v1 for v in versions[:first_v2])
+            assert all(v == v2 for v in versions[first_v2:])
+            # Post-swap answers are bitwise the new version's.  The
+            # server already scored these rows on v2 at least once, so
+            # warm the reference cache the same way before comparing.
+            service = ScoringService.from_registry(
+                registry, "m", v2.split("@", 1)[1]
+            )
+            _reference_wire(service, X[:4], batch=4)
+            expected = _reference_wire(service, X[:4], batch=4)
+            status, _headers, doc = _request(
+                conn, "POST", "/predict", {"rows": rows}
+            )
+            assert doc["results"] == expected
+            conn.close()
+        assert server.stats.swaps == 1
+        assert server.stats.errors == 0
+
+    def test_pinned_tag_never_swaps(self, cohort, tmp_path):
+        X, y = cohort
+        registry = ModelRegistry(tmp_path / "registry")
+        v1 = registry.publish(
+            "m", GBRegressor(n_estimators=8, max_depth=2).fit(X, y)
+        ).ref
+        tag = v1.split("@", 1)[1]
+        server = ScoringServer(
+            registry, "m", tag=tag, jobs=1, flush_interval=0.0,
+            poll_interval=0.05,
+        )
+        with ServerThread(server) as handle:
+            registry.publish(
+                "m", GBRegressor(n_estimators=12, max_depth=3).fit(X, y)
+            )
+            time.sleep(0.3)
+            conn = http.client.HTTPConnection("127.0.0.1", handle.port)
+            status, _headers, doc = _request(
+                conn, "POST", "/predict", {"rows": _wire_rows(X[:2])}
+            )
+            conn.close()
+        assert status == 200 and doc["version"] == v1
+        assert server.stats.swaps == 0
+
+
+class TestBackpressureAndShutdown:
+    def test_429_with_retry_after_then_drain_answers_admitted(
+        self, registry, cohort
+    ):
+        X, _y = cohort
+        # A long co-traveller window holds admitted rows in the queue so
+        # the bound is observable; max_queue=2 saturates after one post.
+        server = ScoringServer(
+            registry,
+            "reg",
+            jobs=1,
+            flush_interval=30.0,
+            max_queue=2,
+            poll_interval=0,
+        )
+        service = ScoringService.from_registry(registry, "reg")
+        expected = _reference_wire(service, X[:2], batch=2)
+        admitted: dict = {}
+
+        with ServerThread(server) as handle:
+
+            def blocked_post():
+                conn = http.client.HTTPConnection("127.0.0.1", handle.port)
+                status, _headers, doc = _request(
+                    conn, "POST", "/predict", {"rows": _wire_rows(X[:2])}
+                )
+                admitted["status"], admitted["doc"] = status, doc
+                conn.close()
+
+            poster = threading.Thread(target=blocked_post)
+            poster.start()
+            # Wait until those 2 rows are admitted and queued.
+            deadline = time.monotonic() + 10
+            conn = http.client.HTTPConnection("127.0.0.1", handle.port)
+            while time.monotonic() < deadline:
+                _status, _headers, metrics = _request(conn, "GET", "/metrics")
+                if metrics["queue"]["rows"] == 2:
+                    break
+                time.sleep(0.01)
+            assert metrics["queue"]["rows"] == 2
+            status, headers, doc = _request(
+                conn, "POST", "/predict", {"rows": _wire_rows(X[2:3])}
+            )
+            assert status == 429
+            assert int(headers["retry-after"]) >= 1
+            assert doc["retry_after"] == int(headers["retry-after"])
+            conn.close()
+            # SIGTERM-style stop: the context manager drains the queue —
+            # the admitted post completes, bitwise-correct.
+            poster_join = poster
+        poster_join.join(timeout=30)
+        assert admitted["status"] == 200
+        assert admitted["doc"]["results"] == expected
+        assert server.stats.posts == 1
+        assert server.stats.errors == 0
+
+    def test_shutdown_drops_no_inflight_posts(self, registry, cohort):
+        X, _y = cohort
+        server = ScoringServer(
+            registry,
+            "reg",
+            jobs=1,
+            flush_interval=0.2,
+            poll_interval=0,
+        )
+        outcomes = []
+        lock = threading.Lock()
+
+        with ServerThread(server) as handle:
+
+            def post(lo):
+                conn = http.client.HTTPConnection("127.0.0.1", handle.port)
+                status, _headers, doc = _request(
+                    conn,
+                    "POST",
+                    "/predict",
+                    {"rows": _wire_rows(X[lo : lo + 4])},
+                )
+                with lock:
+                    outcomes.append((status, len(doc.get("results", []))))
+                conn.close()
+
+            posters = [
+                threading.Thread(target=post, args=(lo,))
+                for lo in range(0, 12, 4)
+            ]
+            for t in posters:
+                t.start()
+            time.sleep(0.05)  # posts are admitted, batch window open
+            # Exiting the context manager is the SIGTERM path: stop()
+            # drains every admitted post before teardown.
+        for t in posters:
+            t.join(timeout=30)
+        assert len(outcomes) == 3
+        assert all(status == 200 and n == 4 for status, n in outcomes)
+        assert server.stats.posts == 3
+
+    def test_post_after_stop_is_refused(self, registry, cohort):
+        X, _y = cohort
+        server = ScoringServer(
+            registry, "reg", jobs=1, flush_interval=0.0, poll_interval=0
+        )
+        with ServerThread(server) as handle:
+            port = handle.port
+            conn = http.client.HTTPConnection("127.0.0.1", port)
+            status, _headers, _doc = _request(
+                conn, "POST", "/predict", {"rows": _wire_rows(X[:1])}
+            )
+            assert status == 200
+            conn.close()
+        with pytest.raises(OSError):
+            conn = http.client.HTTPConnection("127.0.0.1", port)
+            conn.request("POST", "/predict", body="{}")
+            conn.getresponse()
+
+
+class TestProtocolErrors:
+    @pytest.fixture(scope="class")
+    def handle(self, registry):
+        server = ScoringServer(
+            registry,
+            "reg",
+            jobs=1,
+            flush_interval=0.0,
+            max_batch=8,
+            poll_interval=0,
+        )
+        with ServerThread(server) as handle:
+            yield handle
+
+    @pytest.fixture()
+    def conn(self, handle):
+        conn = http.client.HTTPConnection("127.0.0.1", handle.port)
+        yield conn
+        conn.close()
+
+    def test_healthz(self, conn):
+        status, _headers, doc = _request(conn, "GET", "/healthz")
+        assert status == 200
+        assert doc["status"] == "ok"
+        assert doc["version"].startswith("reg@")
+
+    def test_unknown_path_is_404(self, conn):
+        status, _headers, doc = _request(conn, "GET", "/nope")
+        assert status == 404
+        assert "error" in doc
+
+    def test_wrong_method_is_405(self, conn):
+        for method, path in [
+            ("GET", "/predict"),
+            ("GET", "/explain"),
+            ("POST", "/metrics"),
+            ("POST", "/healthz"),
+        ]:
+            status, _headers, doc = _request(conn, method, path)
+            assert status == 405, (method, path)
+
+    def test_malformed_bodies_are_400(self, conn):
+        for payload in [
+            ["not", "an", "object"],
+            {},
+            {"row": [1.0] * 6, "rows": [[1.0] * 6]},
+            {"rows": [[1.0] * 5]},  # wrong width
+            {"rows": [["x"] * 6]},  # non-numeric
+            {"rows": [[True] * 6]},  # booleans are not numbers here
+            {"rows": "nope"},
+        ]:
+            status, _headers, doc = _request(conn, "POST", "/predict", payload)
+            assert status == 400, payload
+            assert "error" in doc
+
+    def test_bad_json_is_400(self, conn):
+        conn.request("POST", "/predict", body="{not json")
+        response = conn.getresponse()
+        doc = json.loads(response.read())
+        assert response.status == 400
+        assert "error" in doc
+
+    def test_oversized_post_is_413(self, conn, cohort):
+        X, _y = cohort
+        status, _headers, doc = _request(
+            conn, "POST", "/predict", {"rows": _wire_rows(X[:9])}
+        )
+        assert status == 413
+        assert "at most 8 rows" in doc["error"]
+
+    def test_empty_rows_answer_empty(self, conn):
+        status, _headers, doc = _request(
+            conn, "POST", "/predict", {"rows": []}
+        )
+        assert status == 200
+        assert doc["results"] == []
+
+
+class TestMetrics:
+    def test_metrics_schema_and_counters(self, registry, cohort):
+        X, _y = cohort
+        server = ScoringServer(
+            registry, "reg", jobs=2, flush_interval=0.001, poll_interval=0
+        )
+        with ServerThread(server) as handle:
+            conn = http.client.HTTPConnection("127.0.0.1", handle.port)
+            for _pass in range(2):  # second pass is cache-hot
+                for lo in range(0, 12, 4):
+                    status, _headers, _doc = _request(
+                        conn,
+                        "POST",
+                        "/predict",
+                        {"rows": _wire_rows(X[lo : lo + 4])},
+                    )
+                    assert status == 200
+            status, _headers, metrics = _request(conn, "GET", "/metrics")
+            conn.close()
+        assert status == 200
+        # The bench.json entry schema, plus the serving extras.
+        assert metrics["name"] == "serve_http"
+        assert metrics["seconds"] > 0
+        assert metrics["speedup"] is None
+        assert metrics["config"]["jobs"] == 2
+        assert set(metrics["latency_ms"]) == {"p50", "p95", "p99"}
+        assert (
+            metrics["latency_ms"]["p50"]
+            <= metrics["latency_ms"]["p95"]
+            <= metrics["latency_ms"]["p99"]
+        )
+        assert metrics["throughput_rps"] > 0
+        assert metrics["requests"]["posts"] == 6
+        assert metrics["requests"]["rows"] == 24
+        assert metrics["requests"]["micro_batches"] == 6
+        assert metrics["requests"]["errors"] == 0
+        assert metrics["queue"] == {
+            "depth": 0,
+            "rows": 0,
+            "max": 256,
+            "rejected": 0,
+        }
+        assert metrics["shards"]["workers"] == 2
+        assert 1 <= metrics["shards"]["workers_alive"] <= 2
+        assert sum(metrics["shards"]["rows"].values()) == 24
+        # Pass two re-scored the pass-one working set: hits observed.
+        assert metrics["cache"]["hits"] > 0
+        assert 0 < metrics["cache"]["hit_rate"] < 1
+        assert metrics["model"]["version"].startswith("reg@")
+        assert metrics["model"]["swaps"] == 0
