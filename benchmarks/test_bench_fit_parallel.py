@@ -1,0 +1,103 @@
+"""PERF bench — intra-fit histogram parallelism (``fit_parallel``).
+
+One histogram-dominated fit, serial vs ``n_jobs=4``: the parallel fit
+must be **bitwise identical** to the serial one (asserted always, on
+every machine), and at least 1.5x faster on hardware with more than
+two cores (the floor is meaningless on the 1-2 core CI runners, where
+feature-block sharding has nothing to shard onto).
+
+The recorded entry also carries ``hist_seconds`` — wall time spent
+inside ``TreeGrower._histograms_batch`` during the serial fit — so the
+histogram share of fit time is tracked across PRs.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import record_bench, timed
+from repro.boosting import GBRegressor
+from repro.boosting.grower import TreeGrower
+
+ROWS, FEATURES, TREES, DEPTH = 12_000, 48, 25, 6
+
+
+@pytest.fixture(scope="module")
+def train_data():
+    rng = np.random.default_rng(42)
+    X = rng.normal(size=(ROWS, FEATURES))
+    X[rng.random(X.shape) < 0.05] = np.nan
+    y = (
+        2.0 * np.nan_to_num(X[:, 0])
+        + np.sin(3.0 * np.nan_to_num(X[:, 1]))
+        + 0.5 * np.nan_to_num(X[:, 2]) * np.nan_to_num(X[:, 3])
+    )
+    return X, y
+
+
+def _fit(X, y, jobs):
+    model = GBRegressor(
+        n_estimators=TREES, max_depth=DEPTH, subsample=0.9, n_jobs=jobs
+    )
+    return model.fit(X, y)
+
+
+def test_bench_fit_parallel(benchmark, train_data, results_dir, monkeypatch):
+    X, y = train_data
+
+    # Histogram share of the serial fit, measured around the exact
+    # seam the pool parallelises (the grower stays lint-clean: the
+    # clock lives here in the bench, not in src).
+    hist_time = [0.0]
+    orig = TreeGrower._histograms_batch
+
+    def timed_batch(self, *args, **kwargs):
+        start = time.perf_counter()
+        out = orig(self, *args, **kwargs)
+        hist_time[0] += time.perf_counter() - start
+        return out
+
+    monkeypatch.setattr(TreeGrower, "_histograms_batch", timed_batch)
+    serial_fn = timed(lambda: _fit(X, y, jobs=1))
+    serial = serial_fn()
+    monkeypatch.setattr(TreeGrower, "_histograms_batch", orig)
+
+    parallel_fn = timed(lambda: _fit(X, y, jobs=4))
+    parallel = benchmark.pedantic(parallel_fn, rounds=1, iterations=1)
+
+    # Equivalence is the contract, asserted on every machine.
+    assert len(serial.ensemble_.trees) == len(parallel.ensemble_.trees)
+    for ts, tp in zip(serial.ensemble_.trees, parallel.ensemble_.trees):
+        assert np.array_equal(ts.feature, tp.feature)
+        assert np.array_equal(ts.threshold, tp.threshold, equal_nan=True)
+        assert np.array_equal(ts.value, tp.value)
+        assert np.array_equal(ts.cover, tp.cover)
+    assert np.array_equal(serial.predict(X[:500]), parallel.predict(X[:500]))
+
+    serial_s = min(serial_fn.times)
+    parallel_s = min(parallel_fn.times)
+    speedup = serial_s / parallel_s
+    record_bench(
+        results_dir,
+        "fit_parallel",
+        parallel_s,
+        speedup=speedup,
+        hist_seconds=hist_time[0],
+        config={
+            "rows": ROWS,
+            "features": FEATURES,
+            "trees": TREES,
+            "max_depth": DEPTH,
+            "jobs": 4,
+            "serial_seconds": round(serial_s, 4),
+            "cpus": os.cpu_count(),
+        },
+    )
+    if (os.cpu_count() or 1) > 2:
+        assert speedup >= 1.5, (
+            f"parallel fit only {speedup:.2f}x faster than serial "
+            f"({parallel_s:.2f}s vs {serial_s:.2f}s) on "
+            f"{os.cpu_count()} cores"
+        )

@@ -16,6 +16,7 @@ Experiments: fig1, fig4, table1, fig5, fig6, fig7, qa, abl1, abl2, abl3, all.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -100,9 +101,10 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="N",
-        help="worker processes for the experiment grid (default: the "
-        "REPRO_JOBS environment variable, else serial; 0 or -1 = one "
-        "per CPU).  Results are identical on every backend.",
+        help="worker processes for the experiment grid and for the "
+        "intra-fit histogram pool (default: the REPRO_JOBS environment "
+        "variable, else serial; 0 or -1 = one per CPU).  Results are "
+        "identical on every backend.",
     )
     return parser
 
@@ -126,6 +128,12 @@ def main(argv: list[str] | None = None) -> int:
         except OSError as exc:
             print(f"error: cannot create --out {args.out}: {exc}", file=sys.stderr)
             return 2
+    if args.jobs is not None:
+        # Propagate to resolve_jobs() consumers beyond the grid — the
+        # intra-fit HistogramPool reads REPRO_JOBS when GBConfig.n_jobs
+        # is unset.  Grid workers still fit serially: resolve_jobs()
+        # returns 1 inside pool workers (nested-pool suppression).
+        os.environ["REPRO_JOBS"] = str(args.jobs)
     ctx = ExperimentContext(
         seed=args.seed,
         n_folds=2 if args.small else 3,

@@ -95,9 +95,13 @@ class BinMapper:
             out[:, f] = codes
         return out
 
-    def fit_transform(self, X: np.ndarray) -> np.ndarray:
-        """``fit`` then ``transform`` on the same matrix."""
-        return self.fit(X).transform(X)
+    def fit_transform(self, X: np.ndarray, order: str = "C") -> np.ndarray:
+        """``fit`` then ``transform`` on the same matrix.
+
+        ``order`` is forwarded to :meth:`transform` ("F" for training,
+        "C" for prediction — the sklearn hist-GBM layout split).
+        """
+        return self.fit(X).transform(X, order=order)
 
     def threshold_value(self, feature: int, bin_index: int) -> float:
         """Raw-value threshold equivalent to splitting after ``bin_index``.

@@ -28,6 +28,8 @@ from repro.boosting.dag import CompactEnsemble
 from repro.boosting.grower import TreeGrower
 from repro.boosting.losses import LogisticLoss, Loss, SquaredErrorLoss
 from repro.boosting.tree import TreeEnsemble
+from repro.parallel.executor import resolve_jobs
+from repro.parallel.hist import HistogramPool
 
 __all__ = ["GBRegressor", "GBClassifier"]
 
@@ -98,7 +100,17 @@ class _BaseGB:
         mapper = BinMapper(max_bins=cfg.max_bins).fit(X)
         self.mapper_ = mapper
         binned = mapper.transform(X, order="F")
-        grower = TreeGrower(binned, mapper, cfg)
+        # sklearn-style layout split: the grower scans columns of the
+        # F-ordered matrix; histogram workers and the pool share it via
+        # shm.  Serial fits (the default) never touch the pool.
+        jobs = resolve_jobs(cfg.n_jobs)
+        hist_pool: HistogramPool | None = None
+        if jobs > 1 and X.shape[1] > 1:
+            hist_pool = HistogramPool(binned, mapper.missing_bin, n_jobs=jobs)
+            if hist_pool.jobs <= 1:  # degenerate split, not worth the hops
+                hist_pool.close()
+                hist_pool = None
+        grower = TreeGrower(binned, mapper, cfg, hist_pool=hist_pool)
         rng = np.random.default_rng(cfg.random_state)
 
         base = self._loss.base_score(y)
@@ -118,42 +130,50 @@ class _BaseGB:
         n = X.shape[0]
         d = X.shape[1]
         leaf_buf = np.empty(n, dtype=np.int64)
-        for round_idx in range(cfg.n_estimators):
-            grad, hess = self._loss.gradient_hessian(raw, y)
-            if cfg.subsample < 1.0:
-                take = max(1, int(round(cfg.subsample * n)))
-                rows = rng.choice(n, size=take, replace=False)
-                rows.sort()
-            else:
-                rows = np.arange(n)
-            if cfg.colsample_bytree < 1.0:
-                take_f = max(1, int(round(cfg.colsample_bytree * d)))
-                chosen = rng.choice(d, size=take_f, replace=False)
-                feature_mask = np.zeros(d, dtype=bool)
-                feature_mask[chosen] = True
-            else:
-                feature_mask = np.ones(d, dtype=bool)
+        try:
+            for round_idx in range(cfg.n_estimators):
+                grad, hess = self._loss.gradient_hessian(raw, y)
+                if cfg.subsample < 1.0:
+                    take = max(1, int(round(cfg.subsample * n)))
+                    rows = rng.choice(n, size=take, replace=False)
+                    rows.sort()
+                else:
+                    rows = np.arange(n)
+                if cfg.colsample_bytree < 1.0:
+                    take_f = max(1, int(round(cfg.colsample_bytree * d)))
+                    chosen = rng.choice(d, size=take_f, replace=False)
+                    feature_mask = np.zeros(d, dtype=bool)
+                    feature_mask[chosen] = True
+                else:
+                    feature_mask = np.ones(d, dtype=bool)
 
-            tree = grower.grow(grad, hess, rows, feature_mask, leaf_out=leaf_buf)
-            ensemble.trees.append(tree)
-            raw[rows] += tree.value[leaf_buf[rows]]
-            if rows.size < n:
-                oob = np.ones(n, dtype=bool)
-                oob[rows] = False
-                raw[oob] += tree.predict_binned(binned[oob], mapper.missing_bin)
+                tree = grower.grow(
+                    grad, hess, rows, feature_mask, leaf_out=leaf_buf
+                )
+                ensemble.trees.append(tree)
+                raw[rows] += tree.value[leaf_buf[rows]]
+                if rows.size < n:
+                    oob = np.ones(n, dtype=bool)
+                    oob[rows] = False
+                    raw[oob] += tree.predict_binned(
+                        binned[oob], mapper.missing_bin
+                    )
 
-            if has_eval:
-                raw_val += tree.predict_binned(binned_val, mapper.missing_bin)
-                val_loss = self._loss.loss(raw_val, y_val)
-                self.eval_history_.append(val_loss)
-                if val_loss < best_loss - 1e-12:
-                    best_loss = val_loss
-                    best_iter = round_idx + 1
-                elif (
-                    cfg.early_stopping_rounds > 0
-                    and round_idx + 1 - best_iter >= cfg.early_stopping_rounds
-                ):
-                    break
+                if has_eval:
+                    raw_val += tree.predict_binned(binned_val, mapper.missing_bin)
+                    val_loss = self._loss.loss(raw_val, y_val)
+                    self.eval_history_.append(val_loss)
+                    if val_loss < best_loss - 1e-12:
+                        best_loss = val_loss
+                        best_iter = round_idx + 1
+                    elif (
+                        cfg.early_stopping_rounds > 0
+                        and round_idx + 1 - best_iter >= cfg.early_stopping_rounds
+                    ):
+                        break
+        finally:
+            if hist_pool is not None:
+                hist_pool.close()
 
         if has_eval and cfg.early_stopping_rounds > 0 and best_iter > 0:
             ensemble.trees = ensemble.trees[:best_iter]
@@ -199,7 +219,10 @@ class _BaseGB:
                 "estimator has no fitted BinMapper (mapper_); models "
                 "restored from format-v1 documents must use predict()"
             )
-        binned = np.asarray(binned)
+        # Predict walks rows, so hand the traversal a C-contiguous view
+        # even when the caller passes the F-ordered training matrix
+        # (sklearn's layout split: F for training, C for predict).
+        binned = np.ascontiguousarray(binned)
         if binned.ndim != 2 or binned.shape[1] != self.n_features_:
             raise ValueError(
                 f"expected shape (n, {self.n_features_}), got {binned.shape}"

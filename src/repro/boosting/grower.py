@@ -95,6 +95,13 @@ class TreeGrower:
         ``parent - child``; when False every node accumulates its
         histograms from scratch.  The flag exists so equivalence tests
         can prove both paths grow identical trees.
+    hist_pool:
+        Optional :class:`repro.parallel.hist.HistogramPool` built over
+        the *same* binned matrix.  When given, each level's histogram
+        accumulation is batched into one wave and sharded across the
+        pool's feature-block workers; every (feature, bin) cell is
+        still one ``np.bincount`` in identical row order, so the grown
+        tree is bitwise identical to the serial path.
     """
 
     def __init__(
@@ -103,6 +110,7 @@ class TreeGrower:
         mapper: BinMapper,
         config: GBConfig,
         use_subtraction: bool = True,
+        hist_pool=None,
     ):
         if binned.dtype != np.uint8:
             raise TypeError("binned matrix must be uint8")
@@ -119,6 +127,21 @@ class TreeGrower:
         # wins despite its O(rows x features) temporaries (which stay
         # tiny at this size).
         self._flat_rows_max = 1024
+        self._hist_pool = hist_pool
+        if hist_pool is not None:
+            if hist_pool.stride != self._stride:
+                raise ValueError(
+                    f"hist_pool stride {hist_pool.stride} does not match "
+                    f"the mapper's {self._stride}"
+                )
+            if hist_pool.binned.shape != self.binned.shape:
+                raise ValueError(
+                    "hist_pool was built over a differently shaped matrix"
+                )
+            # Both sides must pick the flat/per-feature path at the
+            # same node size (any choice is bitwise-identical, but the
+            # masked cells of the flat path differ structurally).
+            self._flat_rows_max = hist_pool.flat_rows_max
         self._col_offsets = (
             np.arange(self.n_features, dtype=np.int64) * self._stride
         )
@@ -204,6 +227,11 @@ class TreeGrower:
         root = new_node(h_root)
         level = [_NodeTask(root, rows, 0, g_root, h_root)]
 
+        if self._hist_pool is not None:
+            self._hist_pool.begin_round(
+                grad, hess, feature_mask, self._n_channels
+            )
+
         constraints = cfg.monotone_constraints
         while level:
             # Level-synchronous growth: the candidate scan for every
@@ -213,11 +241,20 @@ class TreeGrower:
             scannable = []
             for task in level:
                 if task.depth < cfg.max_depth and len(task.rows) >= 2:
-                    if task.hist is None:
-                        task.hist = self._histograms(
-                            task.rows, grad, hess, active_features
-                        )
                     scannable.append(task)
+            # All of a level's missing histograms accumulate as one
+            # wave (sharded across the pool's feature blocks when one
+            # is attached; a plain loop otherwise).
+            pending = [task for task in scannable if task.hist is None]
+            if pending:
+                hists = self._histograms_batch(
+                    [task.rows for task in pending],
+                    grad,
+                    hess,
+                    active_features,
+                )
+                for task, hist in zip(pending, hists):
+                    task.hist = hist
             splits = (
                 self._best_splits(scannable, feature_mask, mask_all)
                 if scannable
@@ -226,6 +263,9 @@ class TreeGrower:
             split_of = {id(t): s for t, s in zip(scannable, splits)}
 
             next_level = []
+            #: (parent task, smaller child, bigger child) triples whose
+            #: child histograms derive from the parent after the batch.
+            derive: list[tuple[_NodeTask, _NodeTask, _NodeTask]] = []
             for task in level:
                 split = split_of.get(id(task))
                 if split is None:
@@ -291,18 +331,34 @@ class TreeGrower:
                 )
                 if self.use_subtraction and task.depth + 1 < cfg.max_depth:
                     # Children will be scanned: accumulate only the
-                    # smaller one, derive its sibling as parent - child
-                    # (in place: the parent's histograms are not needed
-                    # any more).
+                    # smaller one (batched with its level siblings
+                    # below), derive the bigger as parent - child.
                     small, big = (
                         (left_task, right_task)
                         if len(left_rows) <= len(right_rows)
                         else (right_task, left_task)
                     )
-                    small.hist = self._histograms(
-                        small.rows, grad, hess, active_features
-                    )
-                    big_hist = np.subtract(task.hist, small.hist, out=task.hist)
+                    derive.append((task, small, big))
+                else:
+                    task.hist = None
+
+                next_level.append(left_task)
+                next_level.append(right_task)
+
+            if derive:
+                # One wave accumulates every split's smaller child;
+                # each sibling is then derived as parent - child (in
+                # place: the parent's histograms are not needed any
+                # more).
+                small_hists = self._histograms_batch(
+                    [small.rows for _, small, _ in derive],
+                    grad,
+                    hess,
+                    active_features,
+                )
+                for (task, small, big), small_hist in zip(derive, small_hists):
+                    small.hist = small_hist
+                    big_hist = np.subtract(task.hist, small_hist, out=task.hist)
                     # Counts are integers stored in float64, so their
                     # subtraction is exact; scrub the last-ulp residue
                     # the float channels accumulate in bins that are
@@ -315,10 +371,7 @@ class TreeGrower:
                     for channel in big_hist[:-1]:
                         np.copyto(channel, 0.0, where=empty)
                     big.hist = big_hist
-                task.hist = None
-
-                next_level.append(left_task)
-                next_level.append(right_task)
+                    task.hist = None
             level = next_level
 
         return Tree(
@@ -345,6 +398,29 @@ class TreeGrower:
         cfg = self.config
         newton = _clip(-g / (h + cfg.reg_lambda), lower, upper)
         return cfg.learning_rate * newton
+
+    def _histograms_batch(
+        self,
+        rows_list: list[np.ndarray],
+        grad: np.ndarray,
+        hess: np.ndarray,
+        active_features: np.ndarray,
+    ) -> list[np.ndarray]:
+        """Histograms for a wave of nodes (one list entry per node).
+
+        With an attached :class:`~repro.parallel.hist.HistogramPool`
+        the whole wave is dispatched at once and sharded by feature
+        block; otherwise nodes accumulate in-process, in order.  Both
+        paths produce bitwise-identical arrays (each (feature, bin)
+        cell is one ``np.bincount`` in identical row order), so the
+        grown tree does not depend on the worker count.
+        """
+        if self._hist_pool is not None:
+            return self._hist_pool.accumulate(rows_list)
+        return [
+            self._histograms(rows, grad, hess, active_features)
+            for rows in rows_list
+        ]
 
     def _histograms(
         self,
@@ -391,14 +467,21 @@ class TreeGrower:
                 ).ravel()
             size = d * stride
             hist = np.empty((nch, d, stride), dtype=np.float64)
+            # The repeated per-row weights reuse one scratch buffer
+            # (broadcast-assign + ravel view) instead of a fresh
+            # O(rows x d) np.repeat allocation per call; the weight
+            # values are identical, so the bincounts are too.
+            rep = self._scratch_buf("flat_rep", (rows.size, d))
+            rep[:] = g_rows[:, None]
             hist[0] = np.bincount(
-                flat, weights=np.repeat(g_rows, d), minlength=size
+                flat, weights=rep.ravel(), minlength=size
             ).reshape(d, stride)
             if unit_hess:
                 hist[1] = np.bincount(flat, minlength=size).reshape(d, stride)
             else:
+                rep[:] = hess[rows][:, None]
                 hist[1] = np.bincount(
-                    flat, weights=np.repeat(hess[rows], d), minlength=size
+                    flat, weights=rep.ravel(), minlength=size
                 ).reshape(d, stride)
                 hist[2] = np.bincount(flat, minlength=size).reshape(d, stride)
             return hist
@@ -518,6 +601,16 @@ class TreeGrower:
         vtmp = self._scratch_buf("vtmp", (k, d, n_bins), dtype=bool)
         lam_s = dt(lam)
         mcw_s = dt(mcw)
+        # Loop-invariant operands: the lambda/min-child-weight-shifted
+        # node totals and the per-task constraint bound columns do not
+        # depend on the missing-direction layer, so materialise them
+        # once per call instead of once per layer.
+        ht_lam = h_tot + lam_s
+        ht_mcw = h_tot - mcw_s if mcw > 0 else None
+        if cfg.monotone_constraints is not None:
+            cons = np.asarray(cfg.monotone_constraints, dtype=dt)[None, :, None]
+            lower = np.array([t.lower for t in tasks], dtype=dt)[:, None, None]
+            upper = np.array([t.upper for t in tasks], dtype=dt)[:, None, None]
 
         for layer in range(n_layers):
             if layer == 0:

@@ -9,6 +9,11 @@ handoff.
 
 Worker-count selection: explicit ``n_jobs`` arguments beat the
 ``REPRO_JOBS`` environment variable; the default is serial.
+
+:mod:`repro.parallel.hist` extends the same machinery *inside* a
+single fit: a persistent pool shards per-level histogram accumulation
+across contiguous feature blocks, bitwise-identical to the serial
+grower.
 """
 
 from repro.parallel.executor import (
@@ -17,10 +22,12 @@ from repro.parallel.executor import (
     parallel_map,
     resolve_jobs,
 )
+from repro.parallel.hist import HistogramPool
 from repro.parallel.shared import pack_samples, unpack_samples
 
 __all__ = [
     "ShardedPool",
+    "HistogramPool",
     "in_worker",
     "parallel_map",
     "resolve_jobs",

@@ -1,0 +1,533 @@
+"""Intra-fit parallel histogram accumulation (feature-block sharding).
+
+The tree grower's per-level candidate scan is dominated by building the
+``(n_channels, n_features, stride)`` gradient/hessian histograms of
+every scannable node.  :class:`HistogramPool` parallelises that build
+*inside a single fit* without changing a single bit of the result:
+
+* Features are partitioned once into contiguous blocks, one per worker.
+  Block ownership is **fixed for the life of the pool**, so every
+  (feature, bin) cell is always accumulated by the same worker.
+* The F-contiguous binned matrix is exported to POSIX shared memory
+  once per fit; the round's gradient/hessian arrays are written into a
+  pre-created shared buffer once per boosting round
+  (:meth:`HistogramPool.begin_round`).  Long-lived fork workers map all
+  segments read-only at startup — nothing large is ever pickled.
+* The grower batches all nodes of a tree level into one *wave*
+  (:meth:`HistogramPool.accumulate`): the concatenated row indices are
+  written to a shared scratch buffer, each worker bincounts its feature
+  block for every node of the wave into its disjoint slice of a shared
+  output buffer, and the parent copies the assembled histograms out.
+
+Bitwise determinism
+-------------------
+Each (feature, bin) cell is one ``np.bincount`` over the node's rows in
+ascending row order — exactly the serial grower's accumulation — and
+float64 throughout.  Sharding only decides *which process* runs a
+cell's bincount, never the order of the additions inside it, so the
+assembled histograms are bitwise identical to the serial path for any
+worker count (asserted end-to-end in
+``tests/boosting/test_parallel_fit.py``).
+
+Robustness mirrors :mod:`repro.parallel.executor`: ``n_jobs <= 1``
+degrades to in-process accumulation; when fork is unavailable (spawn
+platforms, multithreaded parents) a thread backend operates directly on
+the parent's arrays; a worker dying mid-fit permanently routes its
+feature block to in-process recompute — slower, never different.
+Inside an executor worker :func:`~repro.parallel.executor.resolve_jobs`
+answers 1, so grid-parallel experiment runs never nest a second-level
+histogram pool.
+"""
+# repro: scope[row-deterministic]
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from multiprocessing import connection as mp_connection
+from multiprocessing import get_context, shared_memory
+
+import numpy as np
+
+from repro.parallel.executor import _start_method, resolve_jobs
+
+__all__ = ["HistogramPool"]
+
+#: The output buffer always reserves three channels (grad, hess, count)
+#: even for unit-hessian rounds that use only two.
+_MAX_CHANNELS = 3
+
+#: Capacity ceiling of the shared output buffer; waves with more nodes
+#: than fit are transparently chunked.
+_OUT_CAP_BYTES = 32 << 20
+
+#: Default small-node threshold below which the flat offset-codes
+#: bincount replaces the per-feature loop (kept in sync with the
+#: grower via ``HistogramPool.flat_rows_max``).
+_FLAT_ROWS_MAX = 1024
+
+
+def _feature_blocks(n_features: int, jobs: int) -> list[tuple[int, int]]:
+    """Contiguous ``[f0, f1)`` blocks, balanced to within one feature."""
+    jobs = max(1, min(jobs, n_features))
+    base, extra = divmod(n_features, jobs)
+    blocks: list[tuple[int, int]] = []
+    start = 0
+    for w in range(jobs):
+        stop = start + base + (1 if w < extra else 0)
+        blocks.append((start, stop))
+        start = stop
+    return blocks
+
+
+def _accumulate_block(
+    binned: np.ndarray,
+    grad: np.ndarray,
+    hess: np.ndarray,
+    rows: np.ndarray,
+    hist: np.ndarray,
+    f0: int,
+    f1: int,
+    mask: np.ndarray | None,
+    flat_rows_max: int,
+) -> None:
+    """Fill ``hist[:, f0:f1, :]`` with one node's per-(feature, bin) sums.
+
+    This is the serial grower's accumulation restricted to one feature
+    block: every (feature, bin) cell is a single ``np.bincount`` over
+    ``rows`` in ascending row order, so the result is independent of
+    how features are partitioned across workers.  Small nodes use the
+    flat offset-codes bincount (which, like the serial flat path, also
+    fills features excluded by ``mask`` — harmless, every consumer is
+    mask-guarded); large nodes accumulate one masked-in feature at a
+    time, leaving masked-out features at exact zero.
+    """
+    nch = hist.shape[0]
+    stride = hist.shape[2]
+    unit_hess = nch == 2
+    block = hist[:, f0:f1, :]
+    g_rows = grad[rows]
+    if rows.size <= flat_rows_max:
+        d_block = f1 - f0
+        offsets = np.arange(d_block, dtype=np.int64) * stride
+        flat = (binned[rows, f0:f1].astype(np.int64) + offsets).ravel()
+        size = d_block * stride
+        block[0] = np.bincount(
+            flat, weights=np.repeat(g_rows, d_block), minlength=size
+        ).reshape(d_block, stride)
+        if unit_hess:
+            block[1] = np.bincount(flat, minlength=size).reshape(d_block, stride)
+        else:
+            block[1] = np.bincount(
+                flat, weights=np.repeat(hess[rows], d_block), minlength=size
+            ).reshape(d_block, stride)
+            block[2] = np.bincount(flat, minlength=size).reshape(d_block, stride)
+        return
+    block[...] = 0.0
+    h_rows = None if unit_hess else hess[rows]
+    if mask is None:
+        features = range(f0, f1)
+    else:
+        features = np.flatnonzero(mask[f0:f1]) + f0
+    for f in features:
+        codes = binned[:, f][rows]
+        local = f - f0
+        block[0, local] = np.bincount(codes, weights=g_rows, minlength=stride)
+        if unit_hess:
+            block[1, local] = np.bincount(codes, minlength=stride)
+        else:
+            block[1, local] = np.bincount(codes, weights=h_rows, minlength=stride)
+            block[2, local] = np.bincount(codes, minlength=stride)
+
+
+def _hist_worker_loop(conn, specs, block, flat_rows_max) -> None:
+    """One feature-block worker: map the segments once, serve waves.
+
+    A wave message is ``(bounds, nch, mask)``: per-node ``(start,
+    stop)`` extents into the shared row buffer, the channel count and
+    the round's feature mask (``None`` = all features active).  The
+    worker writes node ``i``'s block slice into ``out[i, :nch, f0:f1]``
+    and acknowledges; output slices of distinct workers are disjoint,
+    so no synchronisation beyond the ack is needed.
+    """
+    segments = []
+    arrays = {}
+    for name, (shm_name, shape, dtype) in specs.items():
+        segment = shared_memory.SharedMemory(name=shm_name)
+        segments.append(segment)  # keep mapped for the worker's lifetime
+        arrays[name] = np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf)
+    binned = arrays["binned"].T  # (n, d), F-contiguous view
+    gh = arrays["gh"]
+    rows_buf = arrays["rows"]
+    out = arrays["out"]
+    f0, f1 = block
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):  # parent went away
+            break
+        if message is None:
+            break
+        bounds, nch, mask = message
+        try:
+            for slot, (start, stop) in enumerate(bounds):
+                _accumulate_block(
+                    binned,
+                    gh[0],
+                    gh[1],
+                    rows_buf[start:stop],
+                    out[slot, :nch],
+                    f0,
+                    f1,
+                    mask,
+                    flat_rows_max,
+                )
+        except BaseException as exc:  # ship the failure, keep serving
+            try:
+                conn.send(("error", exc))
+            except Exception:  # unpicklable exception: die loudly
+                raise exc from None
+        else:
+            conn.send(("ok", None))
+    conn.close()
+
+
+class HistogramPool:
+    """Persistent feature-block workers for one fit's histogram waves.
+
+    Parameters
+    ----------
+    binned:
+        ``(n_samples, n_features)`` uint8 bin codes (made F-contiguous,
+        matching the grower's training layout).
+    missing_bin:
+        The mapper's missing-value bin code; ``stride = missing_bin + 1``
+        is the per-feature histogram width.
+    n_jobs:
+        Worker count (:func:`~repro.parallel.executor.resolve_jobs`
+        convention: argument over ``REPRO_JOBS`` over serial; capped at
+        ``n_features``).
+    backend:
+        ``"auto"`` (fork processes when safe, else threads),
+        ``"process"``, ``"thread"`` or ``"serial"`` — the explicit
+        values exist for tests.
+
+    Lifecycle: construct once per fit, call :meth:`begin_round` once
+    per boosting round, :meth:`accumulate` once per node wave, and
+    :meth:`close` in a ``finally`` — it shuts workers down and unlinks
+    every shared segment (idempotent; also runs on ``with`` exit).
+    """
+
+    def __init__(
+        self,
+        binned: np.ndarray,
+        missing_bin: int,
+        *,
+        n_jobs: int | None = None,
+        backend: str = "auto",
+        flat_rows_max: int = _FLAT_ROWS_MAX,
+        out_slots: int | None = None,
+    ):
+        if binned.dtype != np.uint8:
+            raise TypeError("binned matrix must be uint8")
+        if backend not in ("auto", "process", "thread", "serial"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.binned = (
+            binned if binned.flags.f_contiguous else np.asfortranarray(binned)
+        )
+        self.stride = missing_bin + 1
+        self.flat_rows_max = flat_rows_max
+        n, d = self.binned.shape
+        self._n = n
+        self._d = d
+        self.jobs = max(1, min(resolve_jobs(n_jobs), d))
+        self._blocks = _feature_blocks(d, self.jobs)
+        if out_slots is None:
+            cell_bytes = _MAX_CHANNELS * d * self.stride * 8
+            out_slots = max(1, _OUT_CAP_BYTES // max(cell_bytes, 1))
+        self._slots = max(1, int(out_slots))
+        # Per-round state (set by begin_round).
+        self._nch = _MAX_CHANNELS
+        self._mask: np.ndarray | None = None
+        self._grad: np.ndarray | None = None
+        self._hess: np.ndarray | None = None
+        # Backend state.
+        self.mode = "serial"
+        self._closed = False
+        self._dead: set[int] = set()
+        self._procs: list = []
+        self._conns: list = []
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._specs: dict[str, tuple[str, tuple[int, ...], str]] = {}
+        self._executor: ThreadPoolExecutor | None = None
+        self._out_local: np.ndarray | None = None
+        if self.jobs <= 1 or n == 0 or backend == "serial":
+            return
+        if backend == "auto":
+            backend = "process" if _start_method() == "fork" else "thread"
+        if backend == "process":
+            if not self._start_processes():
+                backend = "thread"  # no usable shared memory / no fork
+        if backend == "thread":
+            self._executor = ThreadPoolExecutor(max_workers=self.jobs)
+            self._out_local = np.empty(
+                (self._slots, _MAX_CHANNELS, d, self.stride), dtype=np.float64
+            )
+            self.mode = "thread"
+
+    # ------------------------------------------------------------------
+    @property
+    def workers_alive(self) -> int:
+        """Workers still accumulating remotely (1 for thread/serial)."""
+        if self._closed:
+            return 0
+        if self.mode != "process":
+            return 1
+        return self.jobs - len(self._dead)
+
+    def __enter__(self) -> "HistogramPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _create(self, name: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """One named shared segment + the parent's writable view of it."""
+        nbytes = max(1, int(np.prod(shape)) * np.dtype(dtype).itemsize)
+        # repro: allow[REP003] -- pool-owned segments: close() unlinks them all, and every consumer wraps the pool in try/finally (gbm.fit) or a with block
+        segment = shared_memory.SharedMemory(create=True, size=nbytes)
+        self._segments.append(segment)
+        self._specs[name] = (segment.name, shape, str(np.dtype(dtype)))
+        return np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf)
+
+    def _start_processes(self) -> bool:
+        """Export the segments and fork the block workers."""
+        if _start_method() != "fork":
+            return False
+        n, d = self._n, self._d
+        try:
+            self._gh = self._create("gh", (2, n), np.float64)
+            self._rows_buf = self._create("rows", (n,), np.int64)
+            self._out = self._create(
+                "out", (self._slots, _MAX_CHANNELS, d, self.stride), np.float64
+            )
+            shared_binned = self._create("binned", (d, n), np.uint8)
+        except OSError:
+            self._release_segments()
+            return False
+        shared_binned[:] = self.binned.T  # F-order payload, copied once
+        context = get_context("fork")
+        try:
+            for block in self._blocks:
+                parent_conn, child_conn = context.Pipe(duplex=True)
+                proc = context.Process(
+                    target=_hist_worker_loop,
+                    args=(child_conn, self._specs, block, self.flat_rows_max),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._procs.append(proc)
+                self._conns.append(parent_conn)
+        except OSError:
+            self.close()
+            self._closed = False
+            self._procs = []
+            self._conns = []
+            return False
+        self.mode = "process"
+        return True
+
+    # ------------------------------------------------------------------
+    def begin_round(
+        self,
+        grad: np.ndarray,
+        hess: np.ndarray,
+        feature_mask: np.ndarray,
+        n_channels: int,
+    ) -> None:
+        """Publish one boosting round's gradients to the workers.
+
+        Writes the round's gradient/hessian arrays into the shared
+        buffer (all workers are idle between waves, so the write cannot
+        race a read) and records the round's column mask and channel
+        count for the waves that follow.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        self._nch = int(n_channels)
+        self._mask = (
+            None
+            if bool(feature_mask.all())
+            else np.ascontiguousarray(feature_mask, dtype=bool)
+        )
+        self._grad = grad
+        self._hess = hess
+        if self.mode == "process":
+            self._gh[0] = grad
+            self._gh[1] = hess
+
+    def accumulate(self, rows_list: list[np.ndarray]) -> list[np.ndarray]:
+        """Histograms for one wave of nodes, in input order.
+
+        Each entry of ``rows_list`` is one node's (sorted, disjoint)
+        row indices; the return value is one float64
+        ``(n_channels, n_features, stride)`` array per node, bitwise
+        identical to the serial grower's ``_histograms`` output.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        if self._grad is None:
+            raise RuntimeError("begin_round() must be called before accumulate()")
+        hists: list[np.ndarray] = []
+        for start in range(0, len(rows_list), self._slots):
+            hists.extend(self._wave(rows_list[start : start + self._slots]))
+        return hists
+
+    def _wave(self, chunk: list[np.ndarray]) -> list[np.ndarray]:
+        nch = self._nch
+        if self.mode == "serial" or (
+            self.mode == "process" and len(self._dead) == len(self._procs)
+        ):
+            return [self._full_hist(rows) for rows in chunk]
+        if self.mode == "thread":
+            out = self._out_local
+            futures = [
+                self._executor.submit(self._local_block, chunk, out, f0, f1)
+                for f0, f1 in self._blocks
+            ]
+            for future in futures:
+                future.result()
+            return [np.array(out[i, :nch]) for i in range(len(chunk))]
+        # Process backend: stage the wave's rows, fan out one message
+        # per worker, recompute dead workers' blocks in-process while
+        # the alive ones crunch.
+        bounds: list[tuple[int, int]] = []
+        offset = 0
+        for rows in chunk:
+            stop = offset + rows.size
+            self._rows_buf[offset:stop] = rows
+            bounds.append((offset, stop))
+            offset = stop
+        message = (bounds, nch, self._mask)
+        pending: list[int] = []
+        fallback_blocks: list[tuple[int, int]] = []
+        for w, block in enumerate(self._blocks):
+            if w in self._dead:
+                fallback_blocks.append(block)
+                continue
+            try:
+                self._conns[w].send(message)
+            except (BrokenPipeError, OSError):
+                self._mark_dead(w)
+                fallback_blocks.append(block)
+                continue
+            pending.append(w)
+        for f0, f1 in fallback_blocks:
+            self._local_block(chunk, self._out, f0, f1)
+        while pending:
+            by_conn = {self._conns[w]: w for w in pending}
+            for conn in mp_connection.wait(list(by_conn)):
+                w = by_conn[conn]
+                pending.remove(w)
+                f0, f1 = self._blocks[w]
+                try:
+                    status, _ = conn.recv()
+                except (EOFError, OSError):
+                    # Worker died mid-wave: its feature block is
+                    # recomputed in-process, this wave and every
+                    # following one.
+                    self._mark_dead(w)
+                    self._local_block(chunk, self._out, f0, f1)
+                    continue
+                if status != "ok":
+                    # The wave failed remotely (e.g. a transient
+                    # resource error); the worker survives, this wave's
+                    # block is recomputed in-process.
+                    self._local_block(chunk, self._out, f0, f1)
+        return [np.array(self._out[i, :nch]) for i in range(len(chunk))]
+
+    def _local_block(
+        self,
+        chunk: list[np.ndarray],
+        out: np.ndarray,
+        f0: int,
+        f1: int,
+    ) -> None:
+        """Accumulate one feature block for every wave node in-process."""
+        for slot, rows in enumerate(chunk):
+            _accumulate_block(
+                self.binned,
+                self._grad,
+                self._hess,
+                rows,
+                out[slot, : self._nch],
+                f0,
+                f1,
+                self._mask,
+                self.flat_rows_max,
+            )
+
+    def _full_hist(self, rows: np.ndarray) -> np.ndarray:
+        """Full-width in-process accumulation (serial degrade path)."""
+        hist = np.empty((self._nch, self._d, self.stride), dtype=np.float64)
+        _accumulate_block(
+            self.binned,
+            self._grad,
+            self._hess,
+            rows,
+            hist,
+            0,
+            self._d,
+            self._mask,
+            self.flat_rows_max,
+        )
+        return hist
+
+    def _mark_dead(self, w: int) -> None:
+        self._dead.add(w)
+        try:
+            self._conns[w].close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    def _release_segments(self) -> None:
+        for segment in self._segments:
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._segments = []
+        self._specs = {}
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the workers and unlink every shared segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        for w, conn in enumerate(self._conns):
+            if w in self._dead:
+                continue
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=5)
+        for w, conn in enumerate(self._conns):
+            if w not in self._dead:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+        self._procs = []
+        self._conns = []
+        self._release_segments()

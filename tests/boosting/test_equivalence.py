@@ -131,8 +131,10 @@ class TestSubtractionEquivalence:
         import repro.boosting.gbm as gbm_mod
 
         class ScratchGrower(TreeGrower):
-            def __init__(self, binned, mapper, config):
-                super().__init__(binned, mapper, config, use_subtraction=False)
+            def __init__(self, binned, mapper, config, **kwargs):
+                super().__init__(
+                    binned, mapper, config, use_subtraction=False, **kwargs
+                )
 
         X, y = make_data(8, n=400)
         fast = GBRegressor(n_estimators=25, max_depth=4).fit(X, y)

@@ -1,0 +1,255 @@
+"""Intra-fit histogram parallelism is invisible in the results.
+
+The contract under test (see ``docs/determinism.md``): a fit with
+``n_jobs`` ∈ {2, 4} — process or thread backend — produces **bitwise
+identical** trees, eval history and predictions to the serial path,
+across unit/varying hessians, row/column subsampling and missing
+values; and a worker dying mid-fit degrades to in-process recompute of
+its feature block without changing a bit either.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.boosting.binning import BinMapper
+from repro.boosting.config import GBConfig
+from repro.boosting.gbm import GBClassifier, GBRegressor
+from repro.parallel.hist import HistogramPool
+
+
+def make_data(seed: int, n: int = 500, d: int = 9):
+    """Noisy nonlinear targets over a matrix with ~8% missing cells."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    X[rng.random(size=X.shape) < 0.08] = np.nan
+    filled = np.nan_to_num(X)
+    y = (
+        2.0 * filled[:, 0]
+        + np.sin(filled[:, 1] * 2.0)
+        + np.where(np.isnan(X[:, 2]), 0.7, -0.1)
+        + rng.normal(scale=0.1, size=n)
+    )
+    return X, y
+
+
+def assert_models_identical(a, b):
+    assert len(a.ensemble_.trees) == len(b.ensemble_.trees)
+    for ta, tb in zip(a.ensemble_.trees, b.ensemble_.trees):
+        assert np.array_equal(ta.feature, tb.feature)
+        assert np.array_equal(ta.bin_threshold, tb.bin_threshold)
+        assert np.array_equal(ta.threshold, tb.threshold, equal_nan=True)
+        assert np.array_equal(ta.missing_left, tb.missing_left)
+        assert np.array_equal(ta.value, tb.value)
+        assert np.array_equal(ta.cover, tb.cover)
+    assert a.eval_history_ == b.eval_history_
+    assert a.best_iteration_ == b.best_iteration_
+
+
+class TestBitwiseEquivalence:
+    """jobs ∈ {1, 2, 4} × hessian kind × subsampling: one fit result."""
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    @pytest.mark.parametrize(
+        "kind,subsample,colsample",
+        [
+            ("regressor", 1.0, 1.0),  # unit hessians, full data
+            ("regressor", 0.8, 0.6),  # unit hessians, both subsamplings
+            ("classifier", 1.0, 1.0),  # varying hessians, full data
+            ("classifier", 0.7, 0.7),  # varying hessians, both subsamplings
+        ],
+    )
+    def test_fit_matches_serial(self, jobs, kind, subsample, colsample):
+        X, y = make_data(3)
+        if kind == "classifier":
+            y = (y > np.median(y)).astype(np.int64)
+        X_val, y_val = X[:120], y[:120]
+        base = dict(
+            n_estimators=20,
+            max_depth=5,
+            subsample=subsample,
+            colsample_bytree=colsample,
+            early_stopping_rounds=5,
+        )
+        cls = GBRegressor if kind == "regressor" else GBClassifier
+        serial = cls(GBConfig(**base, n_jobs=1)).fit(X, y, eval_set=(X_val, y_val))
+        par = cls(GBConfig(**base, n_jobs=jobs)).fit(X, y, eval_set=(X_val, y_val))
+        assert_models_identical(serial, par)
+        assert np.array_equal(serial.predict(X), par.predict(X))
+        if kind == "classifier":
+            assert np.array_equal(
+                serial.predict_proba(X), par.predict_proba(X)
+            )
+
+    def test_env_variable_backend(self, monkeypatch):
+        """``REPRO_JOBS`` reaches the histogram pool when n_jobs is unset."""
+        X, y = make_data(5)
+        serial = GBRegressor(n_estimators=10, max_depth=4).fit(X, y)
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        par = GBRegressor(n_estimators=10, max_depth=4).fit(X, y)
+        assert_models_identical(serial, par)
+
+    def test_thread_backend_matches_process(self):
+        """Both backends assemble the same bits as the serial grower."""
+        X, y = make_data(7, n=1400)
+        mapper = BinMapper(max_bins=32).fit(X)
+        binned = mapper.transform(X, order="F")
+        rng = np.random.default_rng(0)
+        grad = rng.normal(size=X.shape[0])
+        hess = np.abs(rng.normal(size=X.shape[0])) + 0.5
+        mask = np.ones(X.shape[1], dtype=bool)
+        mask[1] = False
+        rows_big = np.arange(0, X.shape[0], 2)  # > flat threshold
+        rows_small = np.arange(1, 300, 2)  # flat path
+
+        results = {}
+        for backend in ("serial", "thread", "process"):
+            pool = HistogramPool(
+                binned, mapper.missing_bin, n_jobs=3, backend=backend
+            )
+            try:
+                pool.begin_round(grad, hess, mask, n_channels=3)
+                results[backend] = pool.accumulate([rows_big, rows_small])
+            finally:
+                pool.close()
+        for backend in ("thread", "process"):
+            for ref, got in zip(results["serial"], results[backend]):
+                # Masked-out features are never read by the split scan;
+                # compare the cells that are.
+                assert np.array_equal(ref[:, mask], got[:, mask]), backend
+
+
+class TestDegradation:
+    """Losing workers slows the fit down but never changes a bit."""
+
+    def test_worker_death_mid_fit(self):
+        X, y = make_data(11, n=1600)
+        mapper = BinMapper(max_bins=32).fit(X)
+        binned = mapper.transform(X, order="F")
+        rng = np.random.default_rng(1)
+        grad = rng.normal(size=X.shape[0])
+        hess = np.ones(X.shape[0])
+        mask = np.ones(X.shape[1], dtype=bool)
+        rows = np.arange(X.shape[0])
+
+        pool = HistogramPool(binned, mapper.missing_bin, n_jobs=2)
+        try:
+            if pool.mode != "process":
+                pytest.skip("fork process backend unavailable")
+            pool.begin_round(grad, hess, mask, n_channels=2)
+            before = pool.accumulate([rows])[0]
+            assert pool.workers_alive == 2
+            # Kill one worker between waves; its feature block must be
+            # recomputed in-process from here on.
+            pool._procs[0].terminate()
+            pool._procs[0].join(timeout=10)
+            after = pool.accumulate([rows])[0]
+            assert pool.workers_alive == 1
+            assert np.array_equal(before, after)
+            # And again, now on the permanent-fallback path.
+            assert np.array_equal(before, pool.accumulate([rows])[0])
+        finally:
+            pool.close()
+
+    def test_all_workers_dead_degrades_to_serial(self):
+        X, y = make_data(13, n=1400)
+        mapper = BinMapper(max_bins=32).fit(X)
+        binned = mapper.transform(X, order="F")
+        grad = np.random.default_rng(2).normal(size=X.shape[0])
+        hess = np.ones(X.shape[0])
+        mask = np.ones(X.shape[1], dtype=bool)
+        rows = np.arange(X.shape[0])
+        pool = HistogramPool(binned, mapper.missing_bin, n_jobs=2)
+        try:
+            if pool.mode != "process":
+                pytest.skip("fork process backend unavailable")
+            pool.begin_round(grad, hess, mask, n_channels=2)
+            reference = pool.accumulate([rows])[0]
+            for proc in pool._procs:
+                proc.terminate()
+                proc.join(timeout=10)
+            assert np.array_equal(reference, pool.accumulate([rows])[0])
+        finally:
+            pool.close()
+
+
+class TestPoolMechanics:
+    def test_feature_blocks_partition(self):
+        from repro.parallel.hist import _feature_blocks
+
+        for d in (1, 2, 7, 12, 64):
+            for jobs in (1, 2, 3, 5, 100):
+                blocks = _feature_blocks(d, jobs)
+                assert blocks[0][0] == 0 and blocks[-1][1] == d
+                spans = [f1 - f0 for f0, f1 in blocks]
+                assert all(s >= 1 for s in spans)
+                assert max(spans) - min(spans) <= 1
+                assert all(
+                    a[1] == b[0] for a, b in zip(blocks, blocks[1:])
+                )
+
+    def test_wave_chunking(self):
+        """Waves larger than the output buffer are chunked, not truncated."""
+        X, _ = make_data(17, n=600)
+        mapper = BinMapper(max_bins=16).fit(X)
+        binned = mapper.transform(X, order="F")
+        grad = np.random.default_rng(3).normal(size=X.shape[0])
+        hess = np.ones(X.shape[0])
+        mask = np.ones(X.shape[1], dtype=bool)
+        pool = HistogramPool(binned, mapper.missing_bin, n_jobs=2, out_slots=2)
+        try:
+            pool.begin_round(grad, hess, mask, n_channels=2)
+            # 5 disjoint nodes through a 2-slot buffer.
+            rows_list = [np.arange(i, X.shape[0], 5) for i in range(5)]
+            got = pool.accumulate(rows_list)
+            assert len(got) == 5
+            ref_pool = HistogramPool(
+                binned, mapper.missing_bin, n_jobs=1, backend="serial"
+            )
+            try:
+                ref_pool.begin_round(grad, hess, mask, n_channels=2)
+                for ref, hist in zip(ref_pool.accumulate(rows_list), got):
+                    assert np.array_equal(ref, hist)
+            finally:
+                ref_pool.close()
+        finally:
+            pool.close()
+
+    def test_close_is_idempotent_and_unlinks(self):
+        X, _ = make_data(19)
+        mapper = BinMapper(max_bins=16).fit(X)
+        binned = mapper.transform(X, order="F")
+        pool = HistogramPool(binned, mapper.missing_bin, n_jobs=2)
+        names = [segment.name for segment in pool._segments]
+        pool.close()
+        pool.close()
+        from multiprocessing import shared_memory
+
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_n_jobs_validation(self):
+        with pytest.raises(ValueError, match="n_jobs"):
+            GBConfig(n_jobs=0)
+        with pytest.raises(ValueError, match="n_jobs"):
+            GBConfig(n_jobs=-2)
+        assert GBConfig(n_jobs=-1).n_jobs == -1
+
+    def test_n_jobs_not_serialized(self):
+        """Execution config never enters the model document."""
+        from repro.boosting.serialize import model_from_dict, model_to_dict
+
+        X, y = make_data(23)
+        model = GBRegressor(
+            GBConfig(n_estimators=5, max_depth=3, n_jobs=2)
+        ).fit(X, y)
+        doc = model_to_dict(model)
+        assert "n_jobs" not in doc["config"]
+        restored = model_from_dict(doc)
+        assert restored.config.n_jobs is None
+        assert np.array_equal(model.predict(X), restored.predict(X))
+        # Old/hand-edited documents carrying the key stay loadable.
+        doc["config"]["n_jobs"] = 4
+        assert model_from_dict(doc).config.n_jobs is None
