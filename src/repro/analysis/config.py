@@ -63,6 +63,7 @@ DEFAULT_SCOPES: dict[str, frozenset[str]] = {
     "repro.clinical": frozenset({DETERMINISTIC}),
     "repro.cohort": frozenset({DETERMINISTIC}),
     "repro.experiments": frozenset({DETERMINISTIC}),
+    "repro.faults": frozenset({DETERMINISTIC}),
     "repro.frailty": frozenset({DETERMINISTIC}),
     "repro.knowledge": frozenset({DETERMINISTIC}),
     "repro.learning": frozenset({DETERMINISTIC}),

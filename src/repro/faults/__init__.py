@@ -1,0 +1,50 @@
+"""Deterministic fault injection for the concurrent planes.
+
+The supervisor code in :mod:`repro.parallel` and the registry/serve
+plane call :func:`inject` / :func:`should_kill` at a fixed set of
+sites; with no plan armed both are no-ops, so production paths pay one
+``is None`` test.  A plan — parsed from the ``REPRO_FAULTS``
+environment variable or armed explicitly with :func:`fault_plan` —
+turns those sites into deterministic crashes, hangs and torn writes,
+which is what lets `tests/faults/` prove the recovery paths are
+bitwise-safe instead of hoping.
+
+See :mod:`repro.faults.plan` for the spec grammar and action/site
+catalogue, :mod:`repro.faults.runtime` for activation semantics.
+"""
+
+from __future__ import annotations
+
+from repro.faults.plan import (
+    ACTIONS,
+    PARENT_SITES,
+    SITES,
+    FaultPlan,
+    FaultRule,
+    kill_schedule,
+    parse_plan,
+)
+from repro.faults.runtime import (
+    InjectedFault,
+    active_plan,
+    fault_plan,
+    faults_active,
+    inject,
+    should_kill,
+)
+
+__all__ = [
+    "ACTIONS",
+    "PARENT_SITES",
+    "SITES",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "active_plan",
+    "fault_plan",
+    "faults_active",
+    "inject",
+    "kill_schedule",
+    "parse_plan",
+    "should_kill",
+]

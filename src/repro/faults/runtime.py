@@ -1,0 +1,124 @@
+"""Activation and evaluation of fault plans at the instrumented sites.
+
+The engine calls two functions at its injection points:
+
+* :func:`inject` — worker-side (and inline) sites.  Evaluates the
+  active plan and *executes* the armed action: hard-exit the process,
+  stall, or raise :class:`InjectedFault`.
+* :func:`should_kill` — parent-side sites.  Answers whether the caller
+  should SIGKILL the target worker now; the kill itself stays with the
+  caller, which knows the process handle.
+
+Both are strict no-ops when no plan is active: one module-level read
+plus an ``is None`` test, so production hot paths pay nothing.
+
+A plan activates two ways, innermost wins:
+
+* the ``REPRO_FAULTS`` environment variable (parsed lazily, cached per
+  value — the process-wide chaos schedule CI pins); or
+* the :func:`fault_plan` context manager, which *overrides* the
+  environment for its extent — so a chaos test stays deterministic even
+  under an env-wide CI schedule.
+
+Counters live on the plan instance (:class:`~repro.faults.plan.FaultPlan`),
+so forked workers inherit a copy: worker-side ordinals count the
+worker's own calls, parent-side ordinals are absolute for the pool
+owner and a fired rule stays fired across respawns.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.faults.plan import FaultPlan, parse_plan
+
+__all__ = [
+    "InjectedFault",
+    "active_plan",
+    "fault_plan",
+    "faults_active",
+    "inject",
+    "should_kill",
+]
+
+
+class InjectedFault(RuntimeError):
+    """Raised by ``fail``/``tear`` rules at their injection site."""
+
+
+#: Context-manager plans, innermost last.  Appends/pops only — safe for
+#: the single-owner discipline the pools already require.
+_STACK: list[FaultPlan] = []
+
+#: Lazily parsed ``REPRO_FAULTS`` plan, cached per raw value so tests
+#: may monkeypatch the variable freely.
+_ENV_CACHE: tuple[str, FaultPlan | None] | None = None
+
+
+def _env_plan() -> FaultPlan | None:
+    global _ENV_CACHE
+    raw = os.environ.get("REPRO_FAULTS", "").strip()
+    if _ENV_CACHE is None or _ENV_CACHE[0] != raw:
+        _ENV_CACHE = (raw, parse_plan(raw) if raw else None)
+    return _ENV_CACHE[1]
+
+
+def active_plan() -> FaultPlan | None:
+    """The plan in force: innermost context plan, else the env plan."""
+    if _STACK:
+        return _STACK[-1]
+    return _env_plan()
+
+
+def faults_active() -> bool:
+    """True when any fault plan is armed (context or environment)."""
+    return active_plan() is not None
+
+
+@contextmanager
+def fault_plan(plan: FaultPlan | str) -> Iterator[FaultPlan]:
+    """Arm ``plan`` for the extent of the block, overriding the env."""
+    if isinstance(plan, str):
+        plan = parse_plan(plan)
+    _STACK.append(plan)
+    try:
+        yield plan
+    finally:
+        _STACK.pop()
+
+
+def should_kill(site: str, worker: int | None = None) -> bool:
+    """Parent-side check: SIGKILL worker ``worker`` at this call?
+
+    Advances the plan's ``(site, worker)`` ordinal either way, so kill
+    schedules address a deterministic call sequence.
+    """
+    plan = active_plan()
+    if plan is None:
+        return False
+    count = plan.next_count(site, worker)
+    rule = plan.armed(site, worker, count)
+    return rule is not None and rule.action == "kill"
+
+
+def inject(site: str, worker: int | None = None) -> None:
+    """Worker-side/inline site: execute the armed action, if any."""
+    plan = active_plan()
+    if plan is None:
+        return
+    count = plan.next_count(site, worker)
+    rule = plan.armed(site, worker, count)
+    if rule is None or rule.action == "kill":
+        return
+    if rule.action == "exit":
+        os._exit(70)
+    if rule.action == "stall":
+        time.sleep(rule.seconds)
+        return
+    raise InjectedFault(
+        f"injected {rule.action} at {site}"
+        + (f" (worker {worker})" if worker is not None else "")
+    )

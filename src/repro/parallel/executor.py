@@ -50,6 +50,7 @@ import multiprocessing as mp
 import os
 import pickle
 import threading
+import time
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -58,9 +59,16 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro.faults import inject, should_kill
 from repro.parallel.shared import attach_shared, export_shared, release_shared
 
-__all__ = ["resolve_jobs", "parallel_map", "in_worker", "ShardedPool"]
+__all__ = [
+    "resolve_jobs",
+    "resolve_deadline",
+    "parallel_map",
+    "in_worker",
+    "ShardedPool",
+]
 
 _IN_WORKER = False
 #: Per-worker task state: the attached shared arrays, or the result of
@@ -97,6 +105,25 @@ def resolve_jobs(n_jobs: int | None = None) -> int:
     if n_jobs < -1:
         raise ValueError(f"n_jobs must be >= -1, got {n_jobs}")
     return n_jobs
+
+
+def resolve_deadline(task_deadline: float | None = None) -> float | None:
+    """Resolve the per-task deadline: argument over ``REPRO_TASK_DEADLINE``.
+
+    ``None`` consults the environment; unset or ``<= 0`` means no
+    deadline (stuck workers are then only reaped at ``close()``).
+    """
+    if task_deadline is None:
+        raw = os.environ.get("REPRO_TASK_DEADLINE", "").strip()
+        if not raw:
+            return None
+        try:
+            task_deadline = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_TASK_DEADLINE must be a number, got {raw!r}"
+            ) from None
+    return task_deadline if task_deadline > 0 else None
 
 
 def parallel_map(
@@ -181,6 +208,7 @@ def _start_method() -> str:
 def _init_worker(specs, setup, setup_args) -> None:
     global _IN_WORKER, _WORKER_STATE
     _IN_WORKER = True
+    inject("shm.attach")
     arrays = attach_shared(specs)
     _WORKER_STATE = arrays if setup is None else setup(arrays, *setup_args)
 
@@ -216,6 +244,23 @@ class ShardedPool:
     context manager) shuts workers down and **unlinks every shared
     segment** even when workers crashed.
 
+    Self-healing
+    ------------
+    A dead worker slot is not permanent: at the start of every
+    :meth:`scatter` the pool respawns crashed workers (bounded per-slot
+    budget, exponential backoff), re-attaching the same parent-owned
+    shared segments into the same slot — shard ownership is a pure
+    function of the slot index, so a respawned worker serves exactly
+    the shard subsequence its predecessor would have and results stay
+    bitwise identical under any kill schedule (only worker-local cache
+    *bookkeeping* restarts cold).  With ``task_deadline`` set, a worker
+    that is stuck rather than dead is detected mid-batch: its in-flight
+    task is recomputed in-process, the process is killed and the slot
+    becomes eligible for respawn.  :attr:`workers_respawned` and
+    :attr:`deadline_kills` expose both recovery paths to the ops plane;
+    `tests/faults/` drives them with deterministic fault plans
+    (:mod:`repro.faults`).
+
     Lifecycle under an event loop
     -----------------------------
     The pool is **single-owner**: all of :meth:`scatter` and
@@ -234,6 +279,10 @@ class ShardedPool:
     surface degraded capacity.
     """
 
+    #: Per-slot respawn budget and base backoff (doubles per attempt).
+    _RESPAWN_LIMIT = 3
+    _RESPAWN_BACKOFF = 0.05
+
     def __init__(
         self,
         *,
@@ -241,6 +290,9 @@ class ShardedPool:
         shared: dict[str, np.ndarray] | None = None,
         setup: Callable | None = None,
         setup_args: tuple = (),
+        task_deadline: float | None = None,
+        max_respawns: int | None = None,
+        close_timeout: float = 5.0,
     ):
         self._shared = dict(shared or {})
         self._setup = setup
@@ -252,35 +304,93 @@ class ShardedPool:
         self._conns: list = []
         self._dead: set[int] = set()
         self._closed = False
+        self._specs: dict = {}
+        self._context = None
+        self.task_deadline = resolve_deadline(task_deadline)
+        self.max_respawns = (
+            self._RESPAWN_LIMIT if max_respawns is None else max_respawns
+        )
+        self.close_timeout = close_timeout
+        self.workers_respawned = 0
+        self.deadline_kills = 0
+        self._respawn_attempts: dict[int, int] = {}
+        self._retry_after: dict[int, float] = {}
         self.workers = resolve_jobs(n_jobs)
         if self.workers <= 1 or not _picklable((setup, setup_args)):
             self.workers = 1
             return
-        specs, self._segments = export_shared(self._shared)
-        context = mp.get_context(_start_method())
+        self._specs, self._segments = export_shared(self._shared)
+        self._context = mp.get_context(_start_method())
         try:
-            for _ in range(self.workers):
-                parent_conn, child_conn = context.Pipe(duplex=True)
-                proc = context.Process(
-                    target=_shard_worker_loop,
-                    args=(child_conn, specs, setup, setup_args),
-                    daemon=True,
-                )
-                proc.start()
-                child_conn.close()
-                self._procs.append(proc)
-                self._conns.append(parent_conn)
+            for w in range(self.workers):
+                self._spawn_worker(w)
         except OSError:
             self.close()
             self._closed = False
             self.workers = 1
 
     # ------------------------------------------------------------------
+    def _spawn_worker(self, w: int) -> None:
+        """(Re)start slot ``w``'s worker against the exported plane."""
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        proc = self._context.Process(
+            target=_shard_worker_loop,
+            args=(child_conn, self._specs, self._setup, self._setup_args, w),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        if w < len(self._procs):
+            old = self._procs[w]
+            if old is not None:
+                old.join(timeout=0.2)  # reap the crashed predecessor
+            self._procs[w] = proc
+            self._conns[w] = parent_conn
+        else:
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+
+    def _heal(self) -> None:
+        """Respawn dead slots, budgeted and backed off, before a batch.
+
+        The respawned worker re-attaches the same parent-owned shared
+        segments and takes over the same slot, so shard affinity — and
+        with it result identity — is unchanged.  A slot that keeps
+        dying (e.g. its shm attach keeps failing) exhausts its budget
+        and stays on the in-process fallback for good.
+        """
+        if not self._dead or self.max_respawns <= 0 or self._context is None:
+            return
+        now = time.perf_counter()
+        for w in sorted(self._dead):
+            attempts = self._respawn_attempts.get(w, 0)
+            if attempts >= self.max_respawns:
+                continue
+            if now < self._retry_after.get(w, 0.0):
+                continue
+            self._respawn_attempts[w] = attempts + 1
+            self._retry_after[w] = now + self._RESPAWN_BACKOFF * (2.0**attempts)
+            try:
+                self._spawn_worker(w)
+            except OSError:  # pragma: no cover - spawn pressure
+                continue
+            self._dead.discard(w)
+            self.workers_respawned += 1
+
+    def _kill_worker(self, w: int) -> None:
+        """SIGKILL slot ``w``'s process (deadline reaper / fault site)."""
+        proc = self._procs[w]
+        if proc is not None and proc.is_alive():
+            proc.kill()
+            proc.join(timeout=self.close_timeout)
+
+    # ------------------------------------------------------------------
     @property
     def workers_alive(self) -> int:
         """Workers still executing remotely (1 when running in-process).
 
-        Dead workers' shards fall back to in-process recompute, so the
+        Dead workers' shards fall back to in-process recompute until
+        the supervisor respawns them (next :meth:`scatter`), so the
         pool keeps answering — this is the ops-plane signal that
         capacity is degraded, not correctness.
         """
@@ -323,6 +433,7 @@ class ShardedPool:
         """
         if self._closed:
             raise RuntimeError("pool is closed")
+        self._heal()
         if (
             self.workers <= 1
             or len(self._dead) == len(self._procs)
@@ -339,14 +450,16 @@ class ShardedPool:
         results: list = [None] * len(tasks)
         failed: list[tuple[int, BaseException]] = []
         fallback: list[tuple[int, object]] = []
-        #: worker -> its one in-flight (position, payload).
-        in_flight: dict[int, tuple[int, object]] = {}
+        #: worker -> its one in-flight (position, payload, send time).
+        in_flight: dict[int, tuple[int, object, float]] = {}
 
         def feed(w: int) -> None:
             """Hand worker ``w`` its next sendable queued task, if any."""
             queue = queues.get(w)
             while queue:
                 pos, payload = queue[0]
+                if should_kill("shard.send", w):
+                    self._kill_worker(w)  # fault plan: crash before send
                 try:
                     self._conns[w].send((fn, payload))
                 except (BrokenPipeError, OSError):
@@ -362,9 +475,23 @@ class ShardedPool:
                     fallback.append((pos, payload))
                     continue
                 queue.popleft()
-                in_flight[w] = (pos, payload)
+                in_flight[w] = (pos, payload, time.perf_counter())
                 return
             queues.pop(w, None)
+
+        def reap_stuck() -> None:
+            """Deadline pass: kill and fall back every expired worker."""
+            now = time.perf_counter()
+            for w in list(in_flight):
+                pos, payload, sent = in_flight[w]
+                if now - sent < self.task_deadline:
+                    continue
+                in_flight.pop(w)
+                self.deadline_kills += 1
+                self._kill_worker(w)
+                self._mark_dead(w)
+                fallback.append((pos, payload))
+                fallback.extend(queues.pop(w, ()))
 
         for w in list(queues):
             if w in self._dead:
@@ -373,9 +500,20 @@ class ShardedPool:
                 feed(w)
         while in_flight:
             by_conn = {self._conns[w]: w for w in in_flight}
-            for conn in mp_connection.wait(list(by_conn)):
+            timeout = None
+            if self.task_deadline is not None:
+                expiry = min(
+                    sent + self.task_deadline
+                    for _, _, sent in in_flight.values()
+                )
+                timeout = max(0.0, expiry - time.perf_counter())
+            ready = mp_connection.wait(list(by_conn), timeout)
+            if not ready:
+                reap_stuck()
+                continue
+            for conn in ready:
                 w = by_conn[conn]
-                pos, payload = in_flight.pop(w)
+                pos, payload, _ = in_flight.pop(w)
                 try:
                     status, value = conn.recv()
                 except (EOFError, OSError):
@@ -425,10 +563,12 @@ class ShardedPool:
             except (BrokenPipeError, OSError):
                 pass
         for proc in self._procs:
-            proc.join(timeout=5)
-            if proc.is_alive():  # pragma: no cover - stuck worker
+            proc.join(timeout=self.close_timeout)
+            if proc.is_alive():
+                # Stuck worker (hung task, ignored shutdown): reap it
+                # hard so the segment unlink below cannot be held up.
                 proc.terminate()
-                proc.join(timeout=5)
+                proc.join(timeout=self.close_timeout)
         for w, conn in enumerate(self._conns):
             if w not in self._dead:
                 try:
@@ -441,10 +581,11 @@ class ShardedPool:
         self._segments = []
 
 
-def _shard_worker_loop(conn, specs, setup, setup_args) -> None:
+def _shard_worker_loop(conn, specs, setup, setup_args, worker_index=0) -> None:
     """One shard worker: attach the plane once, then serve tasks."""
     global _IN_WORKER
     _IN_WORKER = True
+    inject("shm.attach", worker_index)
     arrays = attach_shared(specs)
     state = arrays if setup is None else setup(arrays, *setup_args)
     while True:
@@ -456,6 +597,7 @@ def _shard_worker_loop(conn, specs, setup, setup_args) -> None:
             break
         fn, payload = message
         try:
+            inject("shard.task", worker_index)
             result = fn(payload, state)
         except BaseException as exc:  # ship the failure, keep serving
             try:
@@ -464,4 +606,5 @@ def _shard_worker_loop(conn, specs, setup, setup_args) -> None:
                 raise exc from None
         else:
             conn.send(("ok", result))
+            inject("shard.task.done", worker_index)
     conn.close()

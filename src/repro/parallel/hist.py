@@ -32,23 +32,30 @@ worker count (asserted end-to-end in
 Robustness mirrors :mod:`repro.parallel.executor`: ``n_jobs <= 1``
 degrades to in-process accumulation; when fork is unavailable (spawn
 platforms, multithreaded parents) a thread backend operates directly on
-the parent's arrays; a worker dying mid-fit permanently routes its
-feature block to in-process recompute — slower, never different.
-Inside an executor worker :func:`~repro.parallel.executor.resolve_jobs`
-answers 1, so grid-parallel experiment runs never nest a second-level
-histogram pool.
+the parent's arrays; a worker dying mid-fit routes its feature block to
+in-process recompute for the current wave — slower, never different —
+and the supervisor respawns the slot (bounded backoff) before the next
+:meth:`HistogramPool.accumulate`, re-mapping the same segments and the
+same feature block, so block ownership (and with it bitwise identity)
+survives any kill schedule.  With ``task_deadline`` set a *stuck*
+worker is detected mid-wave, its block recomputed in-process and the
+process killed for respawn.  Inside an executor worker
+:func:`~repro.parallel.executor.resolve_jobs` answers 1, so
+grid-parallel experiment runs never nest a second-level histogram pool.
 """
 # repro: scope[row-deterministic]
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from multiprocessing import connection as mp_connection
 from multiprocessing import get_context, shared_memory
 
 import numpy as np
 
-from repro.parallel.executor import _start_method, resolve_jobs
+from repro.faults import inject, should_kill
+from repro.parallel.executor import _start_method, resolve_deadline, resolve_jobs
 
 __all__ = ["HistogramPool"]
 
@@ -139,7 +146,7 @@ def _accumulate_block(
             block[2, local] = np.bincount(codes, minlength=stride)
 
 
-def _hist_worker_loop(conn, specs, block, flat_rows_max) -> None:
+def _hist_worker_loop(conn, specs, block, flat_rows_max, worker_index=0) -> None:
     """One feature-block worker: map the segments once, serve waves.
 
     A wave message is ``(bounds, nch, mask)``: per-node ``(start,
@@ -149,6 +156,7 @@ def _hist_worker_loop(conn, specs, block, flat_rows_max) -> None:
     and acknowledges; output slices of distinct workers are disjoint,
     so no synchronisation beyond the ack is needed.
     """
+    inject("shm.attach", worker_index)
     segments = []
     arrays = {}
     for name, (shm_name, shape, dtype) in specs.items():
@@ -169,6 +177,7 @@ def _hist_worker_loop(conn, specs, block, flat_rows_max) -> None:
             break
         bounds, nch, mask = message
         try:
+            inject("hist.task", worker_index)
             for slot, (start, stop) in enumerate(bounds):
                 _accumulate_block(
                     binned,
@@ -188,6 +197,7 @@ def _hist_worker_loop(conn, specs, block, flat_rows_max) -> None:
                 raise exc from None
         else:
             conn.send(("ok", None))
+            inject("hist.task.done", worker_index)
     conn.close()
 
 
@@ -217,6 +227,10 @@ class HistogramPool:
     every shared segment (idempotent; also runs on ``with`` exit).
     """
 
+    #: Per-slot respawn budget and base backoff (doubles per attempt).
+    _RESPAWN_LIMIT = 3
+    _RESPAWN_BACKOFF = 0.05
+
     def __init__(
         self,
         binned: np.ndarray,
@@ -226,6 +240,9 @@ class HistogramPool:
         backend: str = "auto",
         flat_rows_max: int = _FLAT_ROWS_MAX,
         out_slots: int | None = None,
+        task_deadline: float | None = None,
+        max_respawns: int | None = None,
+        close_timeout: float = 5.0,
     ):
         if binned.dtype != np.uint8:
             raise TypeError("binned matrix must be uint8")
@@ -260,6 +277,17 @@ class HistogramPool:
         self._specs: dict[str, tuple[str, tuple[int, ...], str]] = {}
         self._executor: ThreadPoolExecutor | None = None
         self._out_local: np.ndarray | None = None
+        self._context = None
+        # Supervisor state (process backend only).
+        self.task_deadline = resolve_deadline(task_deadline)
+        self.max_respawns = (
+            self._RESPAWN_LIMIT if max_respawns is None else max_respawns
+        )
+        self.close_timeout = close_timeout
+        self.workers_respawned = 0
+        self.deadline_kills = 0
+        self._respawn_attempts: dict[int, int] = {}
+        self._retry_after: dict[int, float] = {}
         if self.jobs <= 1 or n == 0 or backend == "serial":
             return
         if backend == "auto":
@@ -316,19 +344,10 @@ class HistogramPool:
             self._release_segments()
             return False
         shared_binned[:] = self.binned.T  # F-order payload, copied once
-        context = get_context("fork")
+        self._context = get_context("fork")
         try:
-            for block in self._blocks:
-                parent_conn, child_conn = context.Pipe(duplex=True)
-                proc = context.Process(
-                    target=_hist_worker_loop,
-                    args=(child_conn, self._specs, block, self.flat_rows_max),
-                    daemon=True,
-                )
-                proc.start()
-                child_conn.close()
-                self._procs.append(proc)
-                self._conns.append(parent_conn)
+            for w in range(len(self._blocks)):
+                self._spawn_worker(w)
         except OSError:
             self.close()
             self._closed = False
@@ -337,6 +356,71 @@ class HistogramPool:
             return False
         self.mode = "process"
         return True
+
+    def _spawn_worker(self, w: int) -> None:
+        """(Re)start the worker owning feature block ``w``."""
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        proc = self._context.Process(
+            target=_hist_worker_loop,
+            args=(
+                child_conn,
+                self._specs,
+                self._blocks[w],
+                self.flat_rows_max,
+                w,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        if w < len(self._procs):
+            old = self._procs[w]
+            if old is not None:
+                old.join(timeout=0.2)  # reap the crashed predecessor
+            self._procs[w] = proc
+            self._conns[w] = parent_conn
+        else:
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+
+    def _heal(self) -> None:
+        """Respawn dead block workers, budgeted and backed off.
+
+        A respawned worker re-maps the same segments and receives the
+        same fixed feature block, so cell ownership — the second leg of
+        the bitwise-safety argument — is restored, not renegotiated.
+        The shared ``gh`` buffer always holds the current round's
+        gradients, so a worker may rejoin mid-round safely.
+        """
+        if (
+            not self._dead
+            or self.mode != "process"
+            or self.max_respawns <= 0
+            or self._context is None
+        ):
+            return
+        now = time.perf_counter()
+        for w in sorted(self._dead):
+            attempts = self._respawn_attempts.get(w, 0)
+            if attempts >= self.max_respawns:
+                continue
+            if now < self._retry_after.get(w, 0.0):
+                continue
+            self._respawn_attempts[w] = attempts + 1
+            self._retry_after[w] = now + self._RESPAWN_BACKOFF * (2.0**attempts)
+            try:
+                self._spawn_worker(w)
+            except OSError:  # pragma: no cover - spawn pressure
+                continue
+            self._dead.discard(w)
+            self.workers_respawned += 1
+
+    def _kill_worker(self, w: int) -> None:
+        """SIGKILL block worker ``w`` (deadline reaper / fault site)."""
+        proc = self._procs[w]
+        if proc is not None and proc.is_alive():
+            proc.kill()
+            proc.join(timeout=self.close_timeout)
 
     # ------------------------------------------------------------------
     def begin_round(
@@ -379,6 +463,7 @@ class HistogramPool:
             raise RuntimeError("pool is closed")
         if self._grad is None:
             raise RuntimeError("begin_round() must be called before accumulate()")
+        self._heal()
         hists: list[np.ndarray] = []
         for start in range(0, len(rows_list), self._slots):
             hists.extend(self._wave(rows_list[start : start + self._slots]))
@@ -411,11 +496,14 @@ class HistogramPool:
             offset = stop
         message = (bounds, nch, self._mask)
         pending: list[int] = []
+        sent_at: dict[int, float] = {}
         fallback_blocks: list[tuple[int, int]] = []
         for w, block in enumerate(self._blocks):
             if w in self._dead:
                 fallback_blocks.append(block)
                 continue
+            if should_kill("hist.send", w):
+                self._kill_worker(w)  # fault plan: crash before the wave
             try:
                 self._conns[w].send(message)
             except (BrokenPipeError, OSError):
@@ -423,11 +511,31 @@ class HistogramPool:
                 fallback_blocks.append(block)
                 continue
             pending.append(w)
+            sent_at[w] = time.perf_counter()
         for f0, f1 in fallback_blocks:
             self._local_block(chunk, self._out, f0, f1)
         while pending:
             by_conn = {self._conns[w]: w for w in pending}
-            for conn in mp_connection.wait(list(by_conn)):
+            timeout = None
+            if self.task_deadline is not None:
+                expiry = min(sent_at[w] for w in pending) + self.task_deadline
+                timeout = max(0.0, expiry - time.perf_counter())
+            ready = mp_connection.wait(list(by_conn), timeout)
+            if not ready:
+                # Deadline pass: a worker is stuck, not dead — kill it,
+                # recompute its block in-process, respawn next wave.
+                now = time.perf_counter()
+                for w in list(pending):
+                    if now - sent_at[w] < self.task_deadline:
+                        continue
+                    pending.remove(w)
+                    self.deadline_kills += 1
+                    self._kill_worker(w)
+                    self._mark_dead(w)
+                    f0, f1 = self._blocks[w]
+                    self._local_block(chunk, self._out, f0, f1)
+                continue
+            for conn in ready:
                 w = by_conn[conn]
                 pending.remove(w)
                 f0, f1 = self._blocks[w]
@@ -435,8 +543,8 @@ class HistogramPool:
                     status, _ = conn.recv()
                 except (EOFError, OSError):
                     # Worker died mid-wave: its feature block is
-                    # recomputed in-process, this wave and every
-                    # following one.
+                    # recomputed in-process this wave; the supervisor
+                    # respawns the slot before the next accumulate.
                     self._mark_dead(w)
                     self._local_block(chunk, self._out, f0, f1)
                     continue
@@ -518,10 +626,12 @@ class HistogramPool:
             except (BrokenPipeError, OSError):
                 pass
         for proc in self._procs:
-            proc.join(timeout=5)
-            if proc.is_alive():  # pragma: no cover - stuck worker
+            proc.join(timeout=self.close_timeout)
+            if proc.is_alive():
+                # Stuck worker (hung wave, ignored shutdown): reap it
+                # hard so the segment unlink below cannot be held up.
                 proc.terminate()
-                proc.join(timeout=5)
+                proc.join(timeout=self.close_timeout)
         for w, conn in enumerate(self._conns):
             if w not in self._dead:
                 try:

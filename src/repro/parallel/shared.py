@@ -20,8 +20,10 @@ shared memory, the provenance fields ride in the handle.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from multiprocessing import shared_memory
+from pathlib import Path
 
 import numpy as np
 
@@ -33,6 +35,8 @@ __all__ = [
     "release_shared",
     "pack_samples",
     "unpack_samples",
+    "scan_orphan_segments",
+    "unlink_segments",
 ]
 
 #: Arrays smaller than this are embedded in the spec instead of getting
@@ -116,6 +120,85 @@ def release_shared(segments: list[shared_memory.SharedMemory]) -> None:
 
 #: Segments attached by this process's workers (kept alive until exit).
 _ATTACHED: list[shared_memory.SharedMemory] = []
+
+
+#: Where POSIX shared memory lives, and the prefix Python's
+#: multiprocessing.shared_memory gives anonymous segments.
+_SHM_DIR = Path("/dev/shm")
+_SEGMENT_PREFIX = "psm_"
+
+
+def _mapped_segment_names() -> set[str]:
+    """``psm_`` segment names mapped by any live process (via /proc)."""
+    mapped: set[str] = set()
+    proc = Path("/proc")
+    if not proc.is_dir():  # pragma: no cover - non-procfs platform
+        return mapped
+    for entry in sorted(proc.iterdir()):
+        if not entry.name.isdigit():
+            continue
+        try:
+            maps = (entry / "maps").read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            continue  # process exited, or not ours to inspect
+        needle = f"{_SHM_DIR}/{_SEGMENT_PREFIX}"
+        for line in maps.splitlines():
+            start = line.find(needle)
+            if start < 0:
+                continue
+            name = line[start:].split("/")[-1]
+            # An unlinked-but-mapped segment shows as "... (deleted)";
+            # its /dev/shm entry is already gone, nothing to sweep.
+            mapped.add(name.removesuffix(" (deleted)"))
+    return mapped
+
+
+def scan_orphan_segments() -> list[str]:
+    """Names of shared-memory segments no live process has mapped.
+
+    POSIX shared memory outlives any owner that dies without
+    unlinking — exactly what a SIGKILLed fit or serve process leaves
+    in ``/dev/shm``.  A segment is an *orphan* when its ``psm_`` entry
+    is mapped by no process in ``/proc``; live pools always keep their
+    segments mapped (the exporter maps them at creation, workers at
+    attach).  Returns sorted names; empty where ``/dev/shm`` does not
+    exist.  ``repro serve gc-shm`` is the CLI over this.
+    """
+    if not _SHM_DIR.is_dir():  # pragma: no cover - non-Linux platform
+        return []
+    present = sorted(
+        entry.name
+        for entry in _SHM_DIR.iterdir()
+        if entry.name.startswith(_SEGMENT_PREFIX) and entry.is_file()
+    )
+    if not present:
+        return []
+    mapped = _mapped_segment_names()
+    return [name for name in present if name not in mapped]
+
+
+def unlink_segments(names: list[str]) -> list[str]:
+    """Unlink ``/dev/shm`` segments by name; return the ones removed.
+
+    Names must be bare ``psm_*`` basenames (what
+    :func:`scan_orphan_segments` returns) — anything else raises
+    ``ValueError`` rather than touching an arbitrary path.  A name
+    already gone (the owner raced us and cleaned up) is skipped, not
+    an error.
+    """
+    removed: list[str] = []
+    for name in sorted(names):
+        if not name.startswith(_SEGMENT_PREFIX) or "/" in name:
+            raise ValueError(
+                f"refusing to unlink {name!r}: not a {_SEGMENT_PREFIX}* "
+                "segment name"
+            )
+        try:
+            os.unlink(_SHM_DIR / name)
+        except FileNotFoundError:
+            continue
+        removed.append(name)
+    return removed
 
 
 #: SampleSet array fields routed through the shared channel.

@@ -22,12 +22,14 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import re
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.boosting.serialize import model_from_dict, model_to_dict
+from repro.faults import inject
 
 __all__ = ["ModelRegistry", "ModelVersion", "model_fingerprint"]
 
@@ -108,6 +110,10 @@ class ModelRegistry:
         if not (version_dir / _META_FILE).exists():
             version_dir.mkdir(parents=True, exist_ok=True)
             _atomic_write(version_dir / _MODEL_FILE, json.dumps(doc))
+            # A crash here (the fault plan's tear site) leaves a
+            # model-without-meta dir: quarantined by readers, healed by
+            # the next publish of the same model.
+            inject("registry.publish")
             meta = {
                 "name": name,
                 "tag": tag,
@@ -127,21 +133,47 @@ class ModelRegistry:
         return self.describe(name, tag)
 
     # ------------------------------------------------------------------
+    def _complete(self, name: str, tag: str) -> bool:
+        """Both files of ``name@tag`` present (not half-published)."""
+        version_dir = self.root / name / tag
+        return (version_dir / _MODEL_FILE).is_file() and (
+            version_dir / _META_FILE
+        ).is_file()
+
     def resolve(self, name: str, tag: str | None = None) -> str:
-        """Resolve ``tag`` (or the latest version) to a concrete tag."""
+        """Resolve ``tag`` (or the latest version) to a concrete tag.
+
+        Half-published dirs never resolve: an explicit torn tag raises
+        (with a healing hint), and a ``LATEST`` pointer at a torn or
+        missing dir falls back to the newest *complete* version — so a
+        crash mid-publish degrades readers to the previous version
+        instead of wedging them.
+        """
         _check_name(name)
         model_dir = self.root / name
         if not model_dir.is_dir():
             raise KeyError(f"no model named {name!r} in registry {self.root}")
-        if tag is None:
-            latest = model_dir / _LATEST
-            if not latest.is_file():
-                raise KeyError(f"model {name!r} has no LATEST pointer")
-            tag = latest.read_text(encoding="utf-8").strip()
-        _check_name(tag)
-        if not (model_dir / tag / _MODEL_FILE).is_file():
+        if tag is not None:
+            _check_name(tag)
+            if self._complete(name, tag):
+                return tag
+            if (model_dir / tag).is_dir():
+                raise KeyError(
+                    f"version {name}@{tag} is half-published (quarantined); "
+                    "re-publish the model to heal it"
+                )
             raise KeyError(f"model {name!r} has no version {tag!r}")
-        return tag
+        latest = model_dir / _LATEST
+        if latest.is_file():
+            candidate = latest.read_text(encoding="utf-8").strip()
+            if _NAME_RE.match(candidate) and self._complete(name, candidate):
+                return candidate
+        survivors = self.versions(name)
+        if survivors:
+            return survivors[-1].tag
+        if not latest.is_file():
+            raise KeyError(f"model {name!r} has no LATEST pointer")
+        raise KeyError(f"model {name!r} has no complete published version")
 
     def load(self, name: str, tag: str | None = None):
         """Rebuild the fitted estimator of ``name@tag`` (default latest).
@@ -183,17 +215,57 @@ class ModelRegistry:
         )
 
     def versions(self, name: str) -> list[ModelVersion]:
-        """All published versions of ``name``, oldest first."""
+        """All *complete* versions of ``name``, oldest first.
+
+        Half-published dirs (a crash between the model and meta writes,
+        or a corrupt meta document) are skipped, never raised on —
+        :meth:`quarantined` lists them with reasons.
+        """
         _check_name(name)
         model_dir = self.root / name
         if not model_dir.is_dir():
             raise KeyError(f"no model named {name!r} in registry {self.root}")
-        out = [
-            self.describe(name, child.name)
-            for child in sorted(model_dir.iterdir())
-            if child.is_dir() and (child / _META_FILE).is_file()
-        ]
+        out = []
+        for child in sorted(model_dir.iterdir()):
+            if not child.is_dir() or not self._complete(name, child.name):
+                continue
+            try:
+                out.append(self.describe(name, child.name))
+            except (KeyError, ValueError):  # corrupt meta: quarantined
+                continue
         return sorted(out, key=lambda v: (v.created_at, v.tag))
+
+    def quarantined(self, name: str) -> list[tuple[str, str]]:
+        """Half-published version dirs of ``name`` as (tag, reason) pairs.
+
+        These are what a crash mid-:meth:`publish` leaves behind; the
+        serve watcher counts them (``half_published`` in ``/metrics``)
+        and ``repro serve versions`` lists them.  Re-publishing the same
+        model heals a torn dir in place.
+        """
+        _check_name(name)
+        model_dir = self.root / name
+        if not model_dir.is_dir():
+            raise KeyError(f"no model named {name!r} in registry {self.root}")
+        out: list[tuple[str, str]] = []
+        for child in sorted(model_dir.iterdir()):
+            if not child.is_dir():
+                continue
+            has_model = (child / _MODEL_FILE).is_file()
+            has_meta = (child / _META_FILE).is_file()
+            if has_model and has_meta:
+                try:
+                    json.loads((child / _META_FILE).read_text(encoding="utf-8"))
+                except ValueError:
+                    out.append((child.name, "unreadable meta.json"))
+                continue
+            if has_model:
+                out.append((child.name, "meta.json missing (torn publish)"))
+            elif has_meta:
+                out.append((child.name, "model.json missing"))
+            else:
+                out.append((child.name, "empty version dir"))
+        return out
 
     def names(self) -> list[str]:
         """All model names with at least one published version."""
@@ -232,7 +304,26 @@ def _check_name(name: str) -> None:
 
 
 def _atomic_write(path: Path, text: str) -> None:
-    """Write-then-rename so readers never observe a half-written file."""
+    """Write, fsync, then rename.
+
+    The rename keeps readers from ever observing a half-written file;
+    the fsync *before* it keeps a crash (power loss, SIGKILL) from
+    leaving a renamed file whose bytes never reached disk — the one
+    torn-publish mode the directory layout alone cannot quarantine.
+    The directory entry is fsynced too, best-effort, so the rename
+    itself is durable.
+    """
     tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(text, encoding="utf-8")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
     tmp.replace(path)
+    try:
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)

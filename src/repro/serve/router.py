@@ -134,6 +134,11 @@ class ScoringRouter:
         Per-shard LRU capacity in rows (each worker owns one shard).
     top_k:
         Features per attribution report.
+    task_deadline:
+        Per-shard-task deadline in seconds (default: the pool's
+        ``REPRO_TASK_DEADLINE`` convention).  A worker stuck past it is
+        killed mid-batch, its slice recomputed in-process, and the slot
+        respawned — answers stay bitwise identical either way.
     clock:
         Injectable monotonic clock (tests drive the deadline logic).
     """
@@ -149,6 +154,7 @@ class ScoringRouter:
         max_delay: float = 0.005,
         cache_size: int = 4096,
         top_k: int = 5,
+        task_deadline: float | None = None,
         clock: Callable[[], float] = time.perf_counter,
     ):
         if max_batch < 1:
@@ -180,6 +186,7 @@ class ScoringRouter:
                 cache_size,
                 top_k,
             ),
+            task_deadline=task_deadline,
         )
         self._pending: list[ScoreRequest] = []
         self._pending_since: float | None = None
@@ -209,6 +216,16 @@ class ScoringRouter:
     def workers_alive(self) -> int:
         """Workers still executing remotely (degraded-capacity signal)."""
         return self._pool.workers_alive
+
+    @property
+    def workers_respawned(self) -> int:
+        """Crashed workers the pool supervisor has respawned."""
+        return self._pool.workers_respawned
+
+    @property
+    def deadline_kills(self) -> int:
+        """Stuck workers killed past the per-task deadline."""
+        return self._pool.deadline_kills
 
     # ------------------------------------------------------------------
     # Cross-request coalescing.

@@ -152,6 +152,56 @@ class _Post:
     future: asyncio.Future
 
 
+class _StagedSlot:
+    """Thread-safe holder of the staged hot-swap router.
+
+    Staging happens on the builder thread, the swap on the event loop,
+    and the shutdown sweep must never race either — the lock makes
+    stage/pop/seal atomic, and a sealed slot hands a late-built router
+    straight back for closing instead of dropping it (the staged-leak
+    regression: a router is never in flight outside this slot).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value: tuple[str, ScoringRouter] | None = None
+        self._sealed = False
+
+    def tag(self) -> str | None:
+        """Tag of the currently staged router, if any."""
+        with self._lock:
+            return None if self._value is None else self._value[0]
+
+    def stage(self, tag: str, router: ScoringRouter) -> ScoringRouter | None:
+        """Stage ``router``; return whatever the caller must close.
+
+        Normally that is the previously staged router it displaced;
+        on a sealed slot (shutdown began) it is ``router`` itself,
+        which must be closed before it ever serves.
+        """
+        with self._lock:
+            if self._sealed:
+                return router
+            previous = self._value
+            self._value = (tag, router)
+        return None if previous is None else previous[1]
+
+    def pop(self) -> tuple[str, ScoringRouter] | None:
+        """Take the staged (tag, router) pair, leaving the slot empty."""
+        with self._lock:
+            value = self._value
+            self._value = None
+        return value
+
+    def seal(self) -> tuple[str, ScoringRouter] | None:
+        """Refuse all future staging; return what was staged, once."""
+        with self._lock:
+            self._sealed = True
+            value = self._value
+            self._value = None
+        return value
+
+
 class ScoringServer:
     """Serve one registry model over HTTP (see module docstring).
 
@@ -186,6 +236,13 @@ class ScoringServer:
         swapping even without a pinned tag).
     cache_size / top_k:
         Forwarded to the router (per-shard LRU rows; report size).
+    task_deadline:
+        Per-task stuck-worker deadline in seconds, forwarded to every
+        router this server builds (argument over
+        ``REPRO_TASK_DEADLINE`` over no deadline).  A worker that
+        holds a batch past the deadline is killed, its rows are
+        recomputed in-process (bitwise identically), and the
+        supervisor respawns the slot.
     latency_window:
         Ring-buffer capacity behind the ``/metrics`` percentiles.
     clock:
@@ -207,6 +264,7 @@ class ScoringServer:
         poll_interval: float = 2.0,
         cache_size: int = 4096,
         top_k: int = 5,
+        task_deadline: float | None = None,
         latency_window: int = 4096,
         clock: Callable[[], float] = time.perf_counter,
     ):
@@ -235,6 +293,7 @@ class ScoringServer:
         self.poll_interval = poll_interval
         self._cache_size = cache_size
         self._top_k = top_k
+        self._task_deadline = task_deadline
         self._clock = clock
         self._admission = AdmissionController(max_queue)
         self._latency = LatencyWindow(latency_window)
@@ -243,7 +302,14 @@ class ScoringServer:
         self._queued_rows = 0
         self._router: ScoringRouter | None = None
         self._tag: str | None = None
-        self._staged: tuple[str, ScoringRouter] | None = None
+        self._staged = _StagedSlot()
+        #: Recovery accounting: counters of routers already closed
+        #: (swapped out or stopped) so /metrics is monotone across
+        #: hot swaps.
+        self._respawned_base = 0
+        self._deadline_base = 0
+        self._half_published = 0
+        self._quarantine_seen: set[str] = set()
         self._stopping = False
         self._stopped = False
         self._started_at = 0.0
@@ -321,20 +387,27 @@ class ScoringServer:
         for writer in list(self._writers):
             writer.close()
         assert self._loop is not None
-        if self._staged is not None:
-            _tag, staged_router = self._staged
-            self._staged = None
+        # Quiesce the builder *before* sweeping what's staged: an
+        # in-flight background build finishes inside _build_and_stage,
+        # which stages its router (or, on a sealed slot, closes it
+        # right there) — after this shutdown no router exists outside
+        # the slot, so the sweep below cannot leak a packed plane.
+        if self._builder is not None:
+            self._builder.shutdown(wait=True)
+        staged = self._staged.seal()
+        if staged is not None:
+            _tag, staged_router = staged
             await self._loop.run_in_executor(
-                self._builder, staged_router.close
+                self._scorer, staged_router.close
             )
         if self._router is not None:
+            self._respawned_base += self._router.workers_respawned
+            self._deadline_base += self._router.deadline_kills
             await self._loop.run_in_executor(
                 self._scorer, self._router.close
             )
         if self._scorer is not None:
             self._scorer.shutdown(wait=True)
-        if self._builder is not None:
-            self._builder.shutdown(wait=True)
         self._stopped = True
 
     def _build_router(self, tag: str) -> ScoringRouter:
@@ -346,6 +419,7 @@ class ScoringServer:
             max_batch=self.max_batch,
             cache_size=self._cache_size,
             top_k=self._top_k,
+            task_deadline=self._task_deadline,
         )
 
     # ------------------------------------------------------------------
@@ -365,6 +439,23 @@ class ScoringServer:
     def stats(self) -> ServerStats:
         """Lifetime server counters."""
         return self._stats
+
+    @property
+    def workers_respawned(self) -> int:
+        """Lifetime worker respawns across every router this server ran."""
+        live = 0 if self._router is None else self._router.workers_respawned
+        return self._respawned_base + live
+
+    @property
+    def deadline_kills(self) -> int:
+        """Lifetime stuck-worker deadline kills across every router."""
+        live = 0 if self._router is None else self._router.deadline_kills
+        return self._deadline_base + live
+
+    @property
+    def half_published(self) -> int:
+        """Distinct quarantined (torn-publish) version dirs seen so far."""
+        return self._half_published
 
     def metrics(self) -> dict:
         """The ``GET /metrics`` document (see ``docs/formats.md``)."""
@@ -394,7 +485,39 @@ class ScoringServer:
             cache_misses=cache.misses,
             cache_hit_rate=cache.hit_rate,
             version=self.model_ref,
+            workers_respawned=self.workers_respawned,
+            deadline_kills=self.deadline_kills,
+            half_published=self._half_published,
         )
+
+    def health(self) -> dict:
+        """The ``GET /healthz`` document: readiness + liveness.
+
+        Always answered with HTTP 200 — a degraded plane keeps serving
+        (bitwise identically, via in-process fallback while the
+        supervisor respawns workers), so orchestrators key on the
+        ``status``/``ready`` fields rather than the status code.
+        ``live`` is true by construction: a wedged event loop cannot
+        answer at all.
+        """
+        workers = self.workers
+        alive = (
+            workers if self._router is None else self._router.workers_alive
+        )
+        if self._stopping:
+            status = "stopping"
+        elif alive < workers:
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "ready": not self._stopping,
+            "live": True,
+            "version": self.model_ref,
+            "workers": workers,
+            "workers_alive": alive,
+        }
 
     # ------------------------------------------------------------------
     # Micro-batch formation (the background flush timer).
@@ -484,37 +607,62 @@ class ScoringServer:
                 break
             try:
                 latest = await self._loop.run_in_executor(
-                    self._builder, self._registry.resolve, self._name, None
+                    self._builder, self._poll_registry
                 )
             except (OSError, KeyError):
                 continue  # transient registry trouble: keep serving
-            staged_tag = None if self._staged is None else self._staged[0]
-            if latest == self._tag or latest == staged_tag:
+            if latest == self._tag or latest == self._staged.tag():
                 continue
             try:
-                router = await self._loop.run_in_executor(
-                    self._builder, self._build_router, latest
+                await self._loop.run_in_executor(
+                    self._builder, self._build_and_stage, latest
                 )
             except (OSError, KeyError, ValueError):
                 continue  # half-published version: retry next poll
-            if self._staged is not None:
-                _tag, stale = self._staged
-                self._staged = None
-                await self._loop.run_in_executor(self._builder, stale.close)
-            self._staged = (latest, router)
             self._wakeup.set()  # an idle flusher applies it promptly
+
+    def _poll_registry(self) -> str:
+        """Resolve ``LATEST`` and account torn publishes (builder thread).
+
+        Each poll counts version dirs that are newly quarantined (a
+        crash between the model and meta writes) into the
+        ``half_published`` recovery counter; ``resolve`` itself falls
+        back past torn dirs, so the watcher keeps serving the newest
+        complete version throughout.
+        """
+        for tag, _reason in self._registry.quarantined(self._name):
+            if tag not in self._quarantine_seen:
+                self._quarantine_seen.add(tag)
+                self._half_published += 1
+        return self._registry.resolve(self._name, None)
+
+    def _build_and_stage(self, tag: str) -> None:
+        """Pack a replacement plane and stage it (builder thread).
+
+        Building and staging happen on the same thread: the new router
+        is never in flight between threads, so a shutdown racing the
+        watcher cannot drop it — either it lands in ``_staged`` (and
+        the stop sweep closes it) or, when the drain already began, it
+        is closed right here before its first batch.
+        """
+        router = self._build_router(tag)
+        stale = self._staged.stage(tag, router)
+        if stale is not None:
+            stale.close()
 
     async def _apply_staged_swap(self) -> None:
         """Switch to a staged router between batches (flusher only)."""
-        if self._staged is None:
+        staged = self._staged.pop()
+        if staged is None:
             return
         assert self._loop is not None
-        tag, router = self._staged
-        self._staged = None
+        tag, router = staged
         old = self._router
         self._router, self._tag = router, tag
         self._stats.swaps += 1
         if old is not None:
+            self._respawned_base += old.workers_respawned
+            self._deadline_base += old.deadline_kills
             # Close on the scorer thread, after the old plane's last
             # batch — scatter and close never overlap.
             await self._loop.run_in_executor(self._scorer, old.close)
@@ -578,10 +726,7 @@ class ScoringServer:
                 if method != "GET":
                     status, payload = 405, {"error": "method not allowed"}
                 else:
-                    status, payload = 200, {
-                        "status": "stopping" if self._stopping else "ok",
-                        "version": self.model_ref,
-                    }
+                    status, payload = 200, self.health()
             elif path == "/metrics":
                 if method != "GET":
                     status, payload = 405, {"error": "method not allowed"}

@@ -114,6 +114,9 @@ def metrics_payload(
     cache_misses: int,
     cache_hit_rate: float,
     version: str,
+    workers_respawned: int = 0,
+    deadline_kills: int = 0,
+    half_published: int = 0,
     name: str = "serve_http",
 ) -> dict:
     """Build one ``GET /metrics`` document.
@@ -124,9 +127,11 @@ def metrics_payload(
     extended with the serving-only sections: ``throughput_rps``,
     ``queue`` (admission depth/bound/rejections), ``requests`` (post,
     row, batch and error counters), ``shards`` (per-cache-shard row
-    occupancy and live worker count), ``cache`` (hit statistics) and
-    ``model`` (served version + applied hot swaps).  ``docs/formats.md``
-    is the normative reference for the fields.
+    occupancy and live worker count), ``cache`` (hit statistics),
+    ``model`` (served version + applied hot swaps) and ``recovery``
+    (self-healing counters: workers respawned, stuck-worker deadline
+    kills, torn publishes quarantined).  ``docs/formats.md`` is the
+    normative reference for the fields.
     """
     return {
         "name": name,
@@ -167,5 +172,10 @@ def metrics_payload(
         "model": {
             "version": version,
             "swaps": int(stats.swaps),
+        },
+        "recovery": {
+            "workers_respawned": int(workers_respawned),
+            "deadline_kills": int(deadline_kills),
+            "half_published": int(half_published),
         },
     }

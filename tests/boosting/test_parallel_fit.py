@@ -16,6 +16,7 @@ import pytest
 from repro.boosting.binning import BinMapper
 from repro.boosting.config import GBConfig
 from repro.boosting.gbm import GBClassifier, GBRegressor
+from repro.faults import faults_active
 from repro.parallel.hist import HistogramPool
 
 
@@ -139,15 +140,20 @@ class TestDegradation:
                 pytest.skip("fork process backend unavailable")
             pool.begin_round(grad, hess, mask, n_channels=2)
             before = pool.accumulate([rows])[0]
-            assert pool.workers_alive == 2
-            # Kill one worker between waves; its feature block must be
-            # recomputed in-process from here on.
+            if not faults_active():  # ambient chaos may already be killing
+                assert pool.workers_alive == 2
+            # Kill one worker between waves; its feature block is
+            # recomputed in-process for the wave that lost it.
             pool._procs[0].terminate()
             pool._procs[0].join(timeout=10)
             after = pool.accumulate([rows])[0]
-            assert pool.workers_alive == 1
+            # The loss is detected mid-wave; the supervisor respawns the
+            # slot at the start of a *later* wave (see tests/faults for
+            # the recovery side), so right here the slot is still down.
+            if not faults_active():
+                assert pool.workers_alive == 1
             assert np.array_equal(before, after)
-            # And again, now on the permanent-fallback path.
+            # And again — healed or not, the bits cannot change.
             assert np.array_equal(before, pool.accumulate([rows])[0])
         finally:
             pool.close()

@@ -1,0 +1,19 @@
+"""Chaos-suite isolation: every test here owns its fault plan.
+
+The CI chaos job runs the whole test tree under a pinned ambient
+``REPRO_FAULTS`` schedule.  The equivalence suites must survive that —
+but the tests in this package assert *exact* recovery counters for the
+plans they inject themselves, so an ambient schedule stacked on top
+would make those counts schedule-dependent.  Strip it: chaos tests are
+the one place where the fault plan is part of the test, not the
+environment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _own_fault_plan(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)

@@ -1,0 +1,90 @@
+"""Orphaned shared-memory sweeper: scan, dry-run, unlink, guard rails.
+
+A worker-pool crash (or a SIGKILL'd parent) can leave ``psm_*``
+segments in ``/dev/shm`` with no process mapping them.  The sweeper
+must find exactly those, leave mapped segments alone, refuse anything
+that is not a bare segment basename, and stay dry-run by default from
+the CLI.
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing import shared_memory
+
+import pytest
+
+from repro.parallel.shared import scan_orphan_segments, unlink_segments
+from repro.serve.driver import main as serve_main
+
+pytestmark = pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"), reason="no /dev/shm on this platform"
+)
+
+
+@pytest.fixture
+def orphan_segment():
+    """A real orphan: created, unregistered, and abandoned by a child.
+
+    The child creates the segment, detaches the resource tracker from
+    it (so the tracker does not clean it up at child exit — exactly the
+    bookkeeping a SIGKILL destroys), and exits without unlinking.
+    """
+    from multiprocessing import resource_tracker
+
+    segment = shared_memory.SharedMemory(create=True, size=64)
+    name = segment.name
+    # Drop our mapping and the tracker registration; the file stays.
+    resource_tracker.unregister(segment._name, "shared_memory")
+    segment.close()
+    yield name
+    try:
+        os.unlink(f"/dev/shm/{name}")
+    except FileNotFoundError:
+        pass
+
+
+class TestScan:
+    def test_orphan_is_found(self, orphan_segment):
+        assert orphan_segment in scan_orphan_segments()
+
+    def test_mapped_segment_is_not_an_orphan(self):
+        segment = shared_memory.SharedMemory(create=True, size=64)
+        try:
+            assert segment.name not in scan_orphan_segments()
+        finally:
+            segment.close()
+            segment.unlink()
+
+
+class TestUnlink:
+    def test_unlink_removes_the_orphan(self, orphan_segment):
+        removed = unlink_segments([orphan_segment])
+        assert removed == [orphan_segment]
+        assert not os.path.exists(f"/dev/shm/{orphan_segment}")
+        assert orphan_segment not in scan_orphan_segments()
+
+    def test_missing_segment_is_skipped(self):
+        assert unlink_segments(["psm_definitely_not_there"]) == []
+
+    @pytest.mark.parametrize(
+        "name", ["../etc/passwd", "psm_x/../../etc/passwd", "notpsm_abc", ""]
+    )
+    def test_refuses_anything_but_bare_segment_names(self, name):
+        with pytest.raises(ValueError, match="refusing to unlink"):
+            unlink_segments([name])
+
+
+class TestCli:
+    def test_dry_run_lists_but_keeps(self, orphan_segment, capsys):
+        assert serve_main(["gc-shm"]) == 0
+        out = capsys.readouterr().out
+        assert f"orphan: /dev/shm/{orphan_segment}" in out
+        assert "dry run" in out and "--yes" in out
+        assert os.path.exists(f"/dev/shm/{orphan_segment}")
+
+    def test_yes_unlinks(self, orphan_segment, capsys):
+        assert serve_main(["gc-shm", "--yes"]) == 0
+        out = capsys.readouterr().out
+        assert f"unlinked: /dev/shm/{orphan_segment}" in out
+        assert not os.path.exists(f"/dev/shm/{orphan_segment}")

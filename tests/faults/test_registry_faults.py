@@ -1,0 +1,160 @@
+"""Torn publishes: quarantine, resolve fallback, and self-healing.
+
+``publish`` writes ``model.json``, then ``meta.json``, then ``LATEST``.
+A crash between the first two (the ``registry.publish`` tear site)
+leaves a half-published version dir; the registry must quarantine it —
+never raise on it, never resolve to it — and a re-publish of the same
+model must heal it in place.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.boosting import GBConfig, GBRegressor
+from repro.faults import InjectedFault, fault_plan
+from repro.serve.driver import main as serve_main
+from repro.serve.registry import ModelRegistry, model_fingerprint
+from repro.boosting.serialize import model_to_dict
+
+
+@pytest.fixture(scope="module")
+def models():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(80, 5))
+    y = X[:, 0] * 2.0 + rng.normal(scale=0.1, size=80)
+    first = GBRegressor(GBConfig(n_estimators=4, max_depth=2)).fit(X, y)
+    second = GBRegressor(GBConfig(n_estimators=5, max_depth=2)).fit(X, y)
+    return first, second
+
+
+def _tear_publish(registry, name, model):
+    """Publish ``model`` torn between model.json and meta.json."""
+    with fault_plan("tear@registry.publish"):
+        with pytest.raises(InjectedFault, match="registry.publish"):
+            registry.publish(name, model)
+    return model_fingerprint(model_to_dict(model))
+
+
+class TestTornPublish:
+    def test_quarantined_never_resolved(self, tmp_path, models):
+        first, second = models
+        registry = ModelRegistry(tmp_path)
+        v1 = registry.publish("m", first)
+        torn = _tear_publish(registry, "m", second)
+
+        # The torn dir exists with only the model document.
+        assert (tmp_path / "m" / torn / "model.json").is_file()
+        assert not (tmp_path / "m" / torn / "meta.json").exists()
+
+        # Readers skip it; the quarantine report names it.
+        assert [v.tag for v in registry.versions("m")] == [v1.tag]
+        assert registry.quarantined("m") == [
+            (torn, "meta.json missing (torn publish)")
+        ]
+        assert registry.resolve("m") == v1.tag
+        with pytest.raises(KeyError, match="half-published"):
+            registry.resolve("m", torn)
+        # Loading still serves the complete version.
+        assert registry.load("m") is not None
+
+    def test_latest_pointing_at_torn_dir_falls_back(self, tmp_path, models):
+        first, second = models
+        registry = ModelRegistry(tmp_path)
+        v1 = registry.publish("m", first)
+        torn = _tear_publish(registry, "m", second)
+        # The worst crash window: LATEST moved, then the publish tore.
+        (tmp_path / "m" / "LATEST").write_text(torn, encoding="utf-8")
+        assert registry.resolve("m") == v1.tag
+        assert registry.describe("m").tag == v1.tag
+
+    def test_republish_heals_in_place(self, tmp_path, models):
+        first, second = models
+        registry = ModelRegistry(tmp_path)
+        registry.publish("m", first)
+        torn = _tear_publish(registry, "m", second)
+        healed = registry.publish("m", second)
+        assert healed.tag == torn
+        assert registry.quarantined("m") == []
+        assert registry.resolve("m") == torn
+
+    def test_only_torn_versions_cannot_resolve(self, tmp_path, models):
+        _first, second = models
+        registry = ModelRegistry(tmp_path)
+        torn = _tear_publish(registry, "m", second)
+        (tmp_path / "m" / "LATEST").write_text(torn, encoding="utf-8")
+        with pytest.raises(KeyError, match="no complete published version"):
+            registry.resolve("m")
+
+
+class TestQuarantineReasons:
+    def test_all_reasons_reported(self, tmp_path, models):
+        first, _second = models
+        registry = ModelRegistry(tmp_path)
+        registry.publish("m", first)
+        model_dir = tmp_path / "m"
+        (model_dir / "aaa-empty").mkdir()
+        (model_dir / "bbb-meta-only").mkdir()
+        (model_dir / "bbb-meta-only" / "meta.json").write_text(
+            "{}", encoding="utf-8"
+        )
+        (model_dir / "ccc-model-only").mkdir()
+        (model_dir / "ccc-model-only" / "model.json").write_text(
+            "{}", encoding="utf-8"
+        )
+        (model_dir / "ddd-bad-meta").mkdir()
+        (model_dir / "ddd-bad-meta" / "model.json").write_text(
+            "{}", encoding="utf-8"
+        )
+        (model_dir / "ddd-bad-meta" / "meta.json").write_text(
+            "not json", encoding="utf-8"
+        )
+        assert registry.quarantined("m") == [
+            ("aaa-empty", "empty version dir"),
+            ("bbb-meta-only", "model.json missing"),
+            ("ccc-model-only", "meta.json missing (torn publish)"),
+            ("ddd-bad-meta", "unreadable meta.json"),
+        ]
+        # versions() skips them all without raising.
+        assert len(registry.versions("m")) == 1
+
+    def test_unknown_model_still_raises(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        with pytest.raises(KeyError, match="no model named"):
+            registry.quarantined("ghost")
+
+
+class TestAtomicWrite:
+    def test_write_is_rename_based(self, tmp_path):
+        """No .tmp residue survives a publish (fsync-then-rename)."""
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(60, 4))
+        y = X[:, 0] + rng.normal(scale=0.1, size=60)
+        model = GBRegressor(GBConfig(n_estimators=3, max_depth=2)).fit(X, y)
+        registry = ModelRegistry(tmp_path)
+        version = registry.publish("m", model)
+        leftovers = list(tmp_path.rglob("*.tmp"))
+        assert leftovers == []
+        doc = json.loads(
+            (version.path / "model.json").read_text(encoding="utf-8")
+        )
+        assert model_fingerprint(doc) == version.tag
+
+
+class TestVersionsCli:
+    def test_versions_lists_quarantined_dirs(self, tmp_path, models, capsys):
+        first, second = models
+        registry = ModelRegistry(tmp_path)
+        v1 = registry.publish("m", first)
+        torn = _tear_publish(registry, "m", second)
+        code = serve_main(
+            ["versions", "--registry", str(tmp_path), "--name", "m"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"m@{v1.tag}" in out and "(latest)" in out
+        assert f"m@{torn}  QUARANTINED: meta.json missing (torn publish)" in out
+        assert "re-publish the model to heal" in out

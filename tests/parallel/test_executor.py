@@ -9,6 +9,7 @@ from repro.parallel import (
     resolve_jobs,
     unpack_samples,
 )
+from repro.faults import faults_active
 from repro.parallel.executor import in_worker
 from repro.parallel.shared import (
     attach_shared,
@@ -72,6 +73,8 @@ class TestParallelMap:
         X = np.random.default_rng(0).normal(size=(512, 16))
         probes = parallel_map(_worker_probe, range(3), n_jobs=2, shared={"X": X})
         for is_worker, nested_jobs, writeable in probes:
+            if faults_active() and not is_worker:
+                continue  # ambient chaos recomputed this probe in-process
             assert is_worker is True
             # Nested parallelism is suppressed inside workers.
             assert nested_jobs == 1

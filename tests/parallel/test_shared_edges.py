@@ -12,6 +12,7 @@ from multiprocessing import shared_memory
 import numpy as np
 import pytest
 
+from repro.faults import faults_active
 from repro.parallel import ShardedPool, parallel_map
 from repro.parallel.executor import in_worker
 from repro.parallel.shared import attach_shared, export_shared, release_shared
@@ -98,7 +99,11 @@ class TestSetupMode:
         )
         values = [value for value, _ in out]
         assert values == [X.sum() + 10.0 + i for i in range(6)]
-        assert len({pid for _, pid in out}) <= 2
+        # Under ambient chaos a killed worker's tasks land in-process,
+        # adding the parent pid to the set; values above already proved
+        # correctness, so only the placement bookkeeping is relaxed.
+        if not faults_active():
+            assert len({pid for _, pid in out}) <= 2
 
     def test_parallel_map_setup_serial(self):
         X = np.ones((2, 2))
@@ -180,7 +185,8 @@ class TestShardedPoolContract:
             by_worker = {}
             for (shard, _), (_, pid) in zip(tasks, out):
                 by_worker.setdefault(shard % pool.workers, set()).add(pid)
-            assert all(len(pids) == 1 for pids in by_worker.values())
+            if not faults_active():  # chaos recompute relaxes placement
+                assert all(len(pids) == 1 for pids in by_worker.values())
 
     def test_task_error_propagates(self):
         with ShardedPool(n_jobs=2, shared={}) as pool:

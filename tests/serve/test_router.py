@@ -10,6 +10,7 @@ import numpy as np
 import pytest
 
 from repro.boosting import GBClassifier, GBRegressor
+from repro.faults import faults_active
 from repro.serve import (
     ModelRegistry,
     ScoreRequest,
@@ -62,7 +63,11 @@ def _assert_results_equal(got, want):
         assert a.raw_score == b.raw_score
         assert a.prediction == b.prediction
         assert a.probability == b.probability
-        assert a.cached == b.cached
+        # Under an active fault plan (the CI chaos matrix), a respawned
+        # shard starts cache-cold: `cached` bookkeeping may diverge,
+        # values never may — the eviction-pressure rule.
+        if not faults_active():
+            assert a.cached == b.cached
         if b.explanation is None:
             assert a.explanation is None
         else:
@@ -83,10 +88,11 @@ class TestEquivalence:
             reference_hot = _run_batched(service, stream)
             got_hot = _run_batched(router, stream)
             _assert_results_equal(got_hot, reference_hot)
-            assert all(r.cached for r in got_hot)
-            # Shard caches jointly behave like the single LRU.
-            assert router.cache_stats.hits == service.cache_stats.hits
-            assert router.cache_stats.misses == service.cache_stats.misses
+            if not faults_active():  # chaos may restart a shard cache cold
+                assert all(r.cached for r in got_hot)
+                # Shard caches jointly behave like the single LRU.
+                assert router.cache_stats.hits == service.cache_stats.hits
+                assert router.cache_stats.misses == service.cache_stats.misses
 
     @pytest.mark.parametrize("jobs", [1, 2, 3])
     def test_raw_scores_bitwise_equal_to_ensemble_per_worker_count(
@@ -105,7 +111,8 @@ class TestEquivalence:
             assert np.array_equal([r.raw_score for r in cold], reference)
             hot = router.score_rows(X[:60])
             assert np.array_equal([r.raw_score for r in hot], reference)
-            assert all(r.cached for r in hot)
+            if not faults_active():  # chaos may restart a shard cache cold
+                assert all(r.cached for r in hot)
 
     def test_classifier_probabilities_bitwise(self, classifier):
         model, X = classifier

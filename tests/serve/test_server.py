@@ -18,6 +18,7 @@ import numpy as np
 import pytest
 
 from repro.boosting import GBClassifier, GBRegressor
+from repro.faults import faults_active
 from repro.serve import (
     ModelRegistry,
     ScoreRequest,
@@ -93,6 +94,21 @@ def _reference_wire(service, X, explain=False, batch=8):
     return out
 
 
+def _assert_wire_equal(got, expected):
+    """Bitwise wire equality — modulo cache bookkeeping under chaos.
+
+    Under an active fault plan (the CI chaos matrix), a respawned shard
+    starts cache-cold, so the ``cached`` flag may legitimately diverge;
+    every value must still match exactly.
+    """
+    if faults_active():
+        got = [{k: v for k, v in r.items() if k != "cached"} for r in got]
+        expected = [
+            {k: v for k, v in r.items() if k != "cached"} for r in expected
+        ]
+    assert got == expected
+
+
 class TestEquivalence:
     @pytest.mark.parametrize("jobs", [1, 2, 4])
     def test_bitwise_equal_to_service_cold_and_hot(
@@ -132,8 +148,8 @@ class TestEquivalence:
                 got.extend(doc["results"])
             conn.close()
         # Wire documents compare exactly: JSON float round-tripping is
-        # bitwise, and even the cached flags coincide.
-        assert got == expected
+        # bitwise, and even the cached flags coincide (modulo chaos).
+        _assert_wire_equal(got, expected)
 
     def test_classifier_probability_on_the_wire(self, registry, cohort):
         X, _y = cohort
@@ -150,7 +166,7 @@ class TestEquivalence:
             )
             conn.close()
         assert status == 200
-        assert doc["results"] == expected
+        _assert_wire_equal(doc["results"], expected)
         assert all(r["probability"] is not None for r in doc["results"])
 
     def test_single_row_sugar(self, registry, cohort):
@@ -167,7 +183,7 @@ class TestEquivalence:
             )
             conn.close()
         assert status == 200
-        assert doc["results"] == expected
+        _assert_wire_equal(doc["results"], expected)
 
 
 class TestHotSwap:
@@ -225,7 +241,7 @@ class TestHotSwap:
             status, _headers, doc = _request(
                 conn, "POST", "/predict", {"rows": rows}
             )
-            assert doc["results"] == expected
+            _assert_wire_equal(doc["results"], expected)
             conn.close()
         assert server.stats.swaps == 1
         assert server.stats.errors == 0
@@ -307,7 +323,7 @@ class TestBackpressureAndShutdown:
             poster_join = poster
         poster_join.join(timeout=30)
         assert admitted["status"] == 200
-        assert admitted["doc"]["results"] == expected
+        _assert_wire_equal(admitted["doc"]["results"], expected)
         assert server.stats.posts == 1
         assert server.stats.errors == 0
 
